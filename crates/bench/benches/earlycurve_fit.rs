@@ -1,0 +1,62 @@
+//! Criterion micro-benchmark: EarlyCurve staged fitting and final-metric
+//! prediction — the operation Algorithm 1 runs for every configuration at
+//! line 50.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spottune_earlycurve::prelude::*;
+
+fn two_stage_points(n: u64) -> Vec<(u64, f64)> {
+    (1..=n)
+        .map(|k| {
+            let m = if k <= n / 2 {
+                1.0 + 1.5 / (0.3 * k as f64 + 1.0)
+            } else {
+                let rel = (k - n / 2) as f64;
+                0.45 + 0.2 / (0.4 * rel + 1.0)
+            };
+            (k, m)
+        })
+        .collect()
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("earlycurve");
+    for n in [70u64, 280] {
+        let points = two_stage_points(n);
+        group.bench_function(format!("staged_fit_{n}_points"), |b| {
+            b.iter_batched(
+                || {
+                    let mut ec = EarlyCurve::new(EarlyCurveConfig::default());
+                    for &(k, m) in &points {
+                        ec.push(k, m);
+                    }
+                    ec
+                },
+                |ec| ec.predict_final(1000),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    let points = two_stage_points(280);
+    group.bench_function("slaq_fit_280_points", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Slaq::new();
+                for &(k, m) in &points {
+                    s.push(k, m);
+                }
+                s
+            },
+            |s| s.predict_final(1000),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("stage_detection_280_points", |b| {
+        let metrics: Vec<f64> = points.iter().map(|&(_, m)| m).collect();
+        b.iter(|| detect_boundaries(&metrics, &StageConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

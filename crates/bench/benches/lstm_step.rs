@@ -1,0 +1,53 @@
+//! Criterion micro-benchmark: RevPred-sized LSTM forward/backward passes —
+//! the dominant cost of predictor training and of each provisioning-time
+//! inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spottune_nn::prelude::*;
+
+fn sequence(t: usize, batch: usize, input: usize) -> Vec<Matrix> {
+    (0..t)
+        .map(|s| Matrix::from_fn(batch, input, |r, c| ((s * 13 + r * 7 + c) as f64 * 0.1).sin()))
+        .collect()
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstm");
+    group.sample_size(30);
+    // RevPred dimensions: 59 steps × 6 features, three tiers of hidden 12.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut stack = StackedLstm::new(6, 12, 3, &mut rng);
+    let xs = sequence(59, 32, 6);
+    group.bench_function("revpred_stack_forward_b32", |b| {
+        b.iter(|| stack.forward_inference(&xs))
+    });
+    group.bench_function("revpred_stack_train_step_b32", |b| {
+        b.iter(|| {
+            stack.zero_grad();
+            let hs = stack.forward(&xs);
+            let dhs: Vec<Matrix> = hs
+                .iter()
+                .enumerate()
+                .map(|(i, h)| {
+                    if i == hs.len() - 1 {
+                        h.map(|_| 1.0)
+                    } else {
+                        Matrix::zeros(h.rows(), h.cols())
+                    }
+                })
+                .collect();
+            stack.backward(&dhs)
+        })
+    });
+    // Single-sample inference: what the provisioner pays per market query.
+    let one = sequence(59, 1, 6);
+    group.bench_function("revpred_stack_inference_b1", |b| {
+        b.iter(|| stack.forward_inference(&one))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lstm);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion macro-benchmark: a complete (small) SpotTune campaign — the
+//! end-to-end cost of simulating Algorithm 1 against the cloud substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spottune_core::prelude::*;
+use spottune_market::prelude::*;
+use spottune_mlsim::prelude::*;
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orchestrator");
+    group.sample_size(10);
+    let pool = MarketPool::standard(SimDur::from_days(10), 42);
+    let base = Workload::benchmark(Algorithm::LoR);
+    let small = Workload::custom(Algorithm::LoR, 60, base.hp_grid()[..4].to_vec());
+    group.bench_function("campaign_4cfg_60steps_theta07", |b| {
+        b.iter(|| {
+            let oracle = OracleEstimator::new(pool.clone(), 0.9);
+            let cfg = SpotTuneConfig::new(0.7, 2).with_seed(9);
+            Orchestrator::new(cfg, small.clone(), pool.clone(), &oracle).run()
+        })
+    });
+    group.bench_function("single_spot_baseline_4cfg", |b| {
+        b.iter(|| {
+            run_single_spot(
+                SingleSpotKind::Cheapest,
+                &small,
+                &pool,
+                SimTime::from_hours(2),
+                9,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion micro-benchmark: synthetic spot-price trace generation and the
+//! window queries behind RevPred's feature engineering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spottune_market::prelude::*;
+
+fn bench_traces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("market");
+    let inst = instance::by_name("r3.xlarge").expect("catalog");
+    let generator = TraceGenerator::preset(Regime::Spiky);
+    group.bench_function("generate_12day_trace", |b| {
+        b.iter(|| generator.generate(&inst, SimDur::from_days(12), 42))
+    });
+    let trace = generator.generate(&inst, SimDur::from_days(12), 42);
+    group.bench_function("avg_last_hour", |b| {
+        b.iter(|| trace.avg_last_hour(SimTime::from_days(6)))
+    });
+    group.bench_function("first_exceed_1h_horizon", |b| {
+        b.iter(|| trace.first_exceed(SimTime::from_days(6), SimDur::from_hours(1), 0.2))
+    });
+    group.bench_function("standard_pool_12days", |b| {
+        b.iter(|| MarketPool::standard(SimDur::from_days(12), 42))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_traces);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark: one training step of each real trainer — the
+//! per-step work the ML-simulation substrate pays inside campaigns.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spottune_mlsim::prelude::*;
+
+fn bench_trainers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trainer");
+    for alg in [Algorithm::LoR, Algorithm::Svm, Algorithm::Gbtr, Algorithm::LiR] {
+        let w = Workload::benchmark(alg);
+        let hp = w.hp_grid()[0].clone();
+        group.bench_function(format!("{}_step", alg.name()), |b| {
+            b.iter_batched(
+                || TrainingRun::new(&w, &hp, 42),
+                |mut run| run.metric_at(1),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    // The curve substrate is near-free; measure for completeness.
+    let w = Workload::benchmark(Algorithm::ResNet);
+    let hp = w.hp_grid()[0].clone();
+    group.bench_function("ResNet_full_curve_100", |b| {
+        b.iter_batched(
+            || TrainingRun::new(&w, &hp, 42),
+            |mut run| run.final_metric(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trainers);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerates paper Fig. 6 and the §IV.A.5 COV claim: seconds-per-epoch of
+//! the ResNet benchmark across the six instance types (ordered by price),
+//! plus the step-time coefficient of variation per workload.
+//!
+//! Run with: `cargo run --release -p spottune-bench --bin fig06_profiling`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spottune_bench::print_table;
+use spottune_market::instance;
+use spottune_market::stats::cov;
+use spottune_mlsim::prelude::*;
+
+fn main() {
+    let model = PerfModel::new();
+    let resnet = Workload::benchmark(Algorithm::ResNet);
+    let hp = resnet.hp_grid()[0].clone();
+
+    let mut catalog = instance::catalog();
+    catalog.sort_by(|a, b| {
+        a.on_demand_price()
+            .partial_cmp(&b.on_demand_price())
+            .expect("finite prices")
+    });
+    let rows: Vec<Vec<String>> = catalog
+        .iter()
+        .map(|inst| {
+            vec![
+                inst.name().into(),
+                format!("{}", inst.on_demand_price()),
+                format!("{:.1}", model.true_spe(inst, &resnet, &hp)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 6: ResNet speed (seconds/epoch) by instance, price-ascending",
+        &["instance", "on_demand_USD_per_h", "seconds_per_epoch"],
+        &rows,
+    );
+    let spes: Vec<f64> = catalog
+        .iter()
+        .map(|i| model.true_spe(i, &resnet, &hp))
+        .collect();
+    let monotone = spes.windows(2).all(|w| w[1] <= w[0]);
+    println!("\nstrictly price-monotone performance: {monotone} (paper observes it is NOT monotone)");
+
+    // §IV.A.5: COV of per-step times must be < 0.1 for every benchmark.
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    for w in Workload::all_benchmarks() {
+        let hp = w.hp_grid()[0].clone();
+        let inst = instance::by_name("r3.xlarge").expect("catalog");
+        let samples: Vec<f64> = (0..400)
+            .map(|_| model.sample_spe(&inst, &w, &hp, &mut rng))
+            .collect();
+        rows.push(vec![
+            w.algorithm().name().into(),
+            format!("{:.4}", cov(&samples)),
+            "<0.1".into(),
+        ]);
+    }
+    print_table(
+        "§IV.A.5: step-time COV per workload (r3.xlarge, 400 samples)",
+        &["workload", "cov", "paper_bound"],
+        &rows,
+    );
+}

@@ -1,0 +1,70 @@
+//! Regenerates paper Fig. 7: overall cost (a), job completion time (b) and
+//! normalized performance-cost rate (c) for SpotTune(θ=0.7), SpotTune(θ=1.0),
+//! Single-Spot Tune (Cheapest) and Single-Spot Tune (Fastest) across the six
+//! Table-II workloads.
+//!
+//! Run with: `cargo run --release -p spottune-bench --bin fig07_cost_perf`
+
+use spottune_bench::{print_table, run_campaigns, standard_pool, Approach, MASTER_SEED};
+use spottune_mlsim::prelude::*;
+
+fn main() {
+    let pool = standard_pool(MASTER_SEED);
+    let workloads = Workload::all_benchmarks();
+    let approaches = Approach::fig7_set();
+
+    let tasks: Vec<(Approach, Workload)> = workloads
+        .iter()
+        .flat_map(|w| approaches.iter().map(move |a| (*a, w.clone())))
+        .collect();
+    let reports = run_campaigns(tasks, &pool, MASTER_SEED);
+
+    // Group per workload: rows of 4 approaches.
+    let mut cost_rows = Vec::new();
+    let mut jct_rows = Vec::new();
+    let mut pcr_rows = Vec::new();
+    for (wi, w) in workloads.iter().enumerate() {
+        let group = &reports[wi * 4..(wi + 1) * 4];
+        let reference = &group[0]; // SpotTune(θ=0.7) normalized to 1
+        cost_rows.push(
+            std::iter::once(w.algorithm().name().to_string())
+                .chain(group.iter().map(|r| format!("{:.3}", r.cost)))
+                .collect::<Vec<_>>(),
+        );
+        jct_rows.push(
+            std::iter::once(w.algorithm().name().to_string())
+                .chain(group.iter().map(|r| format!("{:.2}", r.jct.as_hours_f64())))
+                .collect::<Vec<_>>(),
+        );
+        pcr_rows.push(
+            std::iter::once(w.algorithm().name().to_string())
+                .chain(group.iter().map(|r| format!("{:.3}", r.pcr_normalized(reference))))
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    let header = [
+        "workload",
+        "SpotTune(theta=0.7)",
+        "SpotTune(theta=1.0)",
+        "SingleSpot(Cheapest)",
+        "SingleSpot(Fastest)",
+    ];
+    print_table("Fig 7(a) Overall Cost ($)", &header, &cost_rows);
+    print_table("Fig 7(b) Job Completion Time (hours)", &header, &jct_rows);
+    print_table("Fig 7(c) Normalized PCR (SpotTune θ=0.7 = 1)", &header, &pcr_rows);
+
+    // Aggregate savings the paper quotes in §IV.B.1.
+    let avg = |f: &dyn Fn(&spottune_core::HptReport) -> f64, col: usize| -> f64 {
+        (0..workloads.len()).map(|wi| f(&reports[wi * 4 + col])).sum::<f64>()
+            / workloads.len() as f64
+    };
+    let cost = |r: &spottune_core::HptReport| r.cost;
+    let (st07, st10, cheap, fast) = (avg(&cost, 0), avg(&cost, 1), avg(&cost, 2), avg(&cost, 3));
+    println!("\n--- aggregate savings (paper §IV.B.1 quotes) ---");
+    println!("SpotTune(1.0) vs Cheapest: {:.1}% (paper: 41.5%)", 100.0 * (1.0 - st10 / cheap));
+    println!("SpotTune(1.0) vs Fastest:  {:.1}% (paper: 86.04%)", 100.0 * (1.0 - st10 / fast));
+    println!("SpotTune(0.7) vs SpotTune(1.0): {:.1}% (paper: 57.16%)", 100.0 * (1.0 - st07 / st10));
+    println!("SpotTune(0.7) vs Cheapest: {:.1}% (paper: 75.64%)", 100.0 * (1.0 - st07 / cheap));
+    println!("SpotTune(0.7) vs Fastest:  {:.1}% (paper: 94.18%)", 100.0 * (1.0 - st07 / fast));
+}

@@ -1,0 +1,52 @@
+//! Regenerates paper Fig. 9: the contribution of refunded (free) resources —
+//! charged vs free step fractions (a) and refund vs net-cost fractions (b) —
+//! for SpotTune(θ=0.7) across the six workloads.
+//!
+//! Run with: `cargo run --release -p spottune-bench --bin fig09_refund`
+
+use spottune_bench::{print_table, run_campaigns, standard_pool, Approach, MASTER_SEED};
+use spottune_mlsim::prelude::*;
+
+fn main() {
+    let pool = standard_pool(MASTER_SEED);
+    let workloads = Workload::all_benchmarks();
+    let tasks: Vec<(Approach, Workload)> = workloads
+        .iter()
+        .map(|w| (Approach::SpotTune { theta: 0.7 }, w.clone()))
+        .collect();
+    let reports = run_campaigns(tasks, &pool, MASTER_SEED);
+
+    let mut contribution = Vec::new();
+    let mut refund = Vec::new();
+    for r in &reports {
+        contribution.push(vec![
+            r.workload.clone(),
+            format!("{:.1}", 100.0 * (1.0 - r.free_step_fraction())),
+            format!("{:.1}", 100.0 * r.free_step_fraction()),
+        ]);
+        refund.push(vec![
+            r.workload.clone(),
+            format!("{:.1}", 100.0 * (1.0 - r.refund_fraction())),
+            format!("{:.1}", 100.0 * r.refund_fraction()),
+        ]);
+    }
+    print_table(
+        "Fig 9(a) Free Resources Contribution (% of steps)",
+        &["workload", "charged_steps_pct", "free_steps_pct"],
+        &contribution,
+    );
+    print_table(
+        "Fig 9(b) Refund-Cost Comparison (% of gross spend)",
+        &["workload", "net_cost_pct", "refund_pct"],
+        &refund,
+    );
+    let avg_free = reports.iter().map(|r| r.free_step_fraction()).sum::<f64>()
+        / reports.len() as f64;
+    println!(
+        "\naverage free-step contribution: {:.1}% (paper: 77.5% at θ=0.7)",
+        100.0 * avg_free
+    );
+    let avg_revocations =
+        reports.iter().map(|r| r.revocations).sum::<u64>() as f64 / reports.len() as f64;
+    println!("average revocations per campaign: {avg_revocations:.1}");
+}

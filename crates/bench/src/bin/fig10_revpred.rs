@@ -1,0 +1,137 @@
+//! Regenerates paper Fig. 10: (a) accuracy and (b) F1 of RevPred vs the
+//! Tributary re-implementation vs logistic regression — trained on the first
+//! nine days of the traces, evaluated on the last three — and (c) SpotTune's
+//! cost / normalized PCR when provisioning with RevPred vs Tributary.
+//!
+//! Run with: `cargo run --release -p spottune-bench --bin fig10_revpred`
+
+use parking_lot::Mutex;
+use spottune_bench::{print_table, standard_pool, MASTER_SEED};
+use spottune_core::prelude::*;
+use spottune_market::prelude::*;
+use spottune_mlsim::prelude::*;
+use spottune_revpred::prelude::*;
+
+fn main() {
+    let pool = standard_pool(MASTER_SEED);
+    // Paper split: trained on 04/26–05/04, evaluated on 05/05–05/07.
+    let train_from = SimTime::from_hours(2);
+    let train_to = SimTime::from_days(9);
+    let eval_from = SimTime::from_days(9);
+    let eval_to = SimTime::from_days(12) - SimDur::from_hours(2);
+
+    let cfg = TrainConfig { seed: MASTER_SEED, ..TrainConfig::default() };
+    let kinds = [PredictorKind::RevPred, PredictorKind::Tributary, PredictorKind::Logistic];
+
+    // Train the three predictor families in parallel.
+    let sets: Mutex<Vec<(usize, MarketPredictorSet)>> = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for (i, kind) in kinds.iter().enumerate() {
+            let pool = pool.clone();
+            let cfg = cfg;
+            let sets = &sets;
+            scope.spawn(move |_| {
+                let set = MarketPredictorSet::train(
+                    *kind,
+                    &pool,
+                    train_from,
+                    train_to,
+                    SimDur::from_mins(20),
+                    &cfg,
+                );
+                sets.lock().push((i, set));
+            });
+        }
+    })
+    .expect("training thread panicked");
+    let mut sets = sets.into_inner();
+    sets.sort_by_key(|(i, _)| *i);
+
+    // (a)+(b): evaluate on held-out windows. Test max prices use the
+    // *random* delta policy — the paper's inference-time behaviour ("while
+    // using the trained model for inference, RevPred randomly generates the
+    // maximum price as Tributary does") — so no model can game the test by
+    // answering the majority class.
+    let mut rows = Vec::new();
+    for (i, set) in &sets {
+        let mut probs = Vec::new();
+        let mut labels = Vec::new();
+        for market in pool.iter() {
+            let samples = build_dataset(
+                market,
+                eval_from,
+                eval_to,
+                SimDur::from_mins(15),
+                DeltaPolicy::UniformRandom,
+                MASTER_SEED ^ 0xeea1,
+            );
+            for s in &samples {
+                let p = set
+                    .predict_sample(market.instance().name(), s)
+                    .expect("trained market");
+                probs.push(p);
+                labels.push(s.label);
+            }
+        }
+        let eval = BinaryEval::score(&probs, &labels, 0.5);
+        rows.push(vec![
+            format!("{:?}", kinds[*i]),
+            format!("{:.4}", eval.accuracy()),
+            format!("{:.4}", eval.f1()),
+            format!("{:.4}", eval.precision()),
+            format!("{:.4}", eval.recall()),
+        ]);
+    }
+    print_table(
+        "Fig 10(a,b): revocation predictor quality (held-out days 10-12)",
+        &["model", "accuracy", "f1", "precision", "recall"],
+        &rows,
+    );
+
+    // (c): SpotTune cost/PCR with RevPred vs Tributary on all 6 workloads.
+    let revpred_set = &sets[0].1;
+    let tributary_set = &sets[1].1;
+    let reports: Mutex<Vec<(usize, HptReport)>> = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for (wi, w) in Workload::all_benchmarks().into_iter().enumerate() {
+            for (ei, est) in [revpred_set, tributary_set].into_iter().enumerate() {
+                let pool = pool.clone();
+                let w = w.clone();
+                let reports = &reports;
+                scope.spawn(move |_| {
+                    let cfg = SpotTuneConfig::new(0.7, 3).with_seed(MASTER_SEED);
+                    let report = Orchestrator::new(cfg, w, pool, est).run();
+                    reports.lock().push((wi * 2 + ei, report));
+                });
+            }
+        }
+    })
+    .expect("campaign thread panicked");
+    let mut reports = reports.into_inner();
+    reports.sort_by_key(|(i, _)| *i);
+
+    let mut rows = Vec::new();
+    let (mut cost_rp, mut cost_tr) = (0.0, 0.0);
+    for wi in 0..6 {
+        let rp = &reports[wi * 2].1;
+        let tr = &reports[wi * 2 + 1].1;
+        cost_rp += rp.cost;
+        cost_tr += tr.cost;
+        rows.push(vec![
+            rp.workload.clone(),
+            format!("{:.3}", rp.cost),
+            format!("{:.3}", tr.cost),
+            format!("{:.3}", rp.pcr_normalized(rp)),
+            format!("{:.3}", tr.pcr_normalized(rp)),
+        ]);
+    }
+    print_table(
+        "Fig 10(c): SpotTune with RevPred vs Tributary predictor (θ=0.7)",
+        &["workload", "cost_revpred", "cost_tributary", "pcr_revpred(norm)", "pcr_tributary"],
+        &rows,
+    );
+    println!(
+        "\naggregate: RevPred yields {:.1}% lower cost than Tributary (paper: ~25%)",
+        100.0 * (1.0 - cost_rp / cost_tr)
+    );
+}

@@ -1,0 +1,56 @@
+//! Regenerates paper Fig. 12 and the §IV.F measurements: the
+//! checkpoint-restore share of each workload's busy time under
+//! SpotTune(θ=0.7), plus checkpoint speeds and maximum checkpointable model
+//! sizes per instance type.
+//!
+//! Run with: `cargo run --release -p spottune-bench --bin fig12_checkpoint`
+
+use spottune_bench::{print_table, run_campaigns, standard_pool, Approach, MASTER_SEED};
+use spottune_cloud::storage::{checkpoint_speed_mbps, max_model_size_mb};
+use spottune_market::{instance, InstanceType};
+use spottune_mlsim::prelude::*;
+
+fn main() {
+    let pool = standard_pool(MASTER_SEED);
+    let workloads = Workload::all_benchmarks();
+    let tasks: Vec<(Approach, Workload)> = workloads
+        .iter()
+        .map(|w| (Approach::SpotTune { theta: 0.7 }, w.clone()))
+        .collect();
+    let reports = run_campaigns(tasks, &pool, MASTER_SEED);
+
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{:.1}", 100.0 * r.overhead_fraction()),
+                format!("{:.1}", 100.0 * (1.0 - r.overhead_fraction())),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 12: checkpoint-restore time share of busy time (θ=0.7)",
+        &["workload", "checkpoint_restore_pct", "other_pct"],
+        &rows,
+    );
+    let avg = reports.iter().map(|r| r.overhead_fraction()).sum::<f64>() / reports.len() as f64;
+    println!("\naverage checkpoint-restore share: {:.1}% (paper: <10% on average)", 100.0 * avg);
+
+    // §IV.F: speeds and max model sizes.
+    let mut table = Vec::new();
+    let micro = InstanceType::new("t2.micro", 1, 1.0, 0.0116);
+    for inst in std::iter::once(micro).chain(instance::catalog()) {
+        table.push(vec![
+            inst.name().to_string(),
+            format!("{:.2}", checkpoint_speed_mbps(&inst)),
+            format!("{:.2}", max_model_size_mb(&inst) / 1024.0),
+        ]);
+    }
+    print_table(
+        "§IV.F: checkpoint speed and max model size within the 120 s notice",
+        &["instance", "speed_MB_per_s", "max_model_GB"],
+        &table,
+    );
+    println!("\npaper reference points: m4.4xlarge 134.22 MB/s & 15.73 GB; t2.micro 62.83 MB/s & 7.36 GB");
+}

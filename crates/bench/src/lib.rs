@@ -1,0 +1,122 @@
+//! # spottune-bench
+//!
+//! Shared infrastructure for the figure/table regeneration binaries (one
+//! per paper figure; see DESIGN.md's experiment index) and the criterion
+//! micro-benchmarks.
+
+use parking_lot::Mutex;
+use spottune_core::prelude::*;
+use spottune_market::prelude::*;
+use spottune_mlsim::prelude::*;
+
+/// Length of the standard simulated price history (the Kaggle dataset spans
+/// ~12 days: 2017-04-26 → 2017-05-08).
+pub const TRACE_DAYS: u64 = 12;
+
+/// Master seed used by every figure unless it sweeps seeds itself.
+pub const MASTER_SEED: u64 = 42;
+
+/// The standard six-market pool used by all experiments.
+pub fn standard_pool(seed: u64) -> MarketPool {
+    MarketPool::standard(SimDur::from_days(TRACE_DAYS), seed)
+}
+
+/// The four approaches of paper Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Approach {
+    /// SpotTune with the given θ.
+    SpotTune {
+        /// Early-shutdown rate.
+        theta: f64,
+    },
+    /// Single-Spot Tune baselines.
+    SingleSpot(SingleSpotKind),
+}
+
+impl Approach {
+    /// The four bars of Fig. 7, in paper order.
+    pub fn fig7_set() -> [Approach; 4] {
+        [
+            Approach::SpotTune { theta: 0.7 },
+            Approach::SpotTune { theta: 1.0 },
+            Approach::SingleSpot(SingleSpotKind::Cheapest),
+            Approach::SingleSpot(SingleSpotKind::Fastest),
+        ]
+    }
+}
+
+/// Runs one approach on one workload with the oracle revocation estimator.
+pub fn run_approach(approach: Approach, workload: &Workload, pool: &MarketPool, seed: u64) -> HptReport {
+    match approach {
+        Approach::SpotTune { theta } => {
+            let oracle = OracleEstimator::new(pool.clone(), 0.9);
+            let cfg = SpotTuneConfig::new(theta, 3).with_seed(seed);
+            Orchestrator::new(cfg, workload.clone(), pool.clone(), &oracle).run()
+        }
+        Approach::SingleSpot(kind) => {
+            run_single_spot(kind, workload, pool, SpotTuneConfig::default().start, seed)
+        }
+    }
+}
+
+/// Runs a set of (approach, workload) campaigns in parallel with crossbeam
+/// scoped threads, preserving input order in the output.
+pub fn run_campaigns(
+    tasks: Vec<(Approach, Workload)>,
+    pool: &MarketPool,
+    seed: u64,
+) -> Vec<HptReport> {
+    let results: Mutex<Vec<(usize, HptReport)>> = Mutex::new(Vec::with_capacity(tasks.len()));
+    crossbeam::thread::scope(|scope| {
+        for (idx, (approach, workload)) in tasks.iter().enumerate() {
+            let results = &results;
+            let pool = pool.clone();
+            let workload = workload.clone();
+            let approach = *approach;
+            scope.spawn(move |_| {
+                let report = run_approach(approach, &workload, &pool, seed);
+                results.lock().push((idx, report));
+            });
+        }
+    })
+    .expect("campaign thread panicked");
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(idx, _)| *idx);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Prints a CSV-ish header + rows helper used by the figure binaries.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    println!("{}", header.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_set_matches_paper_order() {
+        let set = Approach::fig7_set();
+        assert!(matches!(set[0], Approach::SpotTune { theta } if theta == 0.7));
+        assert!(matches!(set[3], Approach::SingleSpot(SingleSpotKind::Fastest)));
+    }
+
+    #[test]
+    fn parallel_campaigns_preserve_order() {
+        let pool = standard_pool(1);
+        let base = Workload::benchmark(Algorithm::LoR);
+        let small = Workload::custom(Algorithm::LoR, 30, base.hp_grid()[..2].to_vec());
+        let tasks = vec![
+            (Approach::SingleSpot(SingleSpotKind::Cheapest), small.clone()),
+            (Approach::SingleSpot(SingleSpotKind::Fastest), small),
+        ];
+        let reports = run_campaigns(tasks, &pool, 3);
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].approach.contains("Cheapest"));
+        assert!(reports[1].approach.contains("Fastest"));
+    }
+}

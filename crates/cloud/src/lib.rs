@@ -1,0 +1,38 @@
+//! # spottune-cloud
+//!
+//! Discrete-event simulator of an EC2-like spot cloud: VM lifecycle with
+//! two-minute revocation notices, per-second billing with the first-hour
+//! refund rule, and an S3-like object store with CPU-bound checkpoint
+//! speeds. This is the substrate SpotTune's orchestrator (Algorithm 1 in the
+//! paper) runs against.
+//!
+//! ```
+//! use spottune_cloud::prelude::*;
+//! use spottune_market::prelude::*;
+//!
+//! let pool = MarketPool::standard(SimDur::from_hours(6), 42);
+//! let mut cloud = CloudProvider::new(pool);
+//! let price = cloud.market_price("r4.large", SimTime::ZERO).unwrap();
+//! let vm = cloud.request_spot(SimTime::ZERO, "r4.large", price + 0.05).unwrap();
+//! // ... the orchestrator polls for notices/revocations as time advances:
+//! let events = cloud.poll(SimTime::from_mins(10));
+//! # let _ = (vm, events);
+//! ```
+
+pub mod billing;
+pub mod provider;
+pub mod storage;
+pub mod vm;
+
+pub use billing::{BillRecord, EndCause, Ledger};
+pub use provider::{CloudEvent, CloudProvider, RequestSpotError};
+pub use storage::ObjectStore;
+pub use vm::{Vm, VmId, VmState};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::billing::{BillRecord, EndCause, Ledger};
+    pub use crate::provider::{CloudEvent, CloudProvider, RequestSpotError};
+    pub use crate::storage::ObjectStore;
+    pub use crate::vm::{Vm, VmId, VmState};
+}

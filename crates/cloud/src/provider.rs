@@ -1,0 +1,337 @@
+//! The discrete-event cloud provider: spot requests, revocation notices,
+//! revocations and billing, driven by per-market price traces.
+
+use serde::{Deserialize, Serialize};
+use spottune_market::{MarketPool, SimDur, SimTime};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::billing::{settle, BillRecord, EndCause, Ledger};
+use crate::vm::{Vm, VmId, VmState};
+
+/// Default lead time of the revocation notice: "termination notices ... are
+/// issued two minutes before the interruption" (§II.A).
+pub const NOTICE_LEAD: SimDur = SimDur::from_secs(120);
+
+/// Default delay between a spot request and the VM becoming usable.
+pub const DEFAULT_LAUNCH_DELAY: SimDur = SimDur::from_secs(30);
+
+/// Event surfaced by [`CloudProvider::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CloudEvent {
+    /// The two-minute revocation warning for a VM.
+    RevocationNotice {
+        /// VM being reclaimed.
+        vm: VmId,
+        /// Instant the VM disappears.
+        revoke_at: SimTime,
+    },
+    /// A VM has been reclaimed by the provider.
+    Revoked {
+        /// VM that was reclaimed.
+        vm: VmId,
+        /// Instant of reclamation.
+        at: SimTime,
+    },
+}
+
+/// Error returned by [`CloudProvider::request_spot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestSpotError {
+    /// No market exists for the requested instance type.
+    UnknownInstance(String),
+    /// The current market price already exceeds the offered maximum price.
+    PriceAboveMax {
+        /// Current market price.
+        market_price: f64,
+        /// Offered maximum price.
+        max_price: f64,
+    },
+}
+
+impl fmt::Display for RequestSpotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestSpotError::UnknownInstance(name) => {
+                write!(f, "no spot market for instance type {name:?}")
+            }
+            RequestSpotError::PriceAboveMax { market_price, max_price } => write!(
+                f,
+                "market price {market_price} exceeds offered maximum price {max_price}"
+            ),
+        }
+    }
+}
+
+impl Error for RequestSpotError {}
+
+/// The simulated cloud provider.
+///
+/// Holds the market pool, live VMs and the billing ledger. All methods take
+/// the current simulation time explicitly; the provider never advances time
+/// itself, which keeps the orchestrator's control loop in charge (as in
+/// Algorithm 1).
+#[derive(Debug)]
+pub struct CloudProvider {
+    pool: MarketPool,
+    vms: HashMap<VmId, Vm>,
+    ledger: Ledger,
+    next_id: u64,
+    launch_delay: SimDur,
+    notice_lead: SimDur,
+}
+
+impl CloudProvider {
+    /// Creates a provider over a market pool with default timing.
+    pub fn new(pool: MarketPool) -> Self {
+        CloudProvider {
+            pool,
+            vms: HashMap::new(),
+            ledger: Ledger::new(),
+            next_id: 0,
+            launch_delay: DEFAULT_LAUNCH_DELAY,
+            notice_lead: NOTICE_LEAD,
+        }
+    }
+
+    /// Overrides the request→running delay.
+    pub fn with_launch_delay(mut self, delay: SimDur) -> Self {
+        self.launch_delay = delay;
+        self
+    }
+
+    /// The market pool backing this provider.
+    pub fn pool(&self) -> &MarketPool {
+        &self.pool
+    }
+
+    /// Current market price for an instance type.
+    pub fn market_price(&self, instance_name: &str, t: SimTime) -> Option<f64> {
+        self.pool.market(instance_name).map(|m| m.price_at(t))
+    }
+
+    /// Requests a spot VM at time `t` with the given maximum price.
+    ///
+    /// The VM becomes usable at `t + launch_delay`. Its (deterministic)
+    /// future revocation instant is derived from the price trace: the first
+    /// minute after launch whose price exceeds `max_price`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance type has no market or the current market price
+    /// already exceeds `max_price`.
+    pub fn request_spot(
+        &mut self,
+        t: SimTime,
+        instance_name: &str,
+        max_price: f64,
+    ) -> Result<VmId, RequestSpotError> {
+        let market = self
+            .pool
+            .market(instance_name)
+            .ok_or_else(|| RequestSpotError::UnknownInstance(instance_name.to_string()))?;
+        let market_price = market.price_at(t);
+        if market_price > max_price {
+            return Err(RequestSpotError::PriceAboveMax { market_price, max_price });
+        }
+        let launched_at = t + self.launch_delay;
+        // Revocation is determined by the trace; search to the end of it.
+        let horizon = market.trace().duration();
+        let revoke_at = market.revocation_within(launched_at, horizon, max_price);
+        let id = VmId::new(self.next_id);
+        self.next_id += 1;
+        self.vms.insert(
+            id,
+            Vm::new(id, market.instance().clone(), launched_at, max_price, revoke_at),
+        );
+        Ok(id)
+    }
+
+    /// Looks up a VM.
+    pub fn vm(&self, id: VmId) -> Option<&Vm> {
+        self.vms.get(&id)
+    }
+
+    /// All VMs ever created (alive and ended).
+    pub fn vms(&self) -> impl Iterator<Item = &Vm> {
+        self.vms.values()
+    }
+
+    /// Number of currently alive VMs.
+    pub fn alive_count(&self) -> usize {
+        self.vms.values().filter(|v| v.is_alive()).count()
+    }
+
+    /// Advances provider-side state to time `t` and returns the events that
+    /// fired since the last poll (notices first, then revocations, ordered
+    /// by VM id for determinism).
+    pub fn poll(&mut self, t: SimTime) -> Vec<CloudEvent> {
+        let mut events = Vec::new();
+        let mut ids: Vec<VmId> = self.vms.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            let vm = self.vms.get_mut(&id).expect("vm exists");
+            if !vm.is_alive() {
+                continue;
+            }
+            let Some(revoke_at) = vm.revoke_at else { continue };
+            if !vm.notice_sent && t >= revoke_at.saturating_sub(self.notice_lead) && t < revoke_at {
+                vm.notice_sent = true;
+                vm.state = VmState::Notified { revoke_at };
+                events.push(CloudEvent::RevocationNotice { vm: id, revoke_at });
+            }
+            if t >= revoke_at {
+                // Deliver a (late) notice if the poll skipped the window.
+                if !vm.notice_sent {
+                    vm.notice_sent = true;
+                    events.push(CloudEvent::RevocationNotice { vm: id, revoke_at });
+                }
+                vm.state = VmState::Revoked { at: revoke_at };
+                let record = self.settle_vm(id, revoke_at, EndCause::ProviderRevoked);
+                self.ledger.push(record);
+                events.push(CloudEvent::Revoked { vm: id, at: revoke_at });
+            }
+        }
+        events
+    }
+
+    /// User-initiated shutdown at time `t`. Bills the VM without a refund.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM does not exist or is already ended.
+    pub fn terminate(&mut self, t: SimTime, id: VmId) -> BillRecord {
+        let vm = self.vms.get_mut(&id).expect("terminate: unknown vm");
+        assert!(vm.is_alive(), "terminate: {id} already ended");
+        let end = t.max(vm.launched_at());
+        vm.state = VmState::Terminated { at: end };
+        let record = self.settle_vm(id, end, EndCause::UserTerminated);
+        self.ledger.push(record.clone());
+        record
+    }
+
+    fn settle_vm(&self, id: VmId, end: SimTime, cause: EndCause) -> BillRecord {
+        let vm = &self.vms[&id];
+        let market = self
+            .pool
+            .market(vm.instance().name())
+            .expect("vm market exists");
+        settle(id, vm.instance().name(), market.trace(), vm.launched_at(), end, cause)
+    }
+
+    /// The billing ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spottune_market::{InstanceType, PriceTrace, SpotMarket};
+
+    /// Pool with one market whose price is 0.1 except minutes 90–99 at 0.5.
+    fn spike_pool() -> MarketPool {
+        let mut prices = vec![0.1; 240];
+        for p in prices.iter_mut().take(100).skip(90) {
+            *p = 0.5;
+        }
+        let inst = InstanceType::new("t.spike", 2, 8.0, 0.4);
+        MarketPool::new(vec![SpotMarket::new(inst, PriceTrace::from_minutes(prices))])
+    }
+
+    fn provider() -> CloudProvider {
+        CloudProvider::new(spike_pool()).with_launch_delay(SimDur::ZERO)
+    }
+
+    #[test]
+    fn request_rejects_low_max_price() {
+        let mut p = provider();
+        let err = p
+            .request_spot(SimTime::from_mins(95), "t.spike", 0.2)
+            .unwrap_err();
+        assert!(matches!(err, RequestSpotError::PriceAboveMax { .. }));
+        let err = p.request_spot(SimTime::ZERO, "nope", 0.2).unwrap_err();
+        assert!(matches!(err, RequestSpotError::UnknownInstance(_)));
+    }
+
+    #[test]
+    fn notice_precedes_revocation_by_two_minutes() {
+        let mut p = provider();
+        let vm = p.request_spot(SimTime::ZERO, "t.spike", 0.2).unwrap();
+        // Price exceeds 0.2 at minute 90, so notice is due at minute 88.
+        assert!(p.poll(SimTime::from_mins(87)).is_empty());
+        let ev = p.poll(SimTime::from_mins(88));
+        assert_eq!(
+            ev,
+            vec![CloudEvent::RevocationNotice { vm, revoke_at: SimTime::from_mins(90) }]
+        );
+        assert!(matches!(p.vm(vm).unwrap().state(), VmState::Notified { .. }));
+        // Still alive during the notice window.
+        assert!(p.vm(vm).unwrap().is_alive());
+        let ev = p.poll(SimTime::from_mins(90));
+        assert_eq!(ev, vec![CloudEvent::Revoked { vm, at: SimTime::from_mins(90) }]);
+        assert!(!p.vm(vm).unwrap().is_alive());
+    }
+
+    #[test]
+    fn coarse_poll_still_delivers_notice_and_revocation() {
+        let mut p = provider();
+        let vm = p.request_spot(SimTime::ZERO, "t.spike", 0.2).unwrap();
+        let ev = p.poll(SimTime::from_mins(120));
+        assert_eq!(ev.len(), 2);
+        assert!(matches!(ev[0], CloudEvent::RevocationNotice { .. }));
+        assert!(matches!(ev[1], CloudEvent::Revoked { .. }));
+        // Billing happened exactly once.
+        assert_eq!(p.ledger().records().len(), 1);
+        let rec = &p.ledger().records()[0];
+        assert_eq!(rec.vm, vm);
+        // Revoked at 90 minutes > 1h: no refund.
+        assert!(!rec.was_free());
+    }
+
+    #[test]
+    fn early_revocation_is_refunded() {
+        let mut p = provider();
+        // Launch shortly before the spike so the VM dies young.
+        let vm = p.request_spot(SimTime::from_mins(60), "t.spike", 0.2).unwrap();
+        p.poll(SimTime::from_mins(91));
+        let rec = &p.ledger().records()[0];
+        assert_eq!(rec.vm, vm);
+        assert!(rec.was_free());
+        assert_eq!(rec.net(), 0.0);
+        assert!(rec.gross > 0.0);
+    }
+
+    #[test]
+    fn user_termination_bills_without_refund() {
+        let mut p = provider();
+        let vm = p.request_spot(SimTime::ZERO, "t.spike", 0.2).unwrap();
+        let rec = p.terminate(SimTime::from_mins(30), vm);
+        assert!(!rec.was_free());
+        // 30 minutes at $0.1/h.
+        assert!((rec.net() - 0.05).abs() < 1e-9);
+        assert_eq!(p.alive_count(), 0);
+        // No further events for this VM.
+        assert!(p.poll(SimTime::from_mins(120)).is_empty());
+    }
+
+    #[test]
+    fn high_max_price_never_revokes() {
+        let mut p = provider();
+        let vm = p.request_spot(SimTime::ZERO, "t.spike", 10.0).unwrap();
+        assert!(p.poll(SimTime::from_mins(239)).is_empty());
+        assert!(p.vm(vm).unwrap().is_alive());
+    }
+
+    #[test]
+    fn launch_delay_shifts_billing_start() {
+        let mut p = CloudProvider::new(spike_pool()).with_launch_delay(SimDur::from_secs(60));
+        let vm = p.request_spot(SimTime::ZERO, "t.spike", 10.0).unwrap();
+        assert_eq!(p.vm(vm).unwrap().launched_at(), SimTime::from_mins(1));
+        let rec = p.terminate(SimTime::from_mins(31), vm);
+        // Billed for 30 minutes, not 31.
+        assert!((rec.gross - 0.05).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! Virtual-machine identities and lifecycle state.
+
+use serde::{Deserialize, Serialize};
+use spottune_market::{InstanceType, SimTime};
+use std::fmt;
+
+/// Opaque identifier of a simulated VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmId(u64);
+
+impl VmId {
+    pub(crate) fn new(raw: u64) -> Self {
+        VmId(raw)
+    }
+
+    /// Builds an id from its raw value (for tests and external tooling;
+    /// the provider hands out its own ids via `request_spot`).
+    pub fn from_raw(raw: u64) -> Self {
+        VmId(raw)
+    }
+
+    /// Raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm-{}", self.0)
+    }
+}
+
+/// Lifecycle state of a spot VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmState {
+    /// Running normally.
+    Running,
+    /// Termination notice delivered; the VM still runs until `revoke_at`.
+    ///
+    /// AWS "delivers termination notices ... two minutes before the
+    /// interruption" (§II.A).
+    Notified {
+        /// Instant the provider will reclaim the VM.
+        revoke_at: SimTime,
+    },
+    /// Reclaimed by the provider (market price exceeded the max price).
+    Revoked {
+        /// Instant of revocation.
+        at: SimTime,
+    },
+    /// Shut down by the user.
+    Terminated {
+        /// Instant of user shutdown.
+        at: SimTime,
+    },
+}
+
+impl VmState {
+    /// Whether the VM is still usable (running or in its notice window).
+    pub fn is_alive(self) -> bool {
+        matches!(self, VmState::Running | VmState::Notified { .. })
+    }
+}
+
+/// A simulated spot VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vm {
+    id: VmId,
+    instance: InstanceType,
+    launched_at: SimTime,
+    max_price: f64,
+    /// Precomputed provider-side revocation instant (from the price trace),
+    /// if the trace ever exceeds `max_price` after launch.
+    pub(crate) revoke_at: Option<SimTime>,
+    pub(crate) state: VmState,
+    pub(crate) notice_sent: bool,
+}
+
+impl Vm {
+    pub(crate) fn new(
+        id: VmId,
+        instance: InstanceType,
+        launched_at: SimTime,
+        max_price: f64,
+        revoke_at: Option<SimTime>,
+    ) -> Self {
+        Vm {
+            id,
+            instance,
+            launched_at,
+            max_price,
+            revoke_at,
+            state: VmState::Running,
+            notice_sent: false,
+        }
+    }
+
+    /// VM identifier.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// Instance type this VM runs on.
+    pub fn instance(&self) -> &InstanceType {
+        &self.instance
+    }
+
+    /// Launch instant (after any launch delay).
+    pub fn launched_at(&self) -> SimTime {
+        self.launched_at
+    }
+
+    /// The user's maximum price for this VM.
+    pub fn max_price(&self) -> f64 {
+        self.max_price
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> VmState {
+        self.state
+    }
+
+    /// Whether the VM is running or notified (still usable).
+    pub fn is_alive(&self) -> bool {
+        self.state.is_alive()
+    }
+
+    /// The instant this VM stopped, if it has.
+    pub fn ended_at(&self) -> Option<SimTime> {
+        match self.state {
+            VmState::Running | VmState::Notified { .. } => None,
+            VmState::Revoked { at } | VmState::Terminated { at } => Some(at),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spottune_market::instance;
+
+    #[test]
+    fn lifecycle_flags() {
+        assert!(VmState::Running.is_alive());
+        assert!(VmState::Notified { revoke_at: SimTime::from_secs(5) }.is_alive());
+        assert!(!VmState::Revoked { at: SimTime::ZERO }.is_alive());
+        assert!(!VmState::Terminated { at: SimTime::ZERO }.is_alive());
+    }
+
+    #[test]
+    fn vm_accessors() {
+        let inst = instance::by_name("r4.large").unwrap();
+        let vm = Vm::new(VmId::new(3), inst.clone(), SimTime::from_secs(30), 0.05, None);
+        assert_eq!(vm.id().as_u64(), 3);
+        assert_eq!(vm.id().to_string(), "vm-3");
+        assert_eq!(vm.instance().name(), "r4.large");
+        assert_eq!(vm.max_price(), 0.05);
+        assert!(vm.is_alive());
+        assert_eq!(vm.ended_at(), None);
+    }
+}

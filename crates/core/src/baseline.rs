@@ -1,0 +1,164 @@
+//! The paper's baselines: Single-Spot Tune on a fixed instance type.
+//!
+//! "The baseline we compare SpotTune with is running HPT on a single spot
+//! instance. We assume the maximum price of each used single-spot instance
+//! is much higher than its market price such that it would not be revoked"
+//! (§IV.A.4). One VM per configuration, all of the same type — Cheapest
+//! (`r4.large`) or Fastest (`m4.4xlarge`) — trained to the full
+//! `max_trial_steps` (θ = 1, no early shutdown), billed at the market price
+//! with no refunds.
+
+use crate::report::HptReport;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spottune_cloud::CloudProvider;
+use spottune_market::{instance, MarketPool, SimDur, SimTime};
+use spottune_mlsim::runner::ground_truth_finals;
+use spottune_mlsim::{PerfModel, TrainingRun, Workload};
+
+/// Which fixed instance type the baseline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SingleSpotKind {
+    /// Lowest on-demand price in the catalog: `r4.large`.
+    Cheapest,
+    /// Most vCPUs in the catalog: `m4.4xlarge`.
+    Fastest,
+}
+
+impl SingleSpotKind {
+    /// The concrete catalog instance name.
+    pub fn instance_name(self) -> &'static str {
+        match self {
+            SingleSpotKind::Cheapest => instance::CHEAPEST,
+            SingleSpotKind::Fastest => instance::FASTEST,
+        }
+    }
+
+    /// Approach label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SingleSpotKind::Cheapest => "Single-Spot Tune(Cheapest)",
+            SingleSpotKind::Fastest => "Single-Spot Tune(Fastest)",
+        }
+    }
+}
+
+/// Runs the Single-Spot baseline for a workload.
+///
+/// # Panics
+///
+/// Panics if the pool lacks the baseline's instance type.
+pub fn run_single_spot(
+    kind: SingleSpotKind,
+    workload: &Workload,
+    pool: &MarketPool,
+    start: SimTime,
+    seed: u64,
+) -> HptReport {
+    let inst_name = kind.instance_name();
+    let market = pool
+        .market(inst_name)
+        .unwrap_or_else(|| panic!("pool lacks baseline instance {inst_name}"));
+    let inst = market.instance().clone();
+    let perf = PerfModel::new();
+    let mut provider = CloudProvider::new(pool.clone());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xba5e);
+
+    // The "never revoked" assumption: offer far above the trace cap.
+    let never = inst.on_demand_price() * 100.0;
+    let warmup = SimDur::from_secs(workload.restore_warmup_secs());
+
+    let mut end_latest = start;
+    let mut charged_steps = 0u64;
+    let mut train_time = SimDur::ZERO;
+    let mut finals = Vec::with_capacity(workload.hp_grid().len());
+    for hp in workload.hp_grid() {
+        let vm = provider
+            .request_spot(start, inst_name, never)
+            .expect("baseline request cannot be rejected");
+        let launched = provider.vm(vm).expect("vm exists").launched_at();
+        // Advance the training run to completion, sampling per-step times.
+        let mut run = TrainingRun::new(workload, hp, seed);
+        let max = workload.max_trial_steps();
+        let mut busy = 0.0f64;
+        for k in 1..=max {
+            busy += perf.sample_spe(&inst, workload, hp, &mut rng);
+            let _ = run.metric_at(k);
+        }
+        finals.push(run.final_metric());
+        charged_steps += max;
+        let busy_dur = SimDur::from_secs(busy.ceil() as u64);
+        train_time += busy_dur;
+        let end = launched + warmup + busy_dur;
+        provider.terminate(end, vm);
+        end_latest = end_latest.max(end);
+    }
+
+    let ledger = provider.ledger();
+    let true_finals = ground_truth_finals(workload, seed);
+    let mut ranking: Vec<usize> = (0..finals.len()).collect();
+    ranking.sort_by(|&a, &b| finals[a].partial_cmp(&finals[b]).expect("finite"));
+    HptReport {
+        approach: kind.label().to_string(),
+        workload: workload.algorithm().name().to_string(),
+        theta: 1.0,
+        cost: ledger.total_charged(),
+        refunded: ledger.total_refunded(),
+        gross: ledger.total_gross(),
+        jct: end_latest - start,
+        cost_with_continuation: ledger.total_charged(),
+        jct_with_continuation: end_latest - start,
+        train_time,
+        overhead_time: SimDur::from_secs(
+            workload.restore_warmup_secs() * workload.hp_grid().len() as u64,
+        ),
+        free_steps: 0,
+        charged_steps,
+        predicted_finals: finals,
+        true_finals,
+        selected: ranking.into_iter().take(3).collect(),
+        deployments: workload.hp_grid().len() as u64,
+        revocations: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spottune_mlsim::Algorithm;
+
+    fn setup() -> (Workload, MarketPool) {
+        let base = Workload::benchmark(Algorithm::LoR);
+        let w = Workload::custom(Algorithm::LoR, 40, base.hp_grid()[..4].to_vec());
+        (w, MarketPool::standard(SimDur::from_days(10), 42))
+    }
+
+    #[test]
+    fn baseline_never_gets_refunds() {
+        let (w, pool) = setup();
+        let r = run_single_spot(SingleSpotKind::Cheapest, &w, &pool, SimTime::from_hours(2), 1);
+        assert_eq!(r.refunded, 0.0);
+        assert_eq!(r.free_steps, 0);
+        assert_eq!(r.charged_steps, 4 * 40);
+        assert!(r.cost > 0.0);
+        // θ=1 semantics: predictions are the actual finals.
+        assert!(r.top1_hit());
+        assert!(r.top3_hit());
+    }
+
+    #[test]
+    fn fastest_beats_cheapest_on_jct_but_not_cost() {
+        let (w, pool) = setup();
+        let cheap = run_single_spot(SingleSpotKind::Cheapest, &w, &pool, SimTime::from_hours(2), 1);
+        let fast = run_single_spot(SingleSpotKind::Fastest, &w, &pool, SimTime::from_hours(2), 1);
+        assert!(fast.jct < cheap.jct, "fast {} cheap {}", fast.jct, cheap.jct);
+        assert!(fast.cost > cheap.cost, "fast {} cheap {}", fast.cost, cheap.cost);
+    }
+
+    #[test]
+    fn labels_and_instances() {
+        assert_eq!(SingleSpotKind::Cheapest.instance_name(), "r4.large");
+        assert_eq!(SingleSpotKind::Fastest.instance_name(), "m4.4xlarge");
+        assert!(SingleSpotKind::Fastest.label().contains("Fastest"));
+    }
+}

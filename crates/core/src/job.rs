@@ -1,0 +1,168 @@
+//! Per-configuration job state inside the orchestrator.
+
+use spottune_cloud::VmId;
+use spottune_earlycurve::{EarlyCurve, EarlyCurveConfig};
+use spottune_mlsim::{HpSetting, TrainingRun, Workload};
+use spottune_market::{SimDur, SimTime};
+
+/// Why a job stopped iterating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishReason {
+    /// Reached the step target (`θ × max_trial_steps`, or `max_trial_steps`
+    /// in the continuation phase).
+    TargetReached,
+    /// The metric plateaued before the target ("the model comes to
+    /// convergence … treat this model as finished", §III.C).
+    ConvergedEarly,
+}
+
+/// One hyper-parameter configuration's training job.
+#[derive(Debug)]
+pub struct Job {
+    /// Index into the workload's grid.
+    pub hp_index: usize,
+    /// The configuration itself.
+    pub hp: HpSetting,
+    /// Lazily advanced metric source.
+    pub run: TrainingRun,
+    /// Observed metric history feeding EarlyCurve.
+    pub curve: EarlyCurve,
+    /// Completed validation steps.
+    pub steps_done: u64,
+    /// Steps to reach in the current phase.
+    pub target_steps: u64,
+    /// Currently assigned VM, if any.
+    pub assigned: Option<VmId>,
+    /// Instant the current VM finishes restore and can execute.
+    pub exec_ready_at: SimTime,
+    /// Execution halted by a revocation notice (checkpointed, waiting for
+    /// the VM to disappear).
+    pub halted: bool,
+    /// Steps executed on the current VM (for refund attribution).
+    pub steps_on_vm: u64,
+    /// Seconds accumulated toward the next step.
+    pub progress_secs: f64,
+    /// Sampled seconds-per-step for the in-flight step.
+    pub current_spe: Option<f64>,
+    /// Whether the job is done for the current phase.
+    pub finished: Option<FinishReason>,
+    /// Steps that ended up free thanks to the first-hour refund.
+    pub free_steps: u64,
+    /// Steps billed normally.
+    pub charged_steps: u64,
+    /// Cumulative checkpoint + restore + warmup time.
+    pub overhead: SimDur,
+    /// Cumulative execution time.
+    pub train_time: SimDur,
+    /// Number of deployments (first placement included).
+    pub deployments: u64,
+    /// Number of provider revocations suffered.
+    pub revocations: u64,
+}
+
+impl Job {
+    /// Creates the job for one grid point.
+    pub fn new(
+        workload: &Workload,
+        hp_index: usize,
+        target_steps: u64,
+        ec_config: EarlyCurveConfig,
+        seed: u64,
+    ) -> Self {
+        let hp = workload.hp_grid()[hp_index].clone();
+        Job {
+            hp_index,
+            run: TrainingRun::new(workload, &hp, seed),
+            hp,
+            curve: EarlyCurve::new(ec_config),
+            steps_done: 0,
+            target_steps,
+            assigned: None,
+            exec_ready_at: SimTime::ZERO,
+            halted: false,
+            steps_on_vm: 0,
+            progress_secs: 0.0,
+            current_spe: None,
+            finished: None,
+            free_steps: 0,
+            charged_steps: 0,
+            overhead: SimDur::ZERO,
+            train_time: SimDur::ZERO,
+            deployments: 0,
+            revocations: 0,
+        }
+    }
+
+    /// Whether the job still needs scheduling in the current phase.
+    pub fn is_active(&self) -> bool {
+        self.finished.is_none()
+    }
+
+    /// Whether the job is waiting for a VM.
+    pub fn is_waiting(&self) -> bool {
+        self.is_active() && self.assigned.is_none()
+    }
+
+    /// Credits the steps executed on the ending VM as free or charged.
+    pub fn settle_vm_steps(&mut self, was_free: bool) {
+        if was_free {
+            self.free_steps += self.steps_on_vm;
+        } else {
+            self.charged_steps += self.steps_on_vm;
+        }
+        self.steps_on_vm = 0;
+        self.assigned = None;
+        self.halted = false;
+        self.current_spe = None;
+        self.progress_secs = 0.0;
+    }
+
+    /// Last observed metric, if any step completed.
+    pub fn last_metric(&self) -> Option<f64> {
+        self.curve.points().last().map(|&(_, m)| m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spottune_mlsim::Algorithm;
+
+    fn job() -> Job {
+        let w = Workload::benchmark(Algorithm::LoR);
+        Job::new(&w, 0, 10, EarlyCurveConfig::default(), 1)
+    }
+
+    #[test]
+    fn fresh_job_is_waiting() {
+        let j = job();
+        assert!(j.is_active());
+        assert!(j.is_waiting());
+        assert_eq!(j.last_metric(), None);
+        assert_eq!(j.steps_done, 0);
+    }
+
+    #[test]
+    fn settlement_attributes_steps() {
+        let mut j = job();
+        j.steps_on_vm = 7;
+        j.settle_vm_steps(true);
+        assert_eq!(j.free_steps, 7);
+        assert_eq!(j.charged_steps, 0);
+        assert_eq!(j.steps_on_vm, 0);
+        assert!(j.assigned.is_none());
+        j.steps_on_vm = 3;
+        j.settle_vm_steps(false);
+        assert_eq!(j.charged_steps, 3);
+        // free + charged always equals settled steps
+        assert_eq!(j.free_steps + j.charged_steps, 10);
+    }
+
+    #[test]
+    fn finish_reasons_deactivate() {
+        let mut j = job();
+        j.finished = Some(FinishReason::TargetReached);
+        assert!(!j.is_active());
+        assert!(!j.is_waiting());
+    }
+}

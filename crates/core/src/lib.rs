@@ -1,0 +1,46 @@
+//! # spottune-core
+//!
+//! The SpotTune orchestrator (paper Algorithm 1): fine-grained cost-aware
+//! provisioning over the spot markets (Eq. 1–2), the 10-second scheduling
+//! loop with checkpoint-on-notice, one-hour proactive recycling for refund
+//! harvesting, EarlyCurve-based early shutdown and top-`mcnt` continuation,
+//! plus the Single-Spot baselines and campaign reports.
+//!
+//! ```no_run
+//! use spottune_core::prelude::*;
+//! use spottune_market::prelude::*;
+//! use spottune_mlsim::prelude::*;
+//!
+//! let pool = MarketPool::standard(SimDur::from_days(12), 42);
+//! let oracle = OracleEstimator::new(pool.clone(), 0.9);
+//! let workload = Workload::benchmark(Algorithm::LoR);
+//! let config = SpotTuneConfig::new(0.7, 3);
+//! let report = Orchestrator::new(config, workload, pool, &oracle).run();
+//! println!("{}", report.summary());
+//! ```
+
+pub mod baseline;
+pub mod config;
+pub mod job;
+pub mod orchestrator;
+pub mod perfmatrix;
+pub mod provision;
+pub mod report;
+
+pub use baseline::{run_single_spot, SingleSpotKind};
+pub use config::SpotTuneConfig;
+pub use orchestrator::{Orchestrator, TraceEvent};
+pub use perfmatrix::PerfMatrix;
+pub use provision::{InstChoice, OracleEstimator, Provisioner};
+pub use report::HptReport;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::baseline::{run_single_spot, SingleSpotKind};
+    pub use crate::config::SpotTuneConfig;
+    pub use crate::job::{FinishReason, Job};
+    pub use crate::orchestrator::{Orchestrator, TraceEvent};
+    pub use crate::perfmatrix::PerfMatrix;
+    pub use crate::provision::{InstChoice, OracleEstimator, Provisioner};
+    pub use crate::report::HptReport;
+}

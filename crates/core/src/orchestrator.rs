@@ -1,0 +1,452 @@
+//! The SpotTune orchestrator — a faithful implementation of the paper's
+//! Algorithm 1 on top of the discrete-event cloud.
+//!
+//! Phase 1 runs every configuration to `θ × max_trial_steps`, reacting to
+//! three events per poll (10 s): revocation notices (checkpoint → requeue),
+//! step-target completion (checkpoint → finish), and the one-hour proactive
+//! recycle (checkpoint → shutdown → requeue, harvesting the first-hour
+//! refund opportunity). EarlyCurve then predicts every configuration's
+//! final metric and the top-`mcnt` continue from their checkpoints to full
+//! training (Algorithm 1 lines 48–53).
+
+use crate::config::SpotTuneConfig;
+use crate::job::{FinishReason, Job};
+use crate::perfmatrix::PerfMatrix;
+use crate::provision::Provisioner;
+use crate::report::HptReport;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spottune_cloud::{CloudEvent, CloudProvider, ObjectStore, VmId};
+use spottune_earlycurve::EarlyCurveConfig;
+use spottune_market::{MarketPool, RevocationEstimator, SimDur, SimTime};
+use spottune_mlsim::{PerfModel, Workload};
+
+/// One entry of the campaign timeline (the lifecycle of paper Fig. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A configuration was (re)deployed onto an instance.
+    Deployed {
+        /// Grid index.
+        job: usize,
+        /// Instance-type name.
+        instance: String,
+        /// Offered maximum price.
+        max_price: f64,
+        /// Event time.
+        at: SimTime,
+    },
+    /// Two-minute revocation notice received; checkpoint taken.
+    NoticeCheckpoint {
+        /// Grid index.
+        job: usize,
+        /// Event time.
+        at: SimTime,
+    },
+    /// The provider reclaimed the VM; steps settled (free if refunded).
+    Revoked {
+        /// Grid index.
+        job: usize,
+        /// Whether the first-hour refund applied.
+        free: bool,
+        /// Event time.
+        at: SimTime,
+    },
+    /// Proactive one-hour recycle (Algorithm 1 line 31).
+    Recycled {
+        /// Grid index.
+        job: usize,
+        /// Event time.
+        at: SimTime,
+    },
+    /// The job finished its phase.
+    Finished {
+        /// Grid index.
+        job: usize,
+        /// Why it stopped.
+        reason: FinishReason,
+        /// Steps completed.
+        steps: u64,
+        /// Event time.
+        at: SimTime,
+    },
+}
+
+/// Orchestrates one HPT campaign for one workload.
+#[derive(Debug)]
+pub struct Orchestrator<'a> {
+    config: SpotTuneConfig,
+    workload: Workload,
+    pool: MarketPool,
+    estimator: &'a dyn RevocationEstimator,
+    perf_model: PerfModel,
+    ec_config: EarlyCurveConfig,
+}
+
+impl<'a> Orchestrator<'a> {
+    /// Creates an orchestrator.
+    pub fn new(
+        config: SpotTuneConfig,
+        workload: Workload,
+        pool: MarketPool,
+        estimator: &'a dyn RevocationEstimator,
+    ) -> Self {
+        config.validate();
+        Orchestrator {
+            config,
+            workload,
+            pool,
+            estimator,
+            perf_model: PerfModel::new(),
+            ec_config: EarlyCurveConfig::default(),
+        }
+    }
+
+    /// Overrides the EarlyCurve configuration.
+    pub fn with_earlycurve_config(mut self, ec: EarlyCurveConfig) -> Self {
+        self.ec_config = ec;
+        self
+    }
+
+    /// Runs the campaign to completion and reports.
+    pub fn run(&self) -> HptReport {
+        self.run_traced().0
+    }
+
+    /// Runs the campaign and additionally returns the event timeline
+    /// (deployments, notices, revocations, recycles, finishes — the
+    /// lifecycle of paper Fig. 4).
+    pub fn run_traced(&self) -> (HptReport, Vec<TraceEvent>) {
+        let cfg = &self.config;
+        let max_steps = self.workload.max_trial_steps();
+        let target = cfg.target_steps(max_steps);
+
+        let mut provider = CloudProvider::new(self.pool.clone());
+        let mut store = ObjectStore::new();
+        let mut matrix = PerfMatrix::new(cfg.c0, cfg.ewma_alpha);
+        let provisioner = Provisioner::new(self.estimator, cfg.delta_range);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ ORCH_SALT);
+        let mut jobs: Vec<Job> = (0..self.workload.hp_grid().len())
+            .map(|i| Job::new(&self.workload, i, target, self.ec_config, cfg.seed))
+            .collect();
+
+        let mut events = Vec::new();
+        let mut t = cfg.start;
+        // ---- Phase 1: all configurations to θ·max_trial_steps. ----
+        t = self.drive(
+            &mut jobs, t, &mut provider, &mut store, &mut matrix, &provisioner, &mut rng,
+            &mut events,
+        );
+
+        // ---- Prediction & selection (Algorithm 1 lines 48–53). ----
+        let predicted: Vec<f64> = jobs
+            .iter()
+            .map(|j| {
+                let last = j.last_metric().unwrap_or(f64::INFINITY);
+                if cfg.theta >= 1.0 || j.finished == Some(FinishReason::ConvergedEarly) {
+                    last
+                } else {
+                    j.curve.predict_final(max_steps).unwrap_or(last)
+                }
+            })
+            .collect();
+        let mut ranking: Vec<usize> = (0..jobs.len()).collect();
+        ranking.sort_by(|&a, &b| predicted[a].partial_cmp(&predicted[b]).expect("finite"));
+        let selected: Vec<usize> = ranking.iter().take(cfg.mcnt).copied().collect();
+
+        // Paper-reported cost/JCT end at model selection (§IV.B.1).
+        let selection_cost = provider.ledger().total_charged();
+        let selection_refunded = provider.ledger().total_refunded();
+        let selection_gross = provider.ledger().total_gross();
+        let selection_jct = t - cfg.start;
+
+        // ---- Phase 2: continue the top-mcnt from checkpoints. ----
+        if cfg.theta < 1.0 {
+            for &i in &selected {
+                let job = &mut jobs[i];
+                if job.finished == Some(FinishReason::TargetReached) && job.steps_done < max_steps
+                {
+                    job.finished = None;
+                    job.target_steps = max_steps;
+                }
+            }
+            t = self.drive(
+                &mut jobs, t, &mut provider, &mut store, &mut matrix, &provisioner, &mut rng,
+                &mut events,
+            );
+        }
+
+        // ---- Report. ----
+        let true_finals = spottune_mlsim::runner::ground_truth_finals(&self.workload, cfg.seed);
+        let ledger = provider.ledger();
+        let report = HptReport {
+            approach: format!("SpotTune(θ={})", cfg.theta),
+            workload: self.workload.algorithm().name().to_string(),
+            theta: cfg.theta,
+            cost: selection_cost,
+            refunded: selection_refunded,
+            gross: selection_gross,
+            jct: selection_jct,
+            cost_with_continuation: ledger.total_charged(),
+            jct_with_continuation: t - cfg.start,
+            train_time: sum_dur(jobs.iter().map(|j| j.train_time)),
+            overhead_time: sum_dur(jobs.iter().map(|j| j.overhead)),
+            free_steps: jobs.iter().map(|j| j.free_steps).sum(),
+            charged_steps: jobs.iter().map(|j| j.charged_steps).sum(),
+            predicted_finals: predicted,
+            true_finals,
+            selected,
+            deployments: jobs.iter().map(|j| j.deployments).sum(),
+            revocations: jobs.iter().map(|j| j.revocations).sum(),
+        };
+        (report, events)
+    }
+
+    /// The Algorithm-1 polling loop; returns the time when every job in the
+    /// current phase has finished.
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        &self,
+        jobs: &mut [Job],
+        mut t: SimTime,
+        provider: &mut CloudProvider,
+        store: &mut ObjectStore,
+        matrix: &mut PerfMatrix,
+        provisioner: &Provisioner<'_>,
+        rng: &mut StdRng,
+        events: &mut Vec<TraceEvent>,
+    ) -> SimTime {
+        let poll = self.config.poll_interval;
+        let poll_secs = poll.as_secs_f64();
+        // Hard stop: ten simulated weeks — catches scheduling deadlocks in
+        // tests rather than hanging.
+        let deadline = t + SimDur::from_hours(24 * 70);
+        while jobs.iter().any(Job::is_active) {
+            assert!(t < deadline, "orchestrator made no progress before deadline");
+            t += poll;
+
+            // (1) Cloud events: notices and revocations.
+            for event in provider.poll(t) {
+                match event {
+                    CloudEvent::RevocationNotice { vm, .. } => {
+                        if let Some(job) = job_on_vm(jobs, vm) {
+                            // Checkpoint within the two-minute window
+                            // (§IV.F guarantees our model sizes fit).
+                            if !job.halted {
+                                job.halted = true;
+                                let inst = provider.vm(vm).expect("vm exists").instance().clone();
+                                let size = self.workload.model_size_mb(&job.hp);
+                                let dur = store.put(&ckpt_key(&self.workload, job.hp_index), size, &inst);
+                                debug_assert!(dur.as_secs() <= 120, "checkpoint must fit the notice window");
+                                job.overhead += dur;
+                                events.push(TraceEvent::NoticeCheckpoint { job: job.hp_index, at: t });
+                            }
+                        }
+                    }
+                    CloudEvent::Revoked { vm, .. } => {
+                        if let Some(job) = job_on_vm(jobs, vm) {
+                            job.revocations += 1;
+                            let was_free = provider
+                                .ledger()
+                                .records()
+                                .iter()
+                                .rev()
+                                .find(|r| r.vm == vm)
+                                .map(|r| r.was_free())
+                                .unwrap_or(false);
+                            job.settle_vm_steps(was_free);
+                            events.push(TraceEvent::Revoked { job: job.hp_index, free: was_free, at: t });
+                        }
+                    }
+                }
+            }
+
+            // (2) Advance running jobs by one poll interval.
+            for job in jobs.iter_mut() {
+                if !job.is_active() || job.halted {
+                    continue;
+                }
+                let Some(vm_id) = job.assigned else { continue };
+                let vm = provider.vm(vm_id).expect("assigned vm exists");
+                if !vm.is_alive() || t < job.exec_ready_at {
+                    continue;
+                }
+                let inst = vm.instance().clone();
+                job.progress_secs += poll_secs;
+                job.train_time += poll;
+                loop {
+                    let spe = *job.current_spe.get_or_insert_with(|| {
+                        self.perf_model.sample_spe(&inst, &self.workload, &job.hp, rng)
+                    });
+                    if job.progress_secs < spe {
+                        break;
+                    }
+                    job.progress_secs -= spe;
+                    job.current_spe = None;
+                    job.steps_done += 1;
+                    job.steps_on_vm += 1;
+                    let metric = job.run.metric_at(job.steps_done);
+                    job.curve.push(job.steps_done, metric);
+                    matrix.observe(&inst, job.hp_index, spe);
+                    // Finish conditions: target reached, or plateau.
+                    if job.steps_done >= job.target_steps {
+                        job.finished = Some(FinishReason::TargetReached);
+                    } else if job.curve.converged() {
+                        job.finished = Some(FinishReason::ConvergedEarly);
+                    }
+                    if let Some(reason) = job.finished {
+                        let size = self.workload.model_size_mb(&job.hp);
+                        let dur = store.put(&ckpt_key(&self.workload, job.hp_index), size, &inst);
+                        job.overhead += dur;
+                        let record = provider.terminate(t, vm_id);
+                        job.settle_vm_steps(record.was_free());
+                        events.push(TraceEvent::Finished {
+                            job: job.hp_index,
+                            reason,
+                            steps: job.steps_done,
+                            at: t,
+                        });
+                        break;
+                    }
+                }
+            }
+
+            // (3) One-hour proactive recycle (Algorithm 1 line 31).
+            for job in jobs.iter_mut() {
+                if !job.is_active() || job.halted {
+                    continue;
+                }
+                let Some(vm_id) = job.assigned else { continue };
+                let vm = provider.vm(vm_id).expect("assigned vm exists");
+                if !vm.is_alive() {
+                    continue;
+                }
+                if t.since(vm.launched_at()) > self.config.reschedule_after {
+                    let inst = vm.instance().clone();
+                    let size = self.workload.model_size_mb(&job.hp);
+                    let dur = store.put(&ckpt_key(&self.workload, job.hp_index), size, &inst);
+                    job.overhead += dur;
+                    let record = provider.terminate(t, vm_id);
+                    job.settle_vm_steps(record.was_free());
+                    events.push(TraceEvent::Recycled { job: job.hp_index, at: t });
+                }
+            }
+
+            // (4) (Re)deploy waiting jobs (Algorithm 1 lines 38–44).
+            for job in jobs.iter_mut() {
+                if !job.is_waiting() {
+                    continue;
+                }
+                let choice = provisioner.get_best_inst(&self.pool, t, job.hp_index, matrix, rng);
+                let Ok(vm_id) = provider.request_spot(t, &choice.instance, choice.max_price)
+                else {
+                    continue; // price moved above the offer; retry next poll
+                };
+                let vm = provider.vm(vm_id).expect("vm exists");
+                let inst = vm.instance().clone();
+                let mut restore = SimDur::from_secs(self.workload.restore_warmup_secs());
+                if let Some((_, dur)) = store.get(&ckpt_key(&self.workload, job.hp_index), &inst) {
+                    restore += dur;
+                }
+                job.exec_ready_at = vm.launched_at() + restore;
+                job.overhead += restore;
+                job.assigned = Some(vm_id);
+                job.deployments += 1;
+                events.push(TraceEvent::Deployed {
+                    job: job.hp_index,
+                    instance: choice.instance.clone(),
+                    max_price: choice.max_price,
+                    at: t,
+                });
+            }
+        }
+        t
+    }
+}
+
+fn job_on_vm(jobs: &mut [Job], vm: VmId) -> Option<&mut Job> {
+    jobs.iter_mut().find(|j| j.assigned == Some(vm))
+}
+
+fn ckpt_key(workload: &Workload, hp_index: usize) -> String {
+    format!("ckpt/{}/{}", workload.algorithm().name(), hp_index)
+}
+
+fn sum_dur(durs: impl Iterator<Item = SimDur>) -> SimDur {
+    durs.fold(SimDur::ZERO, |acc, d| acc + d)
+}
+
+/// Seed salt for the orchestrator's RNG stream.
+const ORCH_SALT: u64 = 0x0c_5a17;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provision::OracleEstimator;
+    use spottune_mlsim::Algorithm;
+
+    fn small_workload() -> Workload {
+        let base = Workload::benchmark(Algorithm::LoR);
+        let grid = base.hp_grid()[..4].to_vec();
+        Workload::custom(Algorithm::LoR, 60, grid)
+    }
+
+    fn pool() -> MarketPool {
+        MarketPool::standard(SimDur::from_days(10), 42)
+    }
+
+    #[test]
+    fn campaign_completes_and_accounts() {
+        let pool = pool();
+        let oracle = OracleEstimator::new(pool.clone(), 0.9);
+        let cfg = SpotTuneConfig::new(0.7, 2).with_seed(7);
+        let orch = Orchestrator::new(cfg, small_workload(), pool, &oracle);
+        let report = orch.run();
+        // Every configuration produced a prediction and a ground truth.
+        assert_eq!(report.predicted_finals.len(), 4);
+        assert_eq!(report.true_finals.len(), 4);
+        assert_eq!(report.selected.len(), 2);
+        // Conservation: every settled step is either free or charged.
+        assert!(report.free_steps + report.charged_steps > 0);
+        // Billing identity.
+        assert!((report.gross - report.cost - report.refunded).abs() < 1e-9);
+        // Time sanity.
+        assert!(report.jct.as_secs() > 0);
+        assert!(report.deployments >= 4);
+    }
+
+    #[test]
+    fn theta_one_runs_every_step() {
+        let pool = pool();
+        let oracle = OracleEstimator::new(pool.clone(), 0.9);
+        let cfg = SpotTuneConfig::new(1.0, 1).with_seed(8);
+        let w = small_workload();
+        let orch = Orchestrator::new(cfg, w.clone(), pool, &oracle);
+        let report = orch.run();
+        // θ=1.0: predictions equal observed finals, so top-1 must hit
+        // unless a job converged early onto the same plateau.
+        assert!(report.top3_hit());
+        let total = report.free_steps + report.charged_steps;
+        // All four configurations ran to (at most) max_trial_steps; with
+        // convergence-based early finishes they may stop a little short.
+        assert!(total <= 4 * w.max_trial_steps());
+        assert!(total >= 4 * w.max_trial_steps() / 2, "total steps {total}");
+    }
+
+    #[test]
+    fn lower_theta_is_cheaper() {
+        let pool = pool();
+        let oracle = OracleEstimator::new(pool.clone(), 0.9);
+        let w = small_workload();
+        let low = Orchestrator::new(
+            SpotTuneConfig::new(0.4, 1).with_seed(9),
+            w.clone(),
+            pool.clone(),
+            &oracle,
+        )
+        .run();
+        let high = Orchestrator::new(SpotTuneConfig::new(1.0, 1).with_seed(9), w, pool, &oracle).run();
+        let low_steps = low.free_steps + low.charged_steps;
+        let high_steps = high.free_steps + high.charged_steps;
+        assert!(low_steps < high_steps, "steps {low_steps} vs {high_steps}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Fine-grained cost-aware resource provisioning (paper §III.A, Eq. 1–2 and
+//! Algorithm 1 `getBestInst`): pick the spot instance minimizing the
+//! expected cost of one training step in the next hour,
+//! `E[sCost] = M[inst][hp] · (1 − p) · price`.
+
+use crate::perfmatrix::PerfMatrix;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use spottune_market::{MarketPool, RevocationEstimator, SimDur, SimTime};
+
+/// Result of one provisioning decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstChoice {
+    /// Chosen instance-type name.
+    pub instance: String,
+    /// Maximum price offered (current price + random delta).
+    pub max_price: f64,
+    /// Predicted revocation probability for that offer.
+    pub p_revoke: f64,
+    /// Average market price over the last hour (Eq. 1's `price`).
+    pub avg_price: f64,
+    /// Expected step cost (Eq. 2) that won the argmin.
+    pub expected_step_cost: f64,
+}
+
+/// The provisioner: wraps a revocation estimator and the delta policy.
+#[derive(Debug)]
+pub struct Provisioner<'a> {
+    estimator: &'a dyn RevocationEstimator,
+    delta_range: (f64, f64),
+}
+
+impl<'a> Provisioner<'a> {
+    /// Creates a provisioner.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid delta range.
+    pub fn new(estimator: &'a dyn RevocationEstimator, delta_range: (f64, f64)) -> Self {
+        assert!(
+            delta_range.0 > 0.0 && delta_range.0 < delta_range.1,
+            "invalid delta range {delta_range:?}"
+        );
+        Provisioner { estimator, delta_range }
+    }
+
+    /// Algorithm 1 lines 1–9: for every market, draw a max price slightly
+    /// above the current price, predict the revocation probability, compute
+    /// the expected step cost, and return the argmin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty (never for constructed pools).
+    pub fn get_best_inst(
+        &self,
+        pool: &MarketPool,
+        t: SimTime,
+        hp_index: usize,
+        m: &PerfMatrix,
+        rng: &mut StdRng,
+    ) -> InstChoice {
+        let mut best: Option<InstChoice> = None;
+        for market in pool.iter() {
+            let inst = market.instance();
+            let delta = rng.random_range(self.delta_range.0..self.delta_range.1);
+            let max_price = market.price_at(t) + delta;
+            let p = self
+                .estimator
+                .revocation_probability(inst.name(), t, max_price)
+                .clamp(0.0, 1.0);
+            let avg_price = market.avg_price_last_hour(t);
+            let spe = m.estimate(inst, hp_index);
+            // Eq. 2: E[sCost] = M[inst][hp] · (1 − p) · price.
+            let expected_step_cost = spe * (1.0 - p) * avg_price;
+            let candidate = InstChoice {
+                instance: inst.name().to_string(),
+                max_price,
+                p_revoke: p,
+                avg_price,
+                expected_step_cost,
+            };
+            if best
+                .as_ref()
+                .map_or(true, |b| candidate.expected_step_cost < b.expected_step_cost)
+            {
+                best = Some(candidate);
+            }
+        }
+        best.expect("market pool must not be empty")
+    }
+
+    /// The wrapped estimator's name (for reports).
+    pub fn estimator_name(&self) -> &str {
+        self.estimator.name()
+    }
+}
+
+/// Ground-truth estimator that inspects the price traces directly.
+///
+/// Used for fast simulation (Figs. 7–9, where the paper's focus is the
+/// scheduling policy, not predictor quality) and as the upper bound in the
+/// predictor ablation. `confidence` tempers the oracle: it answers
+/// `confidence` when the trace says "revoked within the hour" and
+/// `1 − confidence` otherwise, so expected costs stay comparable across
+/// markets instead of collapsing to zero.
+#[derive(Debug, Clone)]
+pub struct OracleEstimator {
+    pool: MarketPool,
+    confidence: f64,
+}
+
+impl OracleEstimator {
+    /// Creates an oracle over the given pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `confidence ∈ [0.5, 1]`.
+    pub fn new(pool: MarketPool, confidence: f64) -> Self {
+        assert!(
+            (0.5..=1.0).contains(&confidence),
+            "confidence must be in [0.5, 1], got {confidence}"
+        );
+        OracleEstimator { pool, confidence }
+    }
+}
+
+impl RevocationEstimator for OracleEstimator {
+    fn revocation_probability(&self, instance_name: &str, t: SimTime, max_price: f64) -> f64 {
+        match self.pool.market(instance_name) {
+            Some(market) => {
+                if market
+                    .revocation_within(t, SimDur::from_hours(1), max_price)
+                    .is_some()
+                {
+                    self.confidence
+                } else {
+                    1.0 - self.confidence
+                }
+            }
+            None => 0.5,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spottune_market::{ConstantEstimator, InstanceType, PriceTrace, SpotMarket};
+
+    fn two_market_pool(price_a: f64, price_b: f64) -> MarketPool {
+        let mk = |name: &str, vcpus: u32, price: f64| {
+            SpotMarket::new(
+                InstanceType::new(name, vcpus, 8.0, 1.0),
+                PriceTrace::from_minutes(vec![price; 240]),
+            )
+        };
+        MarketPool::new(vec![mk("cheap.2x", 2, price_a), mk("fast.8x", 8, price_b)])
+    }
+
+    #[test]
+    fn picks_lowest_expected_step_cost() {
+        // Same prior speed scaling (c0/vcpus): fast.8x is 4× faster but
+        // only 2× the price — it must win on step cost.
+        let pool = two_market_pool(0.1, 0.2);
+        let est = ConstantEstimator::new(0.0);
+        let prov = Provisioner::new(&est, (0.00001, 0.2));
+        let m = PerfMatrix::new(1200.0, 0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let choice = prov.get_best_inst(&pool, SimTime::from_hours(1), 0, &m, &mut rng);
+        assert_eq!(choice.instance, "fast.8x");
+        assert!(choice.max_price > 0.2);
+        // Expected cost matches Eq. 2 by hand: (1200/8) · 1.0 · 0.2 = 30.
+        assert!((choice.expected_step_cost - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_revocation_probability_discounts_cost() {
+        // cheap.2x would lose on speed, but if it is predicted to be
+        // revoked (p≈1 → refund) its expected cost collapses.
+        #[derive(Debug)]
+        struct Biased;
+        impl RevocationEstimator for Biased {
+            fn revocation_probability(&self, inst: &str, _: SimTime, _: f64) -> f64 {
+                if inst == "cheap.2x" {
+                    0.99
+                } else {
+                    0.0
+                }
+            }
+            fn name(&self) -> &str {
+                "biased"
+            }
+        }
+        let pool = two_market_pool(0.1, 0.2);
+        let est = Biased;
+        let prov = Provisioner::new(&est, (0.00001, 0.2));
+        let m = PerfMatrix::new(1200.0, 0.3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let choice = prov.get_best_inst(&pool, SimTime::from_hours(1), 0, &m, &mut rng);
+        assert_eq!(choice.instance, "cheap.2x");
+        assert_eq!(choice.p_revoke, 0.99);
+    }
+
+    #[test]
+    fn online_profile_overrides_prior() {
+        // Profile both cells: fast.8x turns out slow, cheap.2x fast — the
+        // observed values must beat the CPU-proportional priors.
+        let pool = two_market_pool(0.1, 0.2);
+        let est = ConstantEstimator::new(0.0);
+        let prov = Provisioner::new(&est, (0.00001, 0.2));
+        let mut m = PerfMatrix::new(1200.0, 1.0);
+        let fast = pool.market("fast.8x").unwrap().instance().clone();
+        let cheap = pool.market("cheap.2x").unwrap().instance().clone();
+        m.observe(&fast, 0, 5000.0);
+        m.observe(&cheap, 0, 100.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let choice = prov.get_best_inst(&pool, SimTime::from_hours(1), 0, &m, &mut rng);
+        assert_eq!(choice.instance, "cheap.2x");
+    }
+
+    #[test]
+    fn scale_prior_transfers_across_instances() {
+        // Observing one instance calibrates the prior of the other via the
+        // learned per-configuration work scale.
+        let pool = two_market_pool(0.1, 0.2);
+        let mut m = PerfMatrix::new(1200.0, 1.0);
+        let fast = pool.market("fast.8x").unwrap().instance().clone();
+        let cheap = pool.market("cheap.2x").unwrap().instance().clone();
+        m.observe(&fast, 0, 10.0); // scale = 10 × 8 = 80
+        assert!((m.estimate(&cheap, 0) - 40.0).abs() < 1e-9);
+        // A different configuration still uses the uninformed prior.
+        assert!((m.estimate(&cheap, 1) - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_reads_the_trace() {
+        let mut prices = vec![0.1; 240];
+        prices[70] = 0.9; // spike at minute 70
+        let market = SpotMarket::new(
+            InstanceType::new("spiky", 2, 8.0, 1.0),
+            PriceTrace::from_minutes(prices),
+        );
+        let pool = MarketPool::new(vec![market]);
+        let oracle = OracleEstimator::new(pool, 0.9);
+        // At minute 30, a max price of 0.5 is crossed by the spike.
+        assert_eq!(
+            oracle.revocation_probability("spiky", SimTime::from_mins(30), 0.5),
+            0.9
+        );
+        // A max price of 1.0 survives.
+        assert!(
+            (oracle.revocation_probability("spiky", SimTime::from_mins(30), 1.0) - 0.1).abs()
+                < 1e-12
+        );
+        // Unknown market → uninformative.
+        assert_eq!(oracle.revocation_probability("none", SimTime::ZERO, 1.0), 0.5);
+    }
+}

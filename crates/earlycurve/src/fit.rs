@@ -1,0 +1,245 @@
+//! Single-stage fitting of the paper's rational curve family (Eq. 4):
+//!
+//! ```text
+//! L̂(k) = 1 / (a0·k² + a1·k + a2) + a3,      a0..a3 ≥ 0
+//! ```
+//!
+//! EarlyCurve "uses a linear regression solver to find the best
+//! coefficients" (§III.C): for a fixed plateau `a3`, the transform
+//! `y = 1/(L − a3)` turns the model into a quadratic that is *linear* in
+//! `(a0, a1, a2)`. We line-search `a3` over a grid below the smallest
+//! observed metric, solve each weighted linear least-squares problem, and
+//! keep the coefficients with the smallest residual in the original metric
+//! space. Non-negativity is enforced by refitting on coefficient subsets
+//! (exact active-set enumeration — only 3 coefficients).
+
+use crate::solver::weighted_least_squares;
+use serde::{Deserialize, Serialize};
+
+/// Fitted coefficients for one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageFit {
+    /// Quadratic coefficient (Eq. 4 `a_{i0}`).
+    pub a0: f64,
+    /// Linear coefficient (`a_{i1}`).
+    pub a1: f64,
+    /// Constant coefficient (`a_{i2}`).
+    pub a2: f64,
+    /// Plateau offset (`a_{i3}`).
+    pub a3: f64,
+    /// Absolute step the stage starts at (its `l_i`); `k` in the model is
+    /// measured relative to this.
+    pub start: u64,
+    /// Mean squared residual of the fit in metric space.
+    pub mse: f64,
+}
+
+impl StageFit {
+    /// Predicted metric at absolute step `k` (clamped to the stage start).
+    pub fn predict(&self, k: u64) -> f64 {
+        let rel = k.saturating_sub(self.start) as f64;
+        let denom = self.a0 * rel * rel + self.a1 * rel + self.a2;
+        if denom <= 1e-12 {
+            return self.a3;
+        }
+        self.a3 + 1.0 / denom
+    }
+}
+
+/// Fits one stage to `(absolute step, metric)` points.
+///
+/// Returns a degenerate constant fit when fewer than three points are given
+/// (prediction = mean of what is available).
+///
+/// # Panics
+///
+/// Panics if `points` is empty or any metric is non-finite.
+pub fn fit_stage(points: &[(u64, f64)], start: u64) -> StageFit {
+    assert!(!points.is_empty(), "cannot fit an empty stage");
+    for &(_, m) in points {
+        assert!(m.is_finite(), "metrics must be finite");
+    }
+    let n = points.len();
+    let mean = points.iter().map(|&(_, m)| m).sum::<f64>() / n as f64;
+    if n < 3 {
+        return StageFit { a0: 0.0, a1: 0.0, a2: 1.0 / mean.max(1e-9), a3: 0.0, start, mse: 0.0 };
+    }
+    let min_l = points.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
+
+    let mut best: Option<StageFit> = None;
+    // Line search the plateau over [0, min_l), denser near min_l where the
+    // true plateau usually sits, plus a3 = 0 exactly.
+    const GRID: usize = 24;
+    for j in 0..=GRID {
+        // Quadratic spacing concentrates candidates near min_l.
+        let frac = (j as f64 / GRID as f64).powi(2);
+        let a3 = (min_l * (1.0 - 1e-3)) * (1.0 - frac);
+        if let Some(fit) = fit_with_plateau(points, start, a3) {
+            if best.as_ref().map_or(true, |b| fit.mse < b.mse) {
+                best = Some(fit);
+            }
+        }
+    }
+    best.unwrap_or(StageFit {
+        a0: 0.0,
+        a1: 0.0,
+        a2: 1.0 / mean.max(1e-9),
+        a3: 0.0,
+        start,
+        mse: variance(points, mean),
+    })
+}
+
+fn variance(points: &[(u64, f64)], mean: f64) -> f64 {
+    points.iter().map(|&(_, m)| (m - mean) * (m - mean)).sum::<f64>() / points.len() as f64
+}
+
+/// Linearized weighted LS for a fixed plateau, with non-negativity via
+/// active-set enumeration over the three coefficients.
+fn fit_with_plateau(points: &[(u64, f64)], start: u64, a3: f64) -> Option<StageFit> {
+    // y = 1/(L - a3); weight (L - a3)^4 maps y-residuals back to L-space,
+    // and the extra 1/L² makes residuals *relative*, so a large initial
+    // transient (loss falling orders of magnitude) cannot drown out the
+    // plateau tail that the final-metric prediction extrapolates from.
+    let mut rows = Vec::with_capacity(points.len());
+    let mut ys = Vec::with_capacity(points.len());
+    let mut ws = Vec::with_capacity(points.len());
+    for &(k, m) in points {
+        let gap = m - a3;
+        if gap <= 1e-9 {
+            return None; // plateau not strictly below all points
+        }
+        let rel = k.saturating_sub(start) as f64;
+        rows.push(vec![rel * rel, rel, 1.0]);
+        ys.push(1.0 / gap);
+        ws.push(gap.powi(4) / (m * m).max(1e-12));
+    }
+
+    // Subsets of active coefficients; inactive ones are pinned to zero.
+    // a2 (the intercept) is always active — the model needs 1/a2 finite at
+    // the stage start.
+    const SUBSETS: [[bool; 3]; 4] = [
+        [true, true, true],
+        [false, true, true],
+        [true, false, true],
+        [false, false, true],
+    ];
+    let mut best: Option<StageFit> = None;
+    for active in SUBSETS {
+        let idx: Vec<usize> = (0..3).filter(|&i| active[i]).collect();
+        let sub_rows: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| idx.iter().map(|&i| r[i]).collect())
+            .collect();
+        let Some(beta) = weighted_least_squares(&sub_rows, &ys, &ws, idx.len(), 1e-9) else {
+            continue;
+        };
+        let mut coef = [0.0f64; 3];
+        for (slot, &i) in idx.iter().enumerate() {
+            coef[i] = beta[slot];
+        }
+        if coef.iter().any(|&c| c < 0.0) {
+            continue;
+        }
+        let candidate = StageFit {
+            a0: coef[0],
+            a1: coef[1],
+            a2: coef[2],
+            a3,
+            start,
+            mse: 0.0,
+        };
+        let mse = points
+            .iter()
+            .map(|&(k, m)| {
+                let e = candidate.predict(k) - m;
+                e * e
+            })
+            .sum::<f64>()
+            / points.len() as f64;
+        let candidate = StageFit { mse, ..candidate };
+        if best.as_ref().map_or(true, |b| candidate.mse < b.mse) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(a0: f64, a1: f64, a2: f64, a3: f64, n: u64) -> Vec<(u64, f64)> {
+        (0..n)
+            .map(|k| {
+                let rel = k as f64;
+                (k, a3 + 1.0 / (a0 * rel * rel + a1 * rel + a2))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_noise_free_curve() {
+        let pts = synth(0.0, 0.05, 0.8, 0.4, 60);
+        let fit = fit_stage(&pts, 0);
+        // Prediction quality matters more than exact coefficients
+        // (the problem is ill-conditioned by design).
+        for &(k, m) in &pts {
+            assert!((fit.predict(k) - m).abs() < 0.01, "at {k}: {} vs {m}", fit.predict(k));
+        }
+        // Extrapolation approaches the true plateau.
+        let far = fit.predict(600);
+        assert!((far - 0.4).abs() < 0.12, "extrapolated {far}");
+    }
+
+    #[test]
+    fn coefficients_are_nonnegative() {
+        let pts = synth(0.002, 0.0, 0.5, 0.2, 50);
+        let fit = fit_stage(&pts, 0);
+        assert!(fit.a0 >= 0.0 && fit.a1 >= 0.0 && fit.a2 >= 0.0 && fit.a3 >= 0.0);
+    }
+
+    #[test]
+    fn noisy_curve_fits_reasonably() {
+        let mut pts = synth(0.0, 0.08, 1.0, 0.45, 80);
+        // Deterministic "noise".
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.1 *= 1.0 + 0.01 * (((i * 2_654_435_761) % 1000) as f64 / 1000.0 - 0.5);
+        }
+        let fit = fit_stage(&pts, 0);
+        assert!(fit.mse < 1e-3, "mse {}", fit.mse);
+        let far = fit.predict(400);
+        assert!((far - 0.45).abs() < 0.15, "extrapolated {far}");
+    }
+
+    #[test]
+    fn stage_offset_is_respected() {
+        // Same curve shape but starting at absolute step 100.
+        let pts: Vec<(u64, f64)> = synth(0.0, 0.05, 0.8, 0.3, 40)
+            .into_iter()
+            .map(|(k, m)| (k + 100, m))
+            .collect();
+        let fit = fit_stage(&pts, 100);
+        assert_eq!(fit.start, 100);
+        assert!((fit.predict(100) - pts[0].1).abs() < 0.02);
+    }
+
+    #[test]
+    fn short_stages_fall_back_to_constant() {
+        let fit = fit_stage(&[(3, 0.5), (4, 0.6)], 3);
+        assert!((fit.predict(100) - 0.55).abs() < 0.01);
+    }
+
+    #[test]
+    fn flat_plateau_is_fit_exactly() {
+        let pts: Vec<(u64, f64)> = (0..30).map(|k| (k, 0.25)).collect();
+        let fit = fit_stage(&pts, 0);
+        assert!((fit.predict(1000) - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit an empty stage")]
+    fn empty_stage_panics() {
+        let _ = fit_stage(&[], 0);
+    }
+}

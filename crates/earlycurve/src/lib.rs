@@ -1,0 +1,41 @@
+//! # spottune-earlycurve
+//!
+//! EarlyCurve — SpotTune's ML training-trend predictor (paper §III.C):
+//! fits the validation-metric history with a *staged* rational model
+//! (Eq. 4–6), detects learning-rate stage boundaries online (Eq. 7),
+//! detects convergence plateaus, and predicts the final metric from partial
+//! training so bad configurations can be shut down early. Includes the SLAQ
+//! single-stage baseline used in the paper's Fig. 11 comparison.
+//!
+//! ```
+//! use spottune_earlycurve::prelude::*;
+//!
+//! let mut ec = EarlyCurve::new(EarlyCurveConfig::default());
+//! for k in 1..=60u64 {
+//!     ec.push(k, 0.4 + 1.8 / (0.25 * k as f64 + 1.0));
+//! }
+//! let predicted = ec.predict_final(400).unwrap();
+//! assert!((predicted - 0.4).abs() < 0.1);
+//! ```
+
+pub mod fit;
+pub mod predictor;
+pub mod slaq;
+pub mod solver;
+pub mod stage;
+pub mod superlinear;
+
+pub use fit::StageFit;
+pub use predictor::{EarlyCurve, EarlyCurveConfig, StagedFit};
+pub use slaq::Slaq;
+pub use stage::StageConfig;
+pub use superlinear::{fit_geometric, AutoFit, GeometricFit};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::fit::{fit_stage, StageFit};
+    pub use crate::predictor::{EarlyCurve, EarlyCurveConfig, StagedFit};
+    pub use crate::slaq::Slaq;
+    pub use crate::stage::{detect_boundaries, split_stages, StageConfig};
+    pub use crate::superlinear::{fit_geometric, AutoFit, GeometricFit};
+}

@@ -1,0 +1,153 @@
+//! Tiny dense linear algebra: Gaussian elimination and (weighted) linear
+//! least squares via normal equations. Sized for the 3-coefficient systems
+//! EarlyCurve solves, but general.
+
+/// Solves `A x = b` for square `A` (row-major, `n × n`) with partial
+/// pivoting. Returns `None` if the system is (numerically) singular.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix must be n×n");
+    assert_eq!(b.len(), n, "rhs must have n entries");
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for r in col + 1..n {
+            if m[r * n + col].abs() > m[pivot * n + col].abs() {
+                pivot = r;
+            }
+        }
+        if m[pivot * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for c in 0..n {
+                m.swap(col * n + c, pivot * n + c);
+            }
+            rhs.swap(col, pivot);
+        }
+        let diag = m[col * n + col];
+        for r in col + 1..n {
+            let factor = m[r * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                m[r * n + c] -= factor * m[col * n + c];
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = rhs[col];
+        for c in col + 1..n {
+            acc -= m[col * n + c] * x[c];
+        }
+        x[col] = acc / m[col * n + col];
+    }
+    Some(x)
+}
+
+/// Weighted linear least squares: minimizes `Σ wᵢ (xᵢᵀβ − yᵢ)²` over β.
+///
+/// `rows` holds the feature vectors (all of width `p`); solves the `p × p`
+/// normal equations with a small ridge term for conditioning. Returns `None`
+/// when the system is singular even with the ridge.
+///
+/// # Panics
+///
+/// Panics if inputs disagree in length or `p` is zero.
+pub fn weighted_least_squares(
+    rows: &[Vec<f64>],
+    y: &[f64],
+    w: &[f64],
+    p: usize,
+    ridge: f64,
+) -> Option<Vec<f64>> {
+    assert!(p > 0, "need at least one coefficient");
+    assert_eq!(rows.len(), y.len(), "row/target mismatch");
+    assert_eq!(rows.len(), w.len(), "row/weight mismatch");
+    let mut xtx = vec![0.0; p * p];
+    let mut xty = vec![0.0; p];
+    for ((row, &target), &weight) in rows.iter().zip(y).zip(w) {
+        assert_eq!(row.len(), p, "feature width mismatch");
+        for i in 0..p {
+            xty[i] += weight * row[i] * target;
+            for j in 0..p {
+                xtx[i * p + j] += weight * row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..p {
+        xtx[i * p + i] += ridge;
+    }
+    solve(&xtx, &xty, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+        let x = solve(&[2.0, 1.0, 1.0, -1.0], &[5.0, 1.0], 2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // First pivot position is 0 but the system is fine.
+        let x = solve(&[0.0, 1.0, 1.0, 0.0], &[3.0, 4.0], 2).unwrap();
+        assert!((x[0] - 4.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        assert!(solve(&[1.0, 2.0, 2.0, 4.0], &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_quadratic() {
+        // y = 3k² + 2k + 1 exactly.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|k| {
+                let k = k as f64;
+                vec![k * k, k, 1.0]
+            })
+            .collect();
+        let y: Vec<f64> = (0..20)
+            .map(|k| {
+                let k = k as f64;
+                3.0 * k * k + 2.0 * k + 1.0
+            })
+            .collect();
+        let w = vec![1.0; 20];
+        let beta = weighted_least_squares(&rows, &y, &w, 3, 1e-9).unwrap();
+        assert!((beta[0] - 3.0).abs() < 1e-6);
+        assert!((beta[1] - 2.0).abs() < 1e-5);
+        assert!((beta[2] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn weights_shift_the_fit() {
+        // Two clusters of points wanting different constants; the weighted
+        // fit should land near the heavier cluster.
+        let rows: Vec<Vec<f64>> = (0..10).map(|_| vec![1.0]).collect();
+        let y: Vec<f64> = (0..10).map(|i| if i < 5 { 0.0 } else { 10.0 }).collect();
+        let mut w = vec![1.0; 10];
+        for wi in w.iter_mut().take(5) {
+            *wi = 100.0;
+        }
+        let beta = weighted_least_squares(&rows, &y, &w, 1, 0.0).unwrap();
+        assert!(beta[0] < 1.0, "beta {beta:?}");
+    }
+}

@@ -1,0 +1,242 @@
+//! Loader for real spot-price data in the Kaggle "AWS Spot Pricing Market"
+//! CSV schema, so the synthetic traces can be swapped for the dataset the
+//! paper used without touching any downstream code.
+//!
+//! Expected columns (header optional, comma-separated):
+//!
+//! ```text
+//! timestamp,instance_type,os,region,price
+//! 2017-04-26 14:31:02,r3.xlarge,Linux/UNIX,us-east-1a,0.3012
+//! ```
+//!
+//! Timestamps may be either `YYYY-MM-DD HH:MM:SS` strings or raw epoch
+//! seconds. The loader converts them to [`SimTime`] offsets from the earliest
+//! record, groups records per instance type, and interpolates each group onto
+//! the one-minute grid exactly as §IV.A.1 describes.
+
+use crate::price::{PricePoint, PriceTrace};
+use crate::time::{SimDur, SimTime};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing spot-price CSV data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCsvError {
+    line: usize,
+    reason: String,
+}
+
+impl ParseCsvError {
+    fn new(line: usize, reason: impl Into<String>) -> Self {
+        ParseCsvError { line, reason: reason.into() }
+    }
+
+    /// 1-based line number of the offending record.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid spot-price csv at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseCsvError {}
+
+/// One parsed record before interpolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawRecord {
+    /// Epoch seconds (absolute).
+    pub epoch: u64,
+    /// Instance type name.
+    pub instance_type: String,
+    /// Price in USD per hour.
+    pub price: f64,
+}
+
+/// Parses CSV text into raw records. Lines that are empty or start with `#`
+/// are skipped; a header line (non-numeric timestamp column) is skipped too.
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] on malformed rows (wrong column count,
+/// unparsable timestamp or price, non-positive price).
+pub fn parse_csv(text: &str) -> Result<Vec<RawRecord>, ParseCsvError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cols.len() < 3 {
+            return Err(ParseCsvError::new(lineno, "expected at least 3 columns"));
+        }
+        let epoch = match parse_timestamp(cols[0]) {
+            Some(e) => e,
+            None if i == 0 => continue, // header
+            None => return Err(ParseCsvError::new(lineno, format!("bad timestamp {:?}", cols[0]))),
+        };
+        // Price is the last column; instance type the second.
+        let price: f64 = cols[cols.len() - 1]
+            .parse()
+            .map_err(|_| ParseCsvError::new(lineno, format!("bad price {:?}", cols[cols.len() - 1])))?;
+        if !(price.is_finite() && price > 0.0) {
+            return Err(ParseCsvError::new(lineno, format!("non-positive price {price}")));
+        }
+        out.push(RawRecord {
+            epoch,
+            instance_type: cols[1].to_string(),
+            price,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses `YYYY-MM-DD HH:MM:SS` or raw epoch seconds into epoch seconds.
+///
+/// The calendar conversion treats the date as days since 1970-01-01 using the
+/// proleptic Gregorian calendar — exact for the dataset's 2017 range.
+fn parse_timestamp(s: &str) -> Option<u64> {
+    if let Ok(epoch) = s.parse::<u64>() {
+        return Some(epoch);
+    }
+    let bytes = s.as_bytes();
+    if bytes.len() < 19 {
+        return None;
+    }
+    let date = &s[..10];
+    let time = &s[11..19];
+    let mut dparts = date.split('-');
+    let (y, mo, d) = (
+        dparts.next()?.parse::<i64>().ok()?,
+        dparts.next()?.parse::<u32>().ok()?,
+        dparts.next()?.parse::<u32>().ok()?,
+    );
+    let mut tparts = time.split(':');
+    let (h, mi, se) = (
+        tparts.next()?.parse::<u64>().ok()?,
+        tparts.next()?.parse::<u64>().ok()?,
+        tparts.next()?.parse::<u64>().ok()?,
+    );
+    if !(1..=12).contains(&mo) || !(1..=31).contains(&d) || h > 23 || mi > 59 || se > 59 {
+        return None;
+    }
+    let days = days_from_civil(y, mo, d);
+    if days < 0 {
+        return None;
+    }
+    Some(days as u64 * 86_400 + h * 3_600 + mi * 60 + se)
+}
+
+/// Days since 1970-01-01 (Howard Hinnant's `days_from_civil` algorithm).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64;
+    let mp = ((m + 9) % 12) as u64;
+    let doy = (153 * mp + 2) / 5 + d as u64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Groups records per instance type and interpolates each group onto the
+/// one-minute grid. Time zero is the earliest record across all groups.
+///
+/// Returns traces in instance-name order. Instance types with no record at
+/// the global start time get their first observed price carried *backward*
+/// to the start (the dataset the paper uses begins mid-stream for some
+/// markets).
+pub fn traces_from_records(records: &[RawRecord]) -> BTreeMap<String, PriceTrace> {
+    let mut map: BTreeMap<String, Vec<&RawRecord>> = BTreeMap::new();
+    for r in records {
+        map.entry(r.instance_type.clone()).or_default().push(r);
+    }
+    let Some(t0) = records.iter().map(|r| r.epoch).min() else {
+        return BTreeMap::new();
+    };
+    let t_end = records.iter().map(|r| r.epoch).max().unwrap_or(t0);
+    let total = SimDur::from_secs((t_end - t0).max(60) + 60);
+    let mut out = BTreeMap::new();
+    for (name, mut recs) in map {
+        recs.sort_by_key(|r| r.epoch);
+        let mut points: Vec<PricePoint> = Vec::with_capacity(recs.len() + 1);
+        // Carry the first price backward to the global start.
+        points.push(PricePoint { at: SimTime::ZERO, price: recs[0].price });
+        for r in &recs {
+            points.push(PricePoint {
+                at: SimTime::from_secs(r.epoch - t0),
+                price: r.price,
+            });
+        }
+        out.insert(name, PriceTrace::from_records(&points, total));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+timestamp,instance_type,os,region,price
+2017-04-26 00:00:00,r3.xlarge,Linux/UNIX,us-east-1a,0.30
+2017-04-26 00:05:00,r3.xlarge,Linux/UNIX,us-east-1a,0.35
+2017-04-26 00:02:00,r4.large,Linux/UNIX,us-east-1a,0.04
+";
+
+    #[test]
+    fn parses_headered_csv() {
+        let recs = parse_csv(SAMPLE).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].instance_type, "r3.xlarge");
+        assert_eq!(recs[0].price, 0.30);
+        assert_eq!(recs[1].epoch - recs[0].epoch, 300);
+    }
+
+    #[test]
+    fn epoch_timestamps_accepted() {
+        let recs = parse_csv("100,r4.large,l,r,0.05\n160,r4.large,l,r,0.06\n").unwrap();
+        assert_eq!(recs[1].epoch, 160);
+    }
+
+    #[test]
+    fn bad_rows_are_reported_with_line_numbers() {
+        let err = parse_csv("100,r4.large,l,r,0.05\nbogus,r4.large,l,r,0.05\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        let err = parse_csv("100,r4.large,l,r,-3\n").unwrap_err();
+        assert!(err.to_string().contains("non-positive"));
+    }
+
+    #[test]
+    fn traces_interpolate_on_minute_grid() {
+        let recs = parse_csv(SAMPLE).unwrap();
+        let traces = traces_from_records(&recs);
+        assert_eq!(traces.len(), 2);
+        let r3 = &traces["r3.xlarge"];
+        assert_eq!(r3.price_at(SimTime::from_mins(0)), 0.30);
+        assert_eq!(r3.price_at(SimTime::from_mins(4)), 0.30);
+        assert_eq!(r3.price_at(SimTime::from_mins(5)), 0.35);
+        // r4.large's first record (at +2 min) is carried back to the start.
+        let r4 = &traces["r4.large"];
+        assert_eq!(r4.price_at(SimTime::ZERO), 0.04);
+    }
+
+    #[test]
+    fn civil_date_conversion_matches_known_epochs() {
+        // 2017-04-26 00:00:00 UTC = 1493164800.
+        assert_eq!(parse_timestamp("2017-04-26 00:00:00"), Some(1_493_164_800));
+        // 1970-01-01.
+        assert_eq!(parse_timestamp("1970-01-01 00:00:00"), Some(0));
+    }
+
+    #[test]
+    fn empty_input_yields_no_traces() {
+        assert!(traces_from_records(&[]).is_empty());
+        assert!(parse_csv("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! The revocation-probability estimator interface.
+//!
+//! SpotTune's provisioner needs `P(I, b, t)`: the probability that a spot
+//! instance of type `I` acquired at time `t` with maximum price `b` is
+//! revoked within the next hour (§III.B). The trait lives here — in the
+//! lowest-level crate — so that the orchestrator (`spottune-core`) and the
+//! learned predictors (`spottune-revpred`) can both depend on it without
+//! depending on each other.
+
+use crate::time::SimTime;
+use std::fmt::Debug;
+
+/// Estimates the probability that a spot instance is revoked within the next
+/// hour.
+pub trait RevocationEstimator: Debug + Send + Sync {
+    /// Returns `P(instance, max_price, t)` in `[0, 1]`.
+    fn revocation_probability(&self, instance_name: &str, t: SimTime, max_price: f64) -> f64;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// An estimator that always returns a fixed probability.
+///
+/// With probability 0 this reduces SpotTune to pure lowest-step-cost
+/// provisioning (the degenerate stable-market scenario of §V.A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantEstimator {
+    p: f64,
+}
+
+impl ConstantEstimator {
+    /// Creates an estimator that always answers `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        ConstantEstimator { p }
+    }
+}
+
+impl RevocationEstimator for ConstantEstimator {
+    fn revocation_probability(&self, _instance_name: &str, _t: SimTime, _max_price: f64) -> f64 {
+        self.p
+    }
+
+    fn name(&self) -> &str {
+        "constant"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_estimator_is_constant() {
+        let e = ConstantEstimator::new(0.4);
+        assert_eq!(e.revocation_probability("r4.large", SimTime::ZERO, 0.1), 0.4);
+        assert_eq!(
+            e.revocation_probability("m4.4xlarge", SimTime::from_hours(5), 9.9),
+            0.4
+        );
+        assert_eq!(e.name(), "constant");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn out_of_range_rejected() {
+        let _ = ConstantEstimator::new(1.5);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let e: Box<dyn RevocationEstimator> = Box::new(ConstantEstimator::new(0.0));
+        assert_eq!(e.revocation_probability("x", SimTime::ZERO, 1.0), 0.0);
+    }
+}

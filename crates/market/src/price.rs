@@ -1,0 +1,263 @@
+//! Spot-price traces on a uniform one-minute grid.
+//!
+//! The paper preprocesses the sparse Kaggle price records "by interpolating
+//! values between records, making the timestamp interval between adjacent
+//! records fixed at 1 minute" (§IV.A.1). [`PriceTrace`] is that interpolated
+//! representation, and the window queries on it supply RevPred's engineered
+//! features.
+
+use crate::time::{SimDur, SimTime, HOUR, MINUTE};
+use serde::{Deserialize, Serialize};
+
+/// One raw spot-price record: the market price that became effective at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricePoint {
+    /// Instant the price became effective.
+    pub at: SimTime,
+    /// Price in USD per hour.
+    pub price: f64,
+}
+
+/// A spot-price time series with one sample per minute.
+///
+/// Prices are step functions: the value sampled at minute `m` holds for the
+/// whole minute `[m, m+1)`. Queries outside the trace clamp to the first /
+/// last sample, so simulations that run slightly past the trace end remain
+/// well-defined.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceTrace {
+    /// Price per minute, `per_minute[i]` effective during minute `i`.
+    per_minute: Vec<f64>,
+}
+
+impl PriceTrace {
+    /// Builds a trace directly from per-minute samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_minute` is empty or contains a non-finite or
+    /// non-positive sample.
+    pub fn from_minutes(per_minute: Vec<f64>) -> Self {
+        assert!(!per_minute.is_empty(), "price trace must not be empty");
+        for (i, &p) in per_minute.iter().enumerate() {
+            assert!(
+                p.is_finite() && p > 0.0,
+                "price sample {i} must be finite and positive, got {p}"
+            );
+        }
+        PriceTrace { per_minute }
+    }
+
+    /// Interpolates sparse records onto the one-minute grid by carrying each
+    /// price forward until the next record (step-function semantics).
+    ///
+    /// `total` is the desired trace length; records after `total` are
+    /// ignored. The first record must be at or before the trace start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty, not sorted by time, or the first record
+    /// starts after `SimTime::ZERO`.
+    pub fn from_records(records: &[PricePoint], total: SimDur) -> Self {
+        assert!(!records.is_empty(), "need at least one price record");
+        assert!(
+            records[0].at == SimTime::ZERO || records[0].at.as_secs() == 0,
+            "first record must start the trace"
+        );
+        for w in records.windows(2) {
+            assert!(w[0].at <= w[1].at, "records must be sorted by time");
+        }
+        let minutes = (total.as_secs() / MINUTE).max(1) as usize;
+        let mut per_minute = Vec::with_capacity(minutes);
+        let mut idx = 0usize;
+        for m in 0..minutes {
+            let t = SimTime::from_mins(m as u64);
+            while idx + 1 < records.len() && records[idx + 1].at <= t {
+                idx += 1;
+            }
+            per_minute.push(records[idx].price);
+        }
+        PriceTrace::from_minutes(per_minute)
+    }
+
+    /// Number of minutes covered by the trace.
+    pub fn len_minutes(&self) -> usize {
+        self.per_minute.len()
+    }
+
+    /// Total trace duration.
+    pub fn duration(&self) -> SimDur {
+        SimDur::from_mins(self.per_minute.len() as u64)
+    }
+
+    /// The market price effective at instant `t` (clamped to the trace).
+    pub fn price_at(&self, t: SimTime) -> f64 {
+        let m = (t.minute_index() as usize).min(self.per_minute.len() - 1);
+        self.per_minute[m]
+    }
+
+    /// Per-minute samples in `[from, to)`, clamped to the trace bounds.
+    ///
+    /// Returns at least one sample (the clamped endpoint) when the window is
+    /// degenerate.
+    pub fn window(&self, from: SimTime, to: SimTime) -> &[f64] {
+        let lo = (from.minute_index() as usize).min(self.per_minute.len() - 1);
+        let hi = (to.minute_index() as usize)
+            .max(lo + 1)
+            .min(self.per_minute.len());
+        &self.per_minute[lo..hi]
+    }
+
+    /// Average price over `[from, to)`.
+    pub fn avg_over(&self, from: SimTime, to: SimTime) -> f64 {
+        let w = self.window(from, to);
+        w.iter().sum::<f64>() / w.len() as f64
+    }
+
+    /// Average price over the hour preceding `t` — the `price` used in the
+    /// expected-cost formula (paper Eq. 1: "the average price of this
+    /// instance in the last hour").
+    pub fn avg_last_hour(&self, t: SimTime) -> f64 {
+        self.avg_over(t.saturating_sub(SimDur::from_secs(HOUR)), t)
+    }
+
+    /// Number of price *changes* in `[from, to)` (adjacent-sample deltas).
+    pub fn changes_in(&self, from: SimTime, to: SimTime) -> usize {
+        self.window(from, to)
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count()
+    }
+
+    /// How long the price effective at `t` has held (time since last change).
+    pub fn duration_since_change(&self, t: SimTime) -> SimDur {
+        let m = (t.minute_index() as usize).min(self.per_minute.len() - 1);
+        let cur = self.per_minute[m];
+        let mut back = m;
+        while back > 0 && self.per_minute[back - 1] == cur {
+            back -= 1;
+        }
+        SimDur::from_mins((m - back) as u64)
+    }
+
+    /// First instant in `[from, from + horizon)` at which the price strictly
+    /// exceeds `threshold`, if any. This is the ground-truth revocation test:
+    /// "once the spot market price is over the user's maximum price, the
+    /// instance would be revoked" (§II.A).
+    pub fn first_exceed(&self, from: SimTime, horizon: SimDur, threshold: f64) -> Option<SimTime> {
+        let lo = from.minute_index() as usize;
+        let hi = (((from + horizon).as_secs() + MINUTE - 1) / MINUTE) as usize;
+        let hi = hi.min(self.per_minute.len());
+        (lo..hi)
+            .find(|&m| self.per_minute[m] > threshold)
+            .map(|m| SimTime::from_mins(m as u64).max(from))
+    }
+
+    /// Absolute per-minute price deltas over `[from, to)`; input to the
+    /// Algorithm-2 trimmed-mean delta (see [`crate::stats::trimmed_mean`]).
+    pub fn abs_deltas(&self, from: SimTime, to: SimTime) -> Vec<f64> {
+        self.window(from, to)
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .collect()
+    }
+
+    /// Iterator over `(minute_start, price)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.per_minute
+            .iter()
+            .enumerate()
+            .map(|(m, &p)| (SimTime::from_mins(m as u64), p))
+    }
+
+    /// Minimum and maximum price over the whole trace.
+    pub fn min_max(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &p in &self.per_minute {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> PriceTrace {
+        // 0.1, 0.2, ..., 1.0 over ten minutes.
+        PriceTrace::from_minutes((1..=10).map(|i| i as f64 / 10.0).collect())
+    }
+
+    #[test]
+    fn price_at_steps_and_clamps() {
+        let t = ramp();
+        assert_eq!(t.price_at(SimTime::ZERO), 0.1);
+        assert_eq!(t.price_at(SimTime::from_secs(59)), 0.1);
+        assert_eq!(t.price_at(SimTime::from_secs(60)), 0.2);
+        // Past the end clamps to the last sample.
+        assert_eq!(t.price_at(SimTime::from_hours(5)), 1.0);
+    }
+
+    #[test]
+    fn from_records_carries_forward() {
+        let recs = vec![
+            PricePoint { at: SimTime::ZERO, price: 0.5 },
+            PricePoint { at: SimTime::from_mins(3), price: 0.7 },
+        ];
+        let t = PriceTrace::from_records(&recs, SimDur::from_mins(5));
+        assert_eq!(t.len_minutes(), 5);
+        assert_eq!(t.price_at(SimTime::from_mins(2)), 0.5);
+        assert_eq!(t.price_at(SimTime::from_mins(3)), 0.7);
+        assert_eq!(t.price_at(SimTime::from_mins(4)), 0.7);
+    }
+
+    #[test]
+    fn avg_and_changes() {
+        let t = ramp();
+        let avg = t.avg_over(SimTime::ZERO, SimTime::from_mins(10));
+        assert!((avg - 0.55).abs() < 1e-12);
+        assert_eq!(t.changes_in(SimTime::ZERO, SimTime::from_mins(10)), 9);
+        let flat = PriceTrace::from_minutes(vec![0.3; 10]);
+        assert_eq!(flat.changes_in(SimTime::ZERO, SimTime::from_mins(10)), 0);
+    }
+
+    #[test]
+    fn duration_since_change_counts_back() {
+        let t = PriceTrace::from_minutes(vec![0.1, 0.1, 0.2, 0.2, 0.2, 0.3]);
+        assert_eq!(t.duration_since_change(SimTime::from_mins(4)).as_secs(), 2 * MINUTE);
+        assert_eq!(t.duration_since_change(SimTime::from_mins(1)).as_secs(), MINUTE);
+        assert_eq!(t.duration_since_change(SimTime::from_mins(5)).as_secs(), 0);
+    }
+
+    #[test]
+    fn first_exceed_finds_revocation_minute() {
+        let t = ramp();
+        let hit = t.first_exceed(SimTime::ZERO, SimDur::from_hours(1), 0.45);
+        assert_eq!(hit, Some(SimTime::from_mins(4))); // price 0.5 > 0.45
+        assert_eq!(t.first_exceed(SimTime::ZERO, SimDur::from_hours(1), 2.0), None);
+        // Horizon limits the search.
+        assert_eq!(t.first_exceed(SimTime::ZERO, SimDur::from_mins(3), 0.45), None);
+    }
+
+    #[test]
+    fn avg_last_hour_clamps_to_start() {
+        let t = ramp();
+        let a = t.avg_last_hour(SimTime::from_mins(2));
+        assert!((a - 0.15).abs() < 1e-12); // minutes 0 and 1
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_trace_rejected() {
+        let _ = PriceTrace::from_minutes(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn nonpositive_sample_rejected() {
+        let _ = PriceTrace::from_minutes(vec![0.1, 0.0]);
+    }
+}

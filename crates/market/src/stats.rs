@@ -1,0 +1,140 @@
+//! Small statistics helpers shared across the workspace.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation. Returns 0.0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Coefficient of variation (σ/μ). Returns 0.0 when the mean is zero.
+///
+/// The paper uses COV < 0.1 across steps to justify online performance
+/// profiling (§IV.A.5).
+pub fn cov(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    std_dev(xs) / m
+}
+
+/// Trimmed mean dropping the smallest and largest `trim` fraction of samples.
+///
+/// This is the core of the paper's Algorithm 2: "calculating the average
+/// variation of instance I's history prices (removing the smallest 20% and
+/// the largest 20%) in the previous 1 hours". With `trim = 0.2`, samples in
+/// the index range `(0.2·L, 0.8·L)` (after sorting) are averaged.
+///
+/// Returns 0.0 when no samples survive the trim.
+///
+/// # Panics
+///
+/// Panics if `trim` is not in `[0, 0.5)`.
+pub fn trimmed_mean(xs: &[f64], trim: f64) -> f64 {
+    assert!((0.0..0.5).contains(&trim), "trim fraction must be in [0, 0.5)");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must be comparable"));
+    let n = sorted.len();
+    let lo = (trim * n as f64).floor() as usize;
+    let hi = ((1.0 - trim) * n as f64).ceil() as usize;
+    let hi = hi.min(n);
+    if lo >= hi {
+        return mean(&sorted);
+    }
+    mean(&sorted[lo..hi])
+}
+
+/// Simple exponentially weighted moving average state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    value: Option<f64>,
+    alpha: f64,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { value: None, alpha }
+    }
+
+    /// Feeds one observation and returns the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average, if any observation has been fed.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_matches_definition() {
+        let xs = [10.0, 10.0, 10.0];
+        assert_eq!(cov(&xs), 0.0);
+        let ys = [1.0, 3.0];
+        assert!((cov(&ys) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_tails() {
+        // 10 samples; trim 0.2 drops indices 0,1 and 8,9.
+        let xs = [100.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 100.0];
+        assert!((trimmed_mean(&xs, 0.2) - 1.0).abs() < 1e-12);
+        // Degenerate cases fall back gracefully.
+        assert_eq!(trimmed_mean(&[], 0.2), 0.0);
+        assert_eq!(trimmed_mean(&[5.0], 0.2), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim fraction")]
+    fn trim_out_of_range_rejected() {
+        let _ = trimmed_mean(&[1.0], 0.5);
+    }
+
+    #[test]
+    fn ewma_converges_toward_input() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(4.0), 4.0);
+        assert_eq!(e.update(8.0), 6.0);
+        assert_eq!(e.value(), Some(6.0));
+    }
+}

@@ -1,0 +1,251 @@
+//! Synthetic dataset generators standing in for the paper's training data
+//! (Epsilon, YearPredictionMSD, CIFAR-10 and the authors' own synthetic
+//! sets; >100 GB of pickles in the original).
+//!
+//! The generators produce in-memory feature matrices small enough to train
+//! in a simulation step but structured enough that hyper-parameters matter:
+//! learning rate / batch size / decay change convergence on every set, and
+//! kernel choice matters on the concentric-rings SVM set.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A dense supervised dataset with a deterministic train/validation split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Vec<f64>,
+    targets: Vec<f64>,
+    rows: usize,
+    dim: usize,
+    train_rows: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from row-major features; the first `train_fraction`
+    /// of rows become the training split.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes or an empty split.
+    pub fn new(features: Vec<f64>, targets: Vec<f64>, dim: usize, train_fraction: f64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(features.len() % dim, 0, "feature length must be a multiple of dim");
+        let rows = features.len() / dim;
+        assert_eq!(targets.len(), rows, "target count mismatch");
+        let train_rows = ((rows as f64) * train_fraction) as usize;
+        assert!(
+            train_rows > 0 && train_rows < rows,
+            "both splits must be non-empty (rows={rows}, train={train_rows})"
+        );
+        Dataset { features, targets, rows, dim, train_rows }
+    }
+
+    /// Total number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of training rows (validation rows follow them).
+    pub fn train_rows(&self) -> usize {
+        self.train_rows
+    }
+
+    /// Number of validation rows.
+    pub fn val_rows(&self) -> usize {
+        self.rows - self.train_rows
+    }
+
+    /// Feature row `r`.
+    pub fn x(&self, r: usize) -> &[f64] {
+        &self.features[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// Target of row `r`.
+    pub fn y(&self, r: usize) -> f64 {
+        self.targets[r]
+    }
+
+    /// Indices of the training split.
+    pub fn train_indices(&self) -> std::ops::Range<usize> {
+        0..self.train_rows
+    }
+
+    /// Indices of the validation split.
+    pub fn val_indices(&self) -> std::ops::Range<usize> {
+        self.train_rows..self.rows
+    }
+}
+
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Two overlapping Gaussian blobs with ±1 labels in `dim` dimensions —
+/// the Epsilon-like binary-classification benchmark.
+///
+/// `separation` controls class overlap (≈2 gives a few percent Bayes
+/// error). Both the class-mean offset and the noise of dimension `d` scale
+/// as `(d+1)^-0.5`, so discriminative signal lives along directions of very
+/// different curvature — as in Epsilon's 2000 heterogeneous features — and
+/// gradient descent needs many steps to pick up the tail dimensions. That
+/// slow tail is what separates learning-rate/decay configurations.
+pub fn two_blobs(n: usize, dim: usize, separation: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut features = Vec::with_capacity(n * dim);
+    let mut targets = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = if i % 2 == 0 { 1.0 } else { -1.0 };
+        for d in 0..dim {
+            let scale = (d as f64 + 1.0).powf(-0.5);
+            let mean = label * separation / 2.0 * scale;
+            features.push(mean + scale * normal(&mut rng));
+        }
+        targets.push(label);
+    }
+    Dataset::new(features, targets, dim, 0.8)
+}
+
+/// Concentric rings with ±1 labels: linearly inseparable, so an RBF kernel
+/// beats a linear one — gives the SVM `kernel` HP a real effect.
+pub fn rings(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut features = Vec::with_capacity(n * dim);
+    let mut targets = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let radius = if label > 0.0 { 1.0 } else { 2.2 };
+        // Points on a noisy sphere of the class radius in the first two
+        // dims; remaining dims are noise.
+        let angle = rng.random::<f64>() * std::f64::consts::TAU;
+        features.push(radius * angle.cos() + 0.15 * normal(&mut rng));
+        features.push(radius * angle.sin() + 0.15 * normal(&mut rng));
+        for _ in 2..dim {
+            features.push(0.3 * normal(&mut rng));
+        }
+        targets.push(label);
+    }
+    Dataset::new(features, targets, dim, 0.8)
+}
+
+/// Linear regression data `y = wᵀx + ε` — the YearPredictionMSD-like
+/// benchmark (audio meta-features → year).
+///
+/// Feature scales decay as `(d+1)^-0.6`, giving the design matrix a large
+/// condition number like MSD's heterogeneous audio meta-features. Gradient
+/// descent then converges slowly along the small-scale directions, so
+/// within a few hundred steps the learning-rate/batch/decay choices produce
+/// genuinely separated validation losses instead of all configurations
+/// collapsing onto the Bayes floor. Targets are normalized to unit variance.
+pub fn linear_target(n: usize, dim: usize, noise: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w: Vec<f64> = (0..dim).map(|_| normal(&mut rng)).collect();
+    let scales: Vec<f64> = (0..dim).map(|d| (d as f64 + 1.0).powf(-0.6)).collect();
+    let mut features = Vec::with_capacity(n * dim);
+    let mut raw_targets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: Vec<f64> = scales.iter().map(|s| s * normal(&mut rng)).collect();
+        let y: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + noise * normal(&mut rng);
+        features.extend_from_slice(&x);
+        raw_targets.push(y);
+    }
+    let var = raw_targets.iter().map(|y| y * y).sum::<f64>() / n as f64;
+    let std = var.sqrt().max(1e-9);
+    let targets = raw_targets.into_iter().map(|y| y / std).collect();
+    Dataset::new(features, targets, dim, 0.8)
+}
+
+/// Nonlinear regression data with interactions — the synthetic GBT
+/// benchmark. Trees can exploit the axis-aligned structure.
+pub fn nonlinear_target(n: usize, dim: usize, noise: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut features = Vec::with_capacity(n * dim);
+    let mut targets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: Vec<f64> = (0..dim).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let mut y = (2.0 * x[0]).sin() + x[1].abs();
+        if dim > 2 {
+            y += if x[2] > 0.0 { 1.0 } else { -0.5 };
+        }
+        if dim > 3 {
+            y += 0.5 * x[2] * x[3];
+        }
+        y += noise * normal(&mut rng);
+        features.extend_from_slice(&x);
+        targets.push(y);
+    }
+    Dataset::new(features, targets, dim, 0.8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_shapes() {
+        let d = two_blobs(100, 8, 2.0, 1);
+        assert_eq!(d.rows(), 100);
+        assert_eq!(d.dim(), 8);
+        assert_eq!(d.train_rows(), 80);
+        assert_eq!(d.val_rows(), 20);
+        assert_eq!(d.x(0).len(), 8);
+        assert_eq!(d.train_indices().len() + d.val_indices().len(), 100);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(two_blobs(50, 4, 2.0, 7), two_blobs(50, 4, 2.0, 7));
+        assert_ne!(two_blobs(50, 4, 2.0, 7), two_blobs(50, 4, 2.0, 8));
+        assert_eq!(rings(50, 4, 7), rings(50, 4, 7));
+        assert_eq!(linear_target(50, 4, 0.1, 7), linear_target(50, 4, 0.1, 7));
+        assert_eq!(nonlinear_target(50, 4, 0.1, 7), nonlinear_target(50, 4, 0.1, 7));
+    }
+
+    #[test]
+    fn blobs_are_roughly_separable() {
+        let d = two_blobs(400, 8, 3.0, 2);
+        // The mean of the first coordinate should differ by class.
+        let (mut pos, mut neg, mut npos, mut nneg) = (0.0, 0.0, 0, 0);
+        for r in 0..d.rows() {
+            if d.y(r) > 0.0 {
+                pos += d.x(r)[0];
+                npos += 1;
+            } else {
+                neg += d.x(r)[0];
+                nneg += 1;
+            }
+        }
+        assert!(pos / npos as f64 > 1.0);
+        assert!((neg / nneg as f64) < -1.0);
+    }
+
+    #[test]
+    fn rings_radii_differ_by_class() {
+        let d = rings(400, 4, 3);
+        let radius = |x: &[f64]| (x[0] * x[0] + x[1] * x[1]).sqrt();
+        let (mut pos, mut neg, mut npos, mut nneg) = (0.0, 0.0, 0, 0);
+        for r in 0..d.rows() {
+            if d.y(r) > 0.0 {
+                pos += radius(d.x(r));
+                npos += 1;
+            } else {
+                neg += radius(d.x(r));
+                nneg += 1;
+            }
+        }
+        assert!((pos / npos as f64) < 1.4);
+        assert!(neg / nneg as f64 > 1.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "both splits")]
+    fn tiny_dataset_rejected() {
+        let _ = Dataset::new(vec![1.0], vec![1.0], 1, 0.8);
+    }
+}

@@ -1,0 +1,41 @@
+//! # spottune-mlsim
+//!
+//! ML-training substrate for the SpotTune reproduction: the six Table-II
+//! benchmark workloads with their 16-point hyper-parameter grids, synthetic
+//! datasets, *real* gradient-descent / gradient-boosting trainers producing
+//! genuine validation-loss curves, a staged synthetic curve model for the
+//! CNN benchmarks, and the ground-truth performance model behind the
+//! paper's online-profiled `M[inst][hp]` matrix.
+//!
+//! ```
+//! use spottune_mlsim::prelude::*;
+//!
+//! let workload = Workload::benchmark(Algorithm::LoR);
+//! assert_eq!(workload.hp_grid().len(), 16);
+//! let mut run = TrainingRun::new(&workload, &workload.hp_grid()[0], 42);
+//! let loss_at_20 = run.metric_at(20);
+//! assert!(loss_at_20.is_finite());
+//! ```
+
+pub mod curve;
+pub mod dataset;
+pub mod hp;
+pub mod perf;
+pub mod runner;
+pub mod train;
+pub mod workload;
+
+pub use hp::{HpSetting, HpValue};
+pub use perf::PerfModel;
+pub use runner::TrainingRun;
+pub use workload::{Algorithm, Workload};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::curve::{cnn_curve, CnnKind, Stage, StagedCurveModel};
+    pub use crate::hp::{expand_grid, GridAxis, HpSetting, HpValue};
+    pub use crate::perf::PerfModel;
+    pub use crate::runner::{ground_truth_finals, TrainingRun};
+    pub use crate::train::{LrSchedule, Trainer};
+    pub use crate::workload::{Algorithm, Workload};
+}

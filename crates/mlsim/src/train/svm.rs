@@ -1,0 +1,216 @@
+//! Mini-batch sub-gradient SVM with linear or random-Fourier-feature RBF
+//! kernels (the SVM benchmark; `kernel ∈ {RBF, Linear}` in Table II).
+
+use super::{sample_batch, LinearModel, LrSchedule, Trainer};
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// SVM kernel choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Raw feature space.
+    Linear,
+    /// Gaussian RBF approximated with random Fourier features.
+    Rbf {
+        /// Number of random features.
+        features: usize,
+        /// Kernel bandwidth γ in `exp(-γ‖x−y‖²)`.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    /// Parses the Table-II `kernel` hyper-parameter text.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown kernel name.
+    pub fn parse(name: &str) -> Kernel {
+        match name {
+            "Linear" => Kernel::Linear,
+            "RBF" => Kernel::Rbf { features: 128, gamma: 0.5 },
+            other => panic!("unknown SVM kernel {other:?}"),
+        }
+    }
+}
+
+/// Random Fourier feature map `z(x) = sqrt(2/D) cos(Ωx + β)` approximating
+/// the RBF kernel (Rahimi & Recht).
+#[derive(Debug, Clone)]
+struct FourierMap {
+    omega: Vec<f64>, // D × dim, row-major
+    beta: Vec<f64>,  // D
+    dim: usize,
+    features: usize,
+}
+
+impl FourierMap {
+    fn new(dim: usize, features: usize, gamma: f64, rng: &mut StdRng) -> Self {
+        // ω ~ N(0, 2γ I) per RBF spectral density.
+        let sigma = (2.0 * gamma).sqrt();
+        let mut omega = Vec::with_capacity(features * dim);
+        for _ in 0..features * dim {
+            let u1: f64 = rng.random::<f64>().max(1e-12);
+            let u2: f64 = rng.random::<f64>();
+            omega.push(sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos());
+        }
+        let beta = (0..features)
+            .map(|_| rng.random::<f64>() * std::f64::consts::TAU)
+            .collect();
+        FourierMap { omega, beta, dim, features }
+    }
+
+    fn transform(&self, x: &[f64]) -> Vec<f64> {
+        let scale = (2.0 / self.features as f64).sqrt();
+        (0..self.features)
+            .map(|j| {
+                let row = &self.omega[j * self.dim..(j + 1) * self.dim];
+                let dot: f64 = row.iter().zip(x).map(|(a, b)| a * b).sum();
+                scale * (dot + self.beta[j]).cos()
+            })
+            .collect()
+    }
+}
+
+/// SVM trainer with hinge-loss metric.
+#[derive(Debug)]
+pub struct SvmTrainer {
+    data: Arc<Dataset>,
+    model: LinearModel,
+    map: Option<FourierMap>,
+    schedule: LrSchedule,
+    batch: usize,
+    l2: f64,
+    steps: u64,
+    rng: StdRng,
+}
+
+impl SvmTrainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn new(
+        data: Arc<Dataset>,
+        kernel: Kernel,
+        schedule: LrSchedule,
+        batch: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (map, model_dim) = match kernel {
+            Kernel::Linear => (None, data.dim()),
+            Kernel::Rbf { features, gamma } => (
+                Some(FourierMap::new(data.dim(), features, gamma, &mut rng)),
+                features,
+            ),
+        };
+        SvmTrainer {
+            data,
+            model: LinearModel::zeros(model_dim),
+            map,
+            schedule,
+            batch,
+            l2: 1e-3,
+            steps: 0,
+            rng,
+        }
+    }
+
+    fn features(&self, r: usize) -> Vec<f64> {
+        let x = self.data.x(r);
+        match &self.map {
+            None => x.to_vec(),
+            Some(map) => map.transform(x),
+        }
+    }
+
+    /// Mean hinge loss on the validation split.
+    pub fn validation_hinge(&self) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for r in self.data.val_indices() {
+            let s = self.model.score(&self.features(r));
+            total += (1.0 - self.data.y(r) * s).max(0.0);
+            n += 1;
+        }
+        total / n as f64
+    }
+}
+
+impl Trainer for SvmTrainer {
+    fn step(&mut self) -> f64 {
+        let lr = self.schedule.at(self.steps);
+        let idx = sample_batch(&mut self.rng, self.data.train_rows(), self.batch);
+        let scale = 1.0 / self.batch as f64;
+        for r in idx {
+            let x = self.features(r);
+            let y = self.data.y(r);
+            let margin = y * self.model.score(&x);
+            let g = if margin < 1.0 { -y * scale } else { 0.0 };
+            self.model.gd_update(&x, g, lr, self.l2 * scale);
+        }
+        self.steps += 1;
+        self.validation_hinge()
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{rings, two_blobs};
+
+    #[test]
+    fn kernel_parse() {
+        assert_eq!(Kernel::parse("Linear"), Kernel::Linear);
+        assert!(matches!(Kernel::parse("RBF"), Kernel::Rbf { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SVM kernel")]
+    fn bad_kernel_panics() {
+        let _ = Kernel::parse("poly9");
+    }
+
+    #[test]
+    fn linear_svm_separates_blobs() {
+        let data = Arc::new(two_blobs(600, 10, 3.0, 21));
+        let mut t = SvmTrainer::new(data, Kernel::Linear, LrSchedule::constant(0.2), 64, 5);
+        let mut last = f64::INFINITY;
+        for _ in 0..150 {
+            last = t.step();
+        }
+        assert!(last < 0.5, "hinge {last}");
+    }
+
+    #[test]
+    fn rbf_beats_linear_on_rings() {
+        let data = Arc::new(rings(600, 4, 22));
+        let mut linear =
+            SvmTrainer::new(Arc::clone(&data), Kernel::Linear, LrSchedule::constant(0.2), 64, 5);
+        let mut rbf = SvmTrainer::new(
+            data,
+            Kernel::Rbf { features: 128, gamma: 0.8 },
+            LrSchedule::constant(0.2),
+            64,
+            5,
+        );
+        let (mut l, mut r) = (0.0, 0.0);
+        for _ in 0..200 {
+            l = linear.step();
+            r = rbf.step();
+        }
+        assert!(
+            r < 0.75 * l,
+            "rbf {r} should clearly beat linear {l} on rings"
+        );
+    }
+}

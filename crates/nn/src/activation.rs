@@ -1,0 +1,94 @@
+//! Element-wise activation functions and their derivatives.
+
+use crate::matrix::Matrix;
+
+/// Supported activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `f(x) = x`.
+    Identity,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+}
+
+/// Numerically stable logistic sigmoid.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Activation {
+    /// Applies the activation element-wise.
+    pub fn apply(self, z: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => z.clone(),
+            Activation::Sigmoid => z.map(sigmoid),
+            Activation::Tanh => z.map(f64::tanh),
+            Activation::Relu => z.map(|x| x.max(0.0)),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = f(z)`.
+    ///
+    /// All four supported activations admit this form, which lets layers
+    /// cache only their outputs.
+    pub fn deriv_from_output(self, y: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => y.map(|_| 1.0),
+            Activation::Sigmoid => y.map(|v| v * (1.0 - v)),
+            Activation::Tanh => y.map(|v| 1.0 - v * v),
+            Activation::Relu => y.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(800.0) <= 1.0);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivatives_match_numeric() {
+        let xs = Matrix::row_vector(vec![-1.5, -0.2, 0.0, 0.7, 2.0]);
+        let eps = 1e-6;
+        for act in [Activation::Identity, Activation::Sigmoid, Activation::Tanh] {
+            let y = act.apply(&xs);
+            let dy = act.deriv_from_output(&y);
+            for i in 0..xs.cols() {
+                let x = xs.data()[i];
+                let plus = act.apply(&Matrix::row_vector(vec![x + eps])).data()[0];
+                let minus = act.apply(&Matrix::row_vector(vec![x - eps])).data()[0];
+                let numeric = (plus - minus) / (2.0 * eps);
+                assert!(
+                    (numeric - dy.data()[i]).abs() < 1e-6,
+                    "{act:?} deriv mismatch at {x}: {numeric} vs {}",
+                    dy.data()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let xs = Matrix::row_vector(vec![-2.0, 0.0, 3.0]);
+        let y = Activation::Relu.apply(&xs);
+        assert_eq!(y.data(), &[0.0, 0.0, 3.0]);
+        let d = Activation::Relu.deriv_from_output(&y);
+        assert_eq!(d.data(), &[0.0, 0.0, 1.0]);
+    }
+}

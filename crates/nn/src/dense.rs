@@ -1,0 +1,197 @@
+//! Fully-connected layer with cached forward state for backprop.
+
+use crate::activation::Activation;
+use crate::init;
+use crate::matrix::Matrix;
+use crate::optim::{Adam, OptimConfig};
+use rand::rngs::StdRng;
+
+/// A dense layer `y = act(x · W + b)` over row-batched inputs.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Matrix,
+    b: Matrix,
+    act: Activation,
+    gw: Matrix,
+    gb: Matrix,
+    adam_w: Adam,
+    adam_b: Adam,
+    cache_x: Option<Matrix>,
+    cache_y: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a layer mapping `input` features to `output` features.
+    pub fn new(input: usize, output: usize, act: Activation, rng: &mut StdRng) -> Self {
+        Dense {
+            w: init::xavier(input, output, rng),
+            b: Matrix::zeros(1, output),
+            act,
+            gw: Matrix::zeros(input, output),
+            gb: Matrix::zeros(1, output),
+            adam_w: Adam::new(input * output),
+            adam_b: Adam::new(output),
+            cache_x: None,
+            cache_y: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn input_size(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output feature count.
+    pub fn output_size(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass caching activations for a later [`Dense::backward`].
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let y = self.forward_inference(x);
+        self.cache_x = Some(x.clone());
+        self.cache_y = Some(y.clone());
+        y
+    }
+
+    /// Forward pass without caching (no backprop possible).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut z = x.matmul(&self.w);
+        z.add_row_broadcast(&self.b);
+        self.act.apply(&z)
+    }
+
+    /// Backward pass: consumes `dy = ∂L/∂y`, accumulates parameter
+    /// gradients, returns `∂L/∂x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Dense::forward`].
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let x = self.cache_x.as_ref().expect("backward before forward");
+        let y = self.cache_y.as_ref().expect("backward before forward");
+        let dz = dy.hadamard(&self.act.deriv_from_output(y));
+        self.gw.add_assign(&x.t_matmul(&dz));
+        self.gb.add_assign(&dz.sum_rows());
+        dz.matmul_t(&self.w)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gw.fill_zero();
+        self.gb.fill_zero();
+    }
+
+    /// Mutable views of the gradient buffers (for global-norm clipping).
+    pub fn grads_mut(&mut self) -> Vec<&mut [f64]> {
+        vec![self.gw.data_mut(), self.gb.data_mut()]
+    }
+
+    /// Applies one Adam step with the accumulated gradients.
+    pub fn step(&mut self, cfg: &OptimConfig) {
+        self.adam_w.step(self.w.data_mut(), self.gw.data(), cfg);
+        self.adam_b.step(self.b.data_mut(), self.gb.data(), cfg);
+    }
+
+    /// Immutable weight access (tests, serialization).
+    pub fn weights(&self) -> (&Matrix, &Matrix) {
+        (&self.w, &self.b)
+    }
+
+    /// Mutable weight access (numerical gradient checks).
+    pub fn weights_mut(&mut self) -> (&mut Matrix, &mut Matrix) {
+        (&mut self.w, &mut self.b)
+    }
+
+    /// Accumulated gradient access (numerical gradient checks).
+    pub fn grads(&self) -> (&Matrix, &Matrix) {
+        (&self.gw, &self.gb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mse_loss(y: &Matrix, target: &Matrix) -> (f64, Matrix) {
+        let diff = y.sub(target);
+        let n = (y.rows() * y.cols()) as f64;
+        let loss = diff.data().iter().map(|d| d * d).sum::<f64>() / n;
+        let mut grad = diff;
+        grad.scale(2.0 / n);
+        (loss, grad)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(4, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::from_fn(5, 4, |r, c| (r + c) as f64 * 0.1);
+        let y = layer.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 2));
+        assert_eq!(layer.input_size(), 4);
+        assert_eq!(layer.output_size(), 2);
+        // Inference path matches the training path.
+        assert_eq!(layer.forward_inference(&x), y);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = Dense::new(3, 2, Activation::Sigmoid, &mut rng);
+        let x = Matrix::from_fn(4, 3, |r, c| ((r * 3 + c) as f64 * 0.17).sin());
+        let target = Matrix::from_fn(4, 2, |r, c| ((r * 2 + c) as f64 * 0.3).cos());
+
+        layer.zero_grad();
+        let y = layer.forward(&x);
+        let (_, dy) = mse_loss(&y, &target);
+        layer.backward(&dy);
+
+        let eps = 1e-6;
+        // Check a handful of weight entries numerically.
+        for idx in [0usize, 2, 5] {
+            let analytic = layer.grads().0.data()[idx];
+            layer.weights_mut().0.data_mut()[idx] += eps;
+            let (lp, _) = mse_loss(&layer.forward_inference(&x), &target);
+            layer.weights_mut().0.data_mut()[idx] -= 2.0 * eps;
+            let (lm, _) = mse_loss(&layer.forward_inference(&x), &target);
+            layer.weights_mut().0.data_mut()[idx] += eps;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 1e-7,
+                "grad mismatch at {idx}: numeric {numeric}, analytic {analytic}"
+            );
+        }
+        // And one bias entry.
+        let analytic = layer.grads().1.data()[1];
+        layer.weights_mut().1.data_mut()[1] += eps;
+        let (lp, _) = mse_loss(&layer.forward_inference(&x), &target);
+        layer.weights_mut().1.data_mut()[1] -= 2.0 * eps;
+        let (lm, _) = mse_loss(&layer.forward_inference(&x), &target);
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!((numeric - analytic).abs() < 1e-7);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Dense::new(2, 1, Activation::Identity, &mut rng);
+        // Learn y = x0 - 2*x1.
+        let x = Matrix::from_fn(16, 2, |r, c| ((r * 2 + c) as f64 * 0.37).sin());
+        let target = Matrix::from_fn(16, 1, |r, _| x[(r, 0)] - 2.0 * x[(r, 1)]);
+        let cfg = OptimConfig { lr: 0.05, ..OptimConfig::default() };
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..300 {
+            layer.zero_grad();
+            let y = layer.forward(&x);
+            let (loss, dy) = mse_loss(&y, &target);
+            layer.backward(&dy);
+            layer.step(&cfg);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.01, "loss {last} vs {first:?}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Seeded weight initialization.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Xavier/Glorot uniform initialization for a `rows × cols` weight matrix:
+/// samples from `U(-a, a)` with `a = sqrt(6 / (rows + cols))`.
+pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-a..a))
+}
+
+/// Small uniform initialization `U(-scale, scale)`.
+pub fn uniform(rows: usize, cols: usize, scale: f64, rng: &mut StdRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-scale..scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound_and_seed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier(10, 20, &mut rng);
+        let a = (6.0 / 30.0f64).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= a));
+        let mut rng2 = StdRng::seed_from_u64(1);
+        assert_eq!(w, xavier(10, 20, &mut rng2));
+    }
+
+    #[test]
+    fn uniform_respects_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = uniform(5, 5, 0.01, &mut rng);
+        assert!(w.data().iter().all(|&x| x.abs() <= 0.01));
+        // Not all zero.
+        assert!(w.norm() > 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # spottune-nn
+//!
+//! A deliberately small, dependency-free neural-network library backing
+//! SpotTune's RevPred predictor: row-major `f64` matrices, dense layers,
+//! LSTM layers with full backpropagation-through-time, class-weighted BCE,
+//! and Adam. Everything is seeded and deterministic; all backward passes are
+//! verified against numerical gradients in the test suite.
+//!
+//! ```
+//! use spottune_nn::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut layer = Dense::new(4, 1, Activation::Sigmoid, &mut rng);
+//! let x = Matrix::from_fn(2, 4, |r, c| (r + c) as f64 * 0.1);
+//! let y = layer.forward(&x);
+//! assert_eq!((y.rows(), y.cols()), (2, 1));
+//! ```
+
+pub mod activation;
+pub mod dense;
+pub mod init;
+pub mod loss;
+pub mod lstm;
+pub mod matrix;
+pub mod optim;
+
+pub use activation::Activation;
+pub use dense::Dense;
+pub use lstm::{Lstm, StackedLstm};
+pub use matrix::Matrix;
+pub use optim::{Adam, OptimConfig};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::activation::Activation;
+    pub use crate::dense::Dense;
+    pub use crate::loss::{mse, weighted_bce_with_logits};
+    pub use crate::lstm::{Lstm, StackedLstm};
+    pub use crate::matrix::Matrix;
+    pub use crate::optim::{clip_global_norm, sgd_step, Adam, OptimConfig};
+}

@@ -1,0 +1,125 @@
+//! Loss functions returning `(loss, ∂loss/∂input)` pairs.
+
+use crate::activation::sigmoid;
+use crate::matrix::Matrix;
+
+/// Class-weighted binary cross-entropy on logits.
+///
+/// RevPred mitigates the skew of spot-market labels by "assigning different
+/// weights for different classes": with `φ⁺`/`φ⁻` the positive/negative
+/// sample fractions, the positive class gets weight `φ⁻` and the negative
+/// class `φ⁺` (§III.B). Pass those as `w_pos` / `w_neg`.
+///
+/// `logits` must be batch×1; `targets` holds 0.0/1.0 labels per row.
+/// Returns the mean weighted loss and its gradient w.r.t. the logits.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or weights are non-positive.
+pub fn weighted_bce_with_logits(
+    logits: &Matrix,
+    targets: &[f64],
+    w_pos: f64,
+    w_neg: f64,
+) -> (f64, Matrix) {
+    assert_eq!(logits.cols(), 1, "logits must be a column");
+    assert_eq!(logits.rows(), targets.len(), "target count mismatch");
+    assert!(w_pos > 0.0 && w_neg > 0.0, "class weights must be positive");
+    let n = targets.len() as f64;
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(logits.rows(), 1);
+    for r in 0..logits.rows() {
+        let z = logits[(r, 0)];
+        let y = targets[r];
+        debug_assert!(y == 0.0 || y == 1.0, "targets must be 0/1");
+        let p = sigmoid(z);
+        let w = if y > 0.5 { w_pos } else { w_neg };
+        // -w [ y ln p + (1-y) ln(1-p) ], computed stably from the logit:
+        // ln(1+e^{-|z|}) + max(z,0) - y z.
+        let softplus = (1.0 + (-z.abs()).exp()).ln() + z.max(0.0);
+        loss += w * (softplus - y * z);
+        grad[(r, 0)] = w * (p - y) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Mean squared error; returns `(loss, ∂loss/∂pred)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "shape mismatch"
+    );
+    let n = (pred.rows() * pred.cols()) as f64;
+    let diff = pred.sub(target);
+    let loss = diff.data().iter().map(|d| d * d).sum::<f64>() / n;
+    let mut grad = diff;
+    grad.scale(2.0 / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_matches_manual_computation() {
+        let logits = Matrix::from_vec(2, 1, vec![0.0, 2.0]);
+        let (loss, grad) = weighted_bce_with_logits(&logits, &[1.0, 0.0], 1.0, 1.0);
+        // Row 0: -ln σ(0) = ln 2. Row 1: -ln(1-σ(2)).
+        let expected = ((2.0f64).ln() + -(1.0 - sigmoid(2.0)).ln()) / 2.0;
+        assert!((loss - expected).abs() < 1e-12);
+        // Gradients: (p - y)/n.
+        assert!((grad[(0, 0)] - (0.5 - 1.0) / 2.0).abs() < 1e-12);
+        assert!((grad[(1, 0)] - (sigmoid(2.0) - 0.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_gradient_check() {
+        let eps = 1e-6;
+        for &(z, y, wp, wn) in &[(0.3, 1.0, 2.0, 0.5), (-1.2, 0.0, 0.7, 1.9)] {
+            let logits = Matrix::from_vec(1, 1, vec![z]);
+            let (_, grad) = weighted_bce_with_logits(&logits, &[y], wp, wn);
+            let (lp, _) =
+                weighted_bce_with_logits(&Matrix::from_vec(1, 1, vec![z + eps]), &[y], wp, wn);
+            let (lm, _) =
+                weighted_bce_with_logits(&Matrix::from_vec(1, 1, vec![z - eps]), &[y], wp, wn);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad[(0, 0)]).abs() < 1e-6,
+                "z={z} y={y}: numeric {numeric} vs {}",
+                grad[(0, 0)]
+            );
+        }
+    }
+
+    #[test]
+    fn bce_is_stable_at_extreme_logits() {
+        let logits = Matrix::from_vec(2, 1, vec![500.0, -500.0]);
+        let (loss, grad) = weighted_bce_with_logits(&logits, &[1.0, 0.0], 1.0, 1.0);
+        assert!(loss.is_finite());
+        assert!(loss < 1e-9); // both predictions are correct
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn class_weights_scale_contributions() {
+        let logits = Matrix::from_vec(1, 1, vec![0.0]);
+        let (l1, _) = weighted_bce_with_logits(&logits, &[1.0], 1.0, 1.0);
+        let (l3, _) = weighted_bce_with_logits(&logits, &[1.0], 3.0, 1.0);
+        assert!((l3 - 3.0 * l1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_basics() {
+        let p = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let t = Matrix::from_vec(1, 2, vec![0.0, 4.0]);
+        let (loss, grad) = mse(&p, &t);
+        assert!((loss - (1.0 + 4.0) / 2.0).abs() < 1e-12);
+        assert_eq!(grad.data(), &[1.0, -2.0]);
+    }
+}

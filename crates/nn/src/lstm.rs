@@ -1,0 +1,495 @@
+//! LSTM layers with full backpropagation-through-time, plus a stacked
+//! variant for the "three-tier LSTM structure" RevPred uses (§III.B).
+
+use crate::activation::sigmoid;
+use crate::init;
+use crate::matrix::Matrix;
+use crate::optim::{Adam, OptimConfig};
+use rand::rngs::StdRng;
+
+/// Cached per-timestep state required by BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    tanh_c: Matrix,
+}
+
+/// A single LSTM layer over row-batched sequences.
+///
+/// Gate order inside the fused `4H` dimension is `[i | f | g | o]`. The
+/// forget-gate bias initializes to 1.0 (standard practice; keeps gradients
+/// alive early in training).
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    input: usize,
+    hidden: usize,
+    wx: Matrix,
+    wh: Matrix,
+    b: Matrix,
+    gwx: Matrix,
+    gwh: Matrix,
+    gb: Matrix,
+    adam_wx: Adam,
+    adam_wh: Adam,
+    adam_b: Adam,
+    cache: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Creates an LSTM mapping `input` features to `hidden` state size.
+    pub fn new(input: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        // Forget-gate bias = 1.
+        for c in hidden..2 * hidden {
+            b[(0, c)] = 1.0;
+        }
+        Lstm {
+            input,
+            hidden,
+            wx: init::xavier(input, 4 * hidden, rng),
+            wh: init::xavier(hidden, 4 * hidden, rng),
+            b,
+            gwx: Matrix::zeros(input, 4 * hidden),
+            gwh: Matrix::zeros(hidden, 4 * hidden),
+            gb: Matrix::zeros(1, 4 * hidden),
+            adam_wx: Adam::new(input * 4 * hidden),
+            adam_wh: Adam::new(hidden * 4 * hidden),
+            adam_b: Adam::new(4 * hidden),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Input feature count.
+    pub fn input_size(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden state size.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    fn split4(&self, z: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
+        let h = self.hidden;
+        let b = z.rows();
+        let mut parts = [
+            Matrix::zeros(b, h),
+            Matrix::zeros(b, h),
+            Matrix::zeros(b, h),
+            Matrix::zeros(b, h),
+        ];
+        for r in 0..b {
+            let row = z.row(r);
+            for (k, part) in parts.iter_mut().enumerate() {
+                part.data_mut()[r * h..(r + 1) * h].copy_from_slice(&row[k * h..(k + 1) * h]);
+            }
+        }
+        let [i, f, g, o] = parts;
+        (i, f, g, o)
+    }
+
+    fn concat4(&self, i: &Matrix, f: &Matrix, g: &Matrix, o: &Matrix) -> Matrix {
+        let h = self.hidden;
+        let b = i.rows();
+        let mut z = Matrix::zeros(b, 4 * h);
+        for r in 0..b {
+            z.data_mut()[r * 4 * h..r * 4 * h + h].copy_from_slice(i.row(r));
+            z.data_mut()[r * 4 * h + h..r * 4 * h + 2 * h].copy_from_slice(f.row(r));
+            z.data_mut()[r * 4 * h + 2 * h..r * 4 * h + 3 * h].copy_from_slice(g.row(r));
+            z.data_mut()[r * 4 * h + 3 * h..r * 4 * h + 4 * h].copy_from_slice(o.row(r));
+        }
+        z
+    }
+
+    fn step(
+        &self,
+        x: &Matrix,
+        h_prev: &Matrix,
+        c_prev: &Matrix,
+    ) -> (Matrix, Matrix, StepCache) {
+        let mut z = x.matmul(&self.wx);
+        z.add_assign(&h_prev.matmul(&self.wh));
+        z.add_row_broadcast(&self.b);
+        let (zi, zf, zg, zo) = self.split4(&z);
+        let i = zi.map(sigmoid);
+        let f = zf.map(sigmoid);
+        let g = zg.map(f64::tanh);
+        let o = zo.map(sigmoid);
+        let c = f.hadamard(c_prev);
+        let mut c2 = i.hadamard(&g);
+        c2.add_assign(&c);
+        let c = c2;
+        let tanh_c = c.map(f64::tanh);
+        let h = o.hadamard(&tanh_c);
+        let cache = StepCache {
+            x: x.clone(),
+            h_prev: h_prev.clone(),
+            c_prev: c_prev.clone(),
+            i,
+            f,
+            g,
+            o,
+            tanh_c,
+        };
+        (h, c, cache)
+    }
+
+    /// Forward pass over a sequence (`xs[t]` is batch × input), caching
+    /// state for [`Lstm::backward`]. Returns the hidden state per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or any step has the wrong width.
+    pub fn forward(&mut self, xs: &[Matrix]) -> Vec<Matrix> {
+        self.cache.clear();
+        let (hs, caches) = self.run(xs);
+        self.cache = caches;
+        hs
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, xs: &[Matrix]) -> Vec<Matrix> {
+        self.run(xs).0
+    }
+
+    fn run(&self, xs: &[Matrix]) -> (Vec<Matrix>, Vec<StepCache>) {
+        assert!(!xs.is_empty(), "lstm sequence must not be empty");
+        let batch = xs[0].rows();
+        let mut h = Matrix::zeros(batch, self.hidden);
+        let mut c = Matrix::zeros(batch, self.hidden);
+        let mut caches = Vec::with_capacity(xs.len());
+        let mut hs = Vec::with_capacity(xs.len());
+        for x in xs {
+            assert_eq!(x.cols(), self.input, "lstm input width mismatch");
+            assert_eq!(x.rows(), batch, "lstm batch size must be constant");
+            let (h_new, c_new, cache) = self.step(x, &h, &c);
+            caches.push(cache);
+            h = h_new;
+            c = c_new;
+            hs.push(h.clone());
+        }
+        (hs, caches)
+    }
+
+    /// BPTT: `dhs[t] = ∂L/∂h_t` from above (zeros where unused). Returns
+    /// `∂L/∂x_t` per step and accumulates parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dhs` does not match the cached forward sequence.
+    pub fn backward(&mut self, dhs: &[Matrix]) -> Vec<Matrix> {
+        assert_eq!(dhs.len(), self.cache.len(), "backward length mismatch");
+        let t_max = self.cache.len();
+        let batch = self.cache[0].x.rows();
+        let mut dh_next = Matrix::zeros(batch, self.hidden);
+        let mut dc_next = Matrix::zeros(batch, self.hidden);
+        let mut dxs = vec![Matrix::zeros(batch, self.input); t_max];
+        for t in (0..t_max).rev() {
+            let cache = &self.cache[t];
+            let mut dh = dhs[t].clone();
+            dh.add_assign(&dh_next);
+            // dc = dc_next + dh ∘ o ∘ (1 − tanh²(c))
+            let one_minus_tc2 = cache.tanh_c.map(|v| 1.0 - v * v);
+            let mut dc = dh.hadamard(&cache.o).hadamard(&one_minus_tc2);
+            dc.add_assign(&dc_next);
+            let do_ = dh.hadamard(&cache.tanh_c);
+            let di = dc.hadamard(&cache.g);
+            let df = dc.hadamard(&cache.c_prev);
+            let dg = dc.hadamard(&cache.i);
+            dc_next = dc.hadamard(&cache.f);
+            // Pre-activation gradients.
+            let dzi = di.hadamard(&cache.i.map(|v| v * (1.0 - v)));
+            let dzf = df.hadamard(&cache.f.map(|v| v * (1.0 - v)));
+            let dzg = dg.hadamard(&cache.g.map(|v| 1.0 - v * v));
+            let dzo = do_.hadamard(&cache.o.map(|v| v * (1.0 - v)));
+            let dz = self.concat4(&dzi, &dzf, &dzg, &dzo);
+            self.gwx.add_assign(&cache.x.t_matmul(&dz));
+            self.gwh.add_assign(&cache.h_prev.t_matmul(&dz));
+            self.gb.add_assign(&dz.sum_rows());
+            dxs[t] = dz.matmul_t(&self.wx);
+            dh_next = dz.matmul_t(&self.wh);
+        }
+        dxs
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gwx.fill_zero();
+        self.gwh.fill_zero();
+        self.gb.fill_zero();
+    }
+
+    /// Mutable views of the gradient buffers (for global-norm clipping).
+    pub fn grads_mut(&mut self) -> Vec<&mut [f64]> {
+        vec![self.gwx.data_mut(), self.gwh.data_mut(), self.gb.data_mut()]
+    }
+
+    /// Applies one Adam step with the accumulated gradients.
+    pub fn step_optim(&mut self, cfg: &OptimConfig) {
+        self.adam_wx.step(self.wx.data_mut(), self.gwx.data(), cfg);
+        self.adam_wh.step(self.wh.data_mut(), self.gwh.data(), cfg);
+        self.adam_b.step(self.b.data_mut(), self.gb.data(), cfg);
+    }
+
+    /// Weight access for gradient checks: `(wx, wh, b)`.
+    pub fn weights_mut(&mut self) -> (&mut Matrix, &mut Matrix, &mut Matrix) {
+        (&mut self.wx, &mut self.wh, &mut self.b)
+    }
+
+    /// Gradient access for gradient checks: `(gwx, gwh, gb)`.
+    pub fn grads(&self) -> (&Matrix, &Matrix, &Matrix) {
+        (&self.gwx, &self.gwh, &self.gb)
+    }
+}
+
+/// A stack of LSTM layers; layer `k+1` consumes layer `k`'s hidden states.
+///
+/// RevPred feeds "the 59 price records in the past hour ... into a three-tier
+/// LSTM structure" (§III.B); [`StackedLstm::new`] with `tiers = 3` builds
+/// exactly that.
+#[derive(Debug, Clone)]
+pub struct StackedLstm {
+    layers: Vec<Lstm>,
+}
+
+impl StackedLstm {
+    /// Creates `tiers` stacked layers: `input → hidden → … → hidden`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is zero.
+    pub fn new(input: usize, hidden: usize, tiers: usize, rng: &mut StdRng) -> Self {
+        assert!(tiers > 0, "need at least one LSTM tier");
+        let mut layers = Vec::with_capacity(tiers);
+        layers.push(Lstm::new(input, hidden, rng));
+        for _ in 1..tiers {
+            layers.push(Lstm::new(hidden, hidden, rng));
+        }
+        StackedLstm { layers }
+    }
+
+    /// Number of tiers.
+    pub fn tiers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Hidden size of the top tier.
+    pub fn hidden_size(&self) -> usize {
+        self.layers.last().expect("non-empty").hidden_size()
+    }
+
+    /// Forward with caching; returns the top tier's hidden state sequence.
+    pub fn forward(&mut self, xs: &[Matrix]) -> Vec<Matrix> {
+        let mut seq = xs.to_vec();
+        for layer in &mut self.layers {
+            seq = layer.forward(&seq);
+        }
+        seq
+    }
+
+    /// Forward without caching.
+    pub fn forward_inference(&self, xs: &[Matrix]) -> Vec<Matrix> {
+        let mut seq = xs.to_vec();
+        for layer in &self.layers {
+            seq = layer.forward_inference(&seq);
+        }
+        seq
+    }
+
+    /// BPTT through all tiers; `dhs` applies to the top tier's outputs.
+    pub fn backward(&mut self, dhs: &[Matrix]) -> Vec<Matrix> {
+        let mut grad = dhs.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    /// Clears accumulated gradients in all tiers.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Mutable views of every tier's gradient buffers.
+    pub fn grads_mut(&mut self) -> Vec<&mut [f64]> {
+        self.layers.iter_mut().flat_map(Lstm::grads_mut).collect()
+    }
+
+    /// Applies one Adam step in every tier.
+    pub fn step_optim(&mut self, cfg: &OptimConfig) {
+        for layer in &mut self.layers {
+            layer.step_optim(cfg);
+        }
+    }
+
+    /// Access to individual tiers (gradient checks).
+    pub fn layer_mut(&mut self, k: usize) -> &mut Lstm {
+        &mut self.layers[k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Scalar loss = sum of final hidden state; its gradient w.r.t. the
+    /// final h is all-ones, other steps zero.
+    fn loss_and_grads(hs: &[Matrix]) -> (f64, Vec<Matrix>) {
+        let last = hs.last().unwrap();
+        let loss = last.data().iter().sum::<f64>();
+        let mut dhs: Vec<Matrix> = hs
+            .iter()
+            .map(|h| Matrix::zeros(h.rows(), h.cols()))
+            .collect();
+        *dhs.last_mut().unwrap() = last.map(|_| 1.0);
+        (loss, dhs)
+    }
+
+    fn sample_seq(t: usize, b: usize, i: usize) -> Vec<Matrix> {
+        (0..t)
+            .map(|step| Matrix::from_fn(b, i, |r, c| ((step * 31 + r * 7 + c) as f64 * 0.23).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut lstm = Lstm::new(3, 5, &mut rng);
+        let xs = sample_seq(4, 2, 3);
+        let hs = lstm.forward(&xs);
+        assert_eq!(hs.len(), 4);
+        assert_eq!((hs[0].rows(), hs[0].cols()), (2, 5));
+        let hs2 = lstm.forward_inference(&xs);
+        assert_eq!(hs, hs2);
+    }
+
+    #[test]
+    fn gradient_check_lstm() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lstm = Lstm::new(3, 4, &mut rng);
+        let xs = sample_seq(3, 2, 3);
+
+        lstm.zero_grad();
+        let hs = lstm.forward(&xs);
+        let (_, dhs) = loss_and_grads(&hs);
+        let dxs = lstm.backward(&dhs);
+
+        let eps = 1e-6;
+        // Weight gradient checks on wx, wh and b.
+        for (widx, pick) in [(0usize, 5usize), (1, 3), (2, 2)] {
+            let analytic = match widx {
+                0 => lstm.grads().0.data()[pick],
+                1 => lstm.grads().1.data()[pick],
+                _ => lstm.grads().2.data()[pick],
+            };
+            let perturb = |l: &mut Lstm, delta: f64| {
+                let (wx, wh, b) = l.weights_mut();
+                match widx {
+                    0 => wx.data_mut()[pick] += delta,
+                    1 => wh.data_mut()[pick] += delta,
+                    _ => b.data_mut()[pick] += delta,
+                }
+            };
+            perturb(&mut lstm, eps);
+            let (lp, _) = loss_and_grads(&lstm.forward_inference(&xs));
+            perturb(&mut lstm, -2.0 * eps);
+            let (lm, _) = loss_and_grads(&lstm.forward_inference(&xs));
+            perturb(&mut lstm, eps);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 1e-6,
+                "weight {widx}[{pick}]: numeric {numeric}, analytic {analytic}"
+            );
+        }
+
+        // Input gradient check.
+        let analytic = dxs[1][(0, 2)];
+        let mut xs_p = xs.clone();
+        xs_p[1][(0, 2)] += eps;
+        let (lp, _) = loss_and_grads(&lstm.forward_inference(&xs_p));
+        xs_p[1][(0, 2)] -= 2.0 * eps;
+        let (lm, _) = loss_and_grads(&lstm.forward_inference(&xs_p));
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - analytic).abs() < 1e-6,
+            "input grad: numeric {numeric}, analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn gradient_check_stacked() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut stack = StackedLstm::new(2, 3, 2, &mut rng);
+        let xs = sample_seq(3, 2, 2);
+        stack.zero_grad();
+        let hs = stack.forward(&xs);
+        let (_, dhs) = loss_and_grads(&hs);
+        stack.backward(&dhs);
+
+        let eps = 1e-6;
+        // Check one weight in the *bottom* tier (exercises inter-tier BPTT).
+        let analytic = stack.layer_mut(0).grads().0.data()[1];
+        stack.layer_mut(0).weights_mut().0.data_mut()[1] += eps;
+        let (lp, _) = loss_and_grads(&stack.forward_inference(&xs));
+        stack.layer_mut(0).weights_mut().0.data_mut()[1] -= 2.0 * eps;
+        let (lm, _) = loss_and_grads(&stack.forward_inference(&xs));
+        stack.layer_mut(0).weights_mut().0.data_mut()[1] += eps;
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - analytic).abs() < 1e-6,
+            "stacked grad: numeric {numeric}, analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn lstm_learns_to_remember_first_input() {
+        // Task: output at the end of the sequence should equal the first
+        // input (requires carrying state across steps).
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut lstm = Lstm::new(1, 8, &mut rng);
+        let mut head = crate::dense::Dense::new(8, 1, crate::activation::Activation::Identity, &mut rng);
+        let cfg = OptimConfig { lr: 0.01, ..OptimConfig::default() };
+        let seqs: Vec<(f64, Vec<Matrix>)> = (0..8)
+            .map(|k| {
+                let v = (k as f64 / 8.0) * 2.0 - 1.0;
+                let mut xs = vec![Matrix::from_vec(1, 1, vec![v])];
+                for j in 0..4 {
+                    xs.push(Matrix::from_vec(1, 1, vec![(j as f64 * 0.9).cos() * 0.1]));
+                }
+                (v, xs)
+            })
+            .collect();
+        let mut last_loss = f64::INFINITY;
+        for epoch in 0..200 {
+            let mut total = 0.0;
+            for (target, xs) in &seqs {
+                lstm.zero_grad();
+                head.zero_grad();
+                let hs = lstm.forward(xs);
+                let y = head.forward(hs.last().unwrap());
+                let err = y.data()[0] - target;
+                total += err * err;
+                let dy = Matrix::from_vec(1, 1, vec![2.0 * err]);
+                let dh = head.backward(&dy);
+                let mut dhs: Vec<Matrix> = hs.iter().map(|_| Matrix::zeros(1, 8)).collect();
+                *dhs.last_mut().unwrap() = dh;
+                lstm.backward(&dhs);
+                lstm.step_optim(&cfg);
+                head.step(&cfg);
+            }
+            if epoch == 199 {
+                last_loss = total / seqs.len() as f64;
+            }
+        }
+        assert!(last_loss < 0.01, "memorization loss {last_loss}");
+    }
+}

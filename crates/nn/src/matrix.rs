@@ -1,0 +1,348 @@
+//! A small row-major `f64` matrix, sufficient for the LSTM/dense networks
+//! used by RevPred. No BLAS, no SIMD — clarity and determinism first.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// A 1×n row vector.
+    pub fn row_vector(data: Vec<f64>) -> Self {
+        let n = data.len();
+        Matrix::from_vec(1, n, data)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the underlying row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow of one row.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · rhs` without materializing the transpose.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "t_matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            for r in 0..self.cols {
+                let a = self.data[k * self.cols + r];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · rhsᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_t dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for r in 0..self.rows {
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for c in 0..rhs.rows {
+                let b_row = &rhs.data[c * rhs.cols..(c + 1) * rhs.cols];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[r * rhs.rows + c] = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Element-wise sum into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise difference `self - rhs` as a new matrix.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise (Hadamard) product as a new matrix.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale(&mut self, s: f64) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Element-wise map as a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&x| f(x)).collect())
+    }
+
+    /// Adds a 1×cols row vector to every row (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × self.cols()`.
+    pub fn add_row_broadcast(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, &b) in row.iter_mut().zip(&bias.data) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Column sums as a 1×cols row vector (bias-gradient reduction).
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hconcat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "hconcat row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for r in 0..self.rows {
+            out.data[r * out.cols..r * out.cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * out.cols + self.cols..(r + 1) * out.cols].copy_from_slice(rhs.row(r));
+        }
+        out
+    }
+
+    /// Splits horizontally at `col`, returning `(left, right)`.
+    pub fn hsplit(&self, col: usize) -> (Matrix, Matrix) {
+        assert!(col > 0 && col < self.cols, "split point out of range");
+        let mut left = Matrix::zeros(self.rows, col);
+        let mut right = Matrix::zeros(self.rows, self.cols - col);
+        for r in 0..self.rows {
+            left.data[r * col..(r + 1) * col].copy_from_slice(&self.row(r)[..col]);
+            right.data[r * (self.cols - col)..(r + 1) * (self.cols - col)]
+                .copy_from_slice(&self.row(r)[col..]);
+        }
+        (left, right)
+    }
+
+    /// Sets every element to zero (gradient reset).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:+.4} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_basics() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_products_match_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64 * 0.3 - 1.0);
+        let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64 * 0.7 + 0.1);
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+        let d = Matrix::from_fn(5, 4, |r, c| (r + c) as f64);
+        assert_eq!(a.matmul_t(&d), a.matmul(&d.transpose()));
+    }
+
+    #[test]
+    fn broadcast_and_reduce_are_inverse_shapes() {
+        let mut m = Matrix::zeros(3, 2);
+        let bias = Matrix::row_vector(vec![1.0, -2.0]);
+        m.add_row_broadcast(&bias);
+        assert_eq!(m.sum_rows().data(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        let b = Matrix::from_fn(2, 2, |r, c| 10.0 + (r * 2 + c) as f64);
+        let joined = a.hconcat(&b);
+        assert_eq!(joined.cols(), 5);
+        let (l, r) = joined.hsplit(3);
+        assert_eq!(l, a);
+        assert_eq!(r, b);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.hadamard(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        let mut c = a.clone();
+        c.scale(2.0);
+        assert_eq!(c.data(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.map(|x| x * x).data(), &[1.0, 4.0, 9.0]);
+        assert!((a.norm() - 14.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn mismatched_matmul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_rejected() {
+        let _ = Matrix::zeros(0, 3);
+    }
+}

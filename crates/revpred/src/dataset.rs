@@ -1,0 +1,227 @@
+//! Training-sample assembly for the revocation predictors: sliding windows
+//! over a market's price trace, the Algorithm-2 max-price generation, and
+//! ground-truth labels.
+
+use crate::features::{features_at, RECORD_FEATURES};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use spottune_market::stats::trimmed_mean;
+use spottune_market::time::HOUR;
+use spottune_market::{SimDur, SimTime, SpotMarket};
+
+/// History window length: "the history prices across the past 59 minutes"
+/// (§III.B).
+pub const HISTORY_LEN: usize = 59;
+
+/// Width of the present record: six engineered features plus the maximum
+/// price.
+pub const PRESENT_FEATURES: usize = RECORD_FEATURES + 1;
+
+/// One supervised sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// `HISTORY_LEN` normalized feature records, oldest first.
+    pub history: Vec<[f64; RECORD_FEATURES]>,
+    /// Present record: 6 normalized features + normalized max price.
+    pub present: [f64; PRESENT_FEATURES],
+    /// Whether the market price exceeded the max price within the next hour.
+    pub label: bool,
+    /// Sample timestamp (for splits and debugging).
+    pub at: SimTime,
+}
+
+/// How the training max price is generated from the current price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaPolicy {
+    /// RevPred's Algorithm 2: current price + trimmed mean (drop smallest
+    /// and largest 20 %) of the absolute per-minute price changes over the
+    /// previous hour — deltas near the revoked/not-revoked decision border
+    /// (an active-learning argument, §III.B).
+    Algorithm2,
+    /// Tributary's policy: current price + Uniform(1e-5, 0.2) [1].
+    UniformRandom,
+}
+
+/// The Algorithm-2 delta at time `t`: trimmed mean of `|Δprice|` over the
+/// previous hour.
+pub fn algorithm2_delta(market: &SpotMarket, t: SimTime) -> f64 {
+    let hour_ago = t.saturating_sub(SimDur::from_secs(HOUR));
+    let deltas = market.trace().abs_deltas(hour_ago, t.max(SimTime::from_mins(2)));
+    trimmed_mean(&deltas, 0.2)
+}
+
+/// Builds one (unlabeled) input at `t` with an explicit max price.
+pub fn build_input(market: &SpotMarket, t: SimTime, max_price: f64) -> Sample {
+    let od = market.instance().on_demand_price();
+    let trace = market.trace();
+    let mut history = Vec::with_capacity(HISTORY_LEN);
+    for back in (1..=HISTORY_LEN).rev() {
+        let at = t.saturating_sub(SimDur::from_mins(back as u64));
+        history.push(features_at(trace, at, od));
+    }
+    let now = features_at(trace, t, od);
+    let mut present = [0.0; PRESENT_FEATURES];
+    present[..RECORD_FEATURES].copy_from_slice(&now);
+    present[RECORD_FEATURES] = max_price / od;
+    Sample { history, present, label: false, at: t }
+}
+
+/// Builds a labeled sample at `t` using the given delta policy.
+pub fn build_sample(
+    market: &SpotMarket,
+    t: SimTime,
+    policy: DeltaPolicy,
+    rng: &mut StdRng,
+) -> Sample {
+    let price = market.price_at(t);
+    let delta = match policy {
+        DeltaPolicy::Algorithm2 => {
+            // Half the samples sit at the decision border — current price
+            // plus (jittered) average fluctuation, the active-learning
+            // argument of §III.B — and half cover the full inference-time
+            // delta range so random max prices are in-distribution. On the
+            // paper's us-east-1 traces the average fluctuation itself spans
+            // the [1e-5, 0.2] range; our synthetic markets trade at smaller
+            // absolute prices, so coverage needs the explicit mixture
+            // (substitution documented in DESIGN.md).
+            if rng.random_bool(0.5) {
+                let d = algorithm2_delta(market, t);
+                let d = if d > 0.0 { d } else { 1e-4 };
+                d * rng.random_range(0.5..3.0)
+            } else {
+                rng.random_range(0.00001..0.2)
+            }
+        }
+        DeltaPolicy::UniformRandom => rng.random_range(0.00001..0.2),
+    };
+    let max_price = price + delta;
+    let mut sample = build_input(market, t, max_price);
+    sample.label = market.revoked_within_hour(t, max_price);
+    sample
+}
+
+/// Builds a dataset by sliding over `[from, to)` with `stride`.
+///
+/// # Panics
+///
+/// Panics if the window is empty or the stride is zero.
+pub fn build_dataset(
+    market: &SpotMarket,
+    from: SimTime,
+    to: SimTime,
+    stride: SimDur,
+    policy: DeltaPolicy,
+    seed: u64,
+) -> Vec<Sample> {
+    assert!(from < to, "empty sampling window");
+    assert!(stride.as_secs() > 0, "stride must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut t = from;
+    while t < to {
+        out.push(build_sample(market, t, policy, &mut rng));
+        t += stride;
+    }
+    out
+}
+
+/// Positive-class fraction `φ⁺` of a dataset (for the class-weighted loss
+/// and the Eq. 3 calibration).
+pub fn positive_fraction(samples: &[Sample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|s| s.label).count() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spottune_market::prelude::*;
+
+    fn market() -> SpotMarket {
+        let pool = MarketPool::standard(SimDur::from_days(3), 9);
+        pool.market("r4.large").unwrap().clone()
+    }
+
+    #[test]
+    fn sample_shapes() {
+        let m = market();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = build_sample(&m, SimTime::from_hours(5), DeltaPolicy::Algorithm2, &mut rng);
+        assert_eq!(s.history.len(), HISTORY_LEN);
+        assert_eq!(s.present.len(), PRESENT_FEATURES);
+        // Max price strictly above current (delta > 0).
+        let od = m.instance().on_demand_price();
+        assert!(s.present[RECORD_FEATURES] * od > m.price_at(SimTime::from_hours(5)));
+    }
+
+    #[test]
+    fn labels_match_ground_truth() {
+        let m = market();
+        let mut rng = StdRng::seed_from_u64(2);
+        for h in [2u64, 10, 20, 40] {
+            let t = SimTime::from_hours(h);
+            let s = build_sample(&m, t, DeltaPolicy::Algorithm2, &mut rng);
+            let od = m.instance().on_demand_price();
+            let max_price = s.present[RECORD_FEATURES] * od;
+            assert_eq!(s.label, m.revoked_within_hour(t, max_price));
+        }
+    }
+
+    #[test]
+    fn dataset_has_both_classes_on_volatile_market() {
+        let m = market(); // r4.large is the Volatile regime
+        let samples = build_dataset(
+            &m,
+            SimTime::from_hours(2),
+            SimTime::from_hours(60),
+            SimDur::from_mins(10),
+            DeltaPolicy::Algorithm2,
+            3,
+        );
+        let phi = positive_fraction(&samples);
+        assert!(
+            phi > 0.05 && phi < 0.95,
+            "positive fraction {phi} should be non-degenerate"
+        );
+    }
+
+    #[test]
+    fn algorithm2_tracks_volatility() {
+        let pool = MarketPool::standard(SimDur::from_days(2), 4);
+        let stable = pool.market("m4.4xlarge").unwrap();
+        let volatile = pool.market("r4.large").unwrap();
+        let t = SimTime::from_hours(20);
+        // Normalize by on-demand price to compare across instance types.
+        let ds = algorithm2_delta(stable, t) / stable.instance().on_demand_price();
+        let dv = algorithm2_delta(volatile, t) / volatile.instance().on_demand_price();
+        assert!(
+            dv >= ds,
+            "volatile market delta {dv} should be at least stable {ds}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = market();
+        let a = build_dataset(
+            &m,
+            SimTime::from_hours(2),
+            SimTime::from_hours(6),
+            SimDur::from_mins(30),
+            DeltaPolicy::UniformRandom,
+            7,
+        );
+        let b = build_dataset(
+            &m,
+            SimTime::from_hours(2),
+            SimTime::from_hours(6),
+            SimDur::from_mins(30),
+            DeltaPolicy::UniformRandom,
+            7,
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,163 @@
+//! Bridges trained per-market models to the orchestrator's
+//! [`RevocationEstimator`] interface ("for each individual spot market, an
+//! independent model is trained offline", §III.B).
+
+use crate::dataset::{build_dataset, build_input, DeltaPolicy, Sample};
+use crate::logistic::LogisticModel;
+use crate::model::{ProbModel, RevPredNet, TrainConfig};
+use crate::tributary::TributaryNet;
+use spottune_market::{MarketPool, RevocationEstimator, SimDur, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which predictor family to train per market.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// RevPred: dual-path LSTM + Algorithm-2 deltas.
+    RevPred,
+    /// Tributary: single-path LSTM + uniform-random deltas.
+    Tributary,
+    /// Logistic regression on flattened features + Algorithm-2 deltas.
+    Logistic,
+}
+
+impl PredictorKind {
+    /// Delta policy the paper pairs with each predictor.
+    pub fn delta_policy(self) -> DeltaPolicy {
+        match self {
+            PredictorKind::RevPred | PredictorKind::Logistic => DeltaPolicy::Algorithm2,
+            PredictorKind::Tributary => DeltaPolicy::UniformRandom,
+        }
+    }
+}
+
+/// One trained model per spot market, usable as a [`RevocationEstimator`].
+pub struct MarketPredictorSet {
+    pool: MarketPool,
+    models: HashMap<String, Box<dyn ProbModel>>,
+    label: String,
+}
+
+impl fmt::Debug for MarketPredictorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MarketPredictorSet")
+            .field("label", &self.label)
+            .field("markets", &self.models.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl MarketPredictorSet {
+    /// Trains one predictor per market on `[train_from, train_to)` with the
+    /// given sampling stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training window produces no samples.
+    pub fn train(
+        kind: PredictorKind,
+        pool: &MarketPool,
+        train_from: SimTime,
+        train_to: SimTime,
+        stride: SimDur,
+        cfg: &TrainConfig,
+    ) -> Self {
+        let mut models: HashMap<String, Box<dyn ProbModel>> = HashMap::new();
+        for market in pool.iter() {
+            let samples = build_dataset(
+                market,
+                train_from,
+                train_to,
+                stride,
+                kind.delta_policy(),
+                cfg.seed ^ market.instance().name().len() as u64,
+            );
+            let model: Box<dyn ProbModel> = match kind {
+                PredictorKind::RevPred => {
+                    let mut net = RevPredNet::new(cfg);
+                    net.train(&samples, cfg);
+                    Box::new(net)
+                }
+                PredictorKind::Tributary => {
+                    let mut net = TributaryNet::new(cfg);
+                    net.train(&samples, cfg);
+                    Box::new(net)
+                }
+                PredictorKind::Logistic => {
+                    let mut model = LogisticModel::new();
+                    model.train(&samples, cfg);
+                    Box::new(model)
+                }
+            };
+            models.insert(market.instance().name().to_string(), model);
+        }
+        let label = match kind {
+            PredictorKind::RevPred => "RevPred",
+            PredictorKind::Tributary => "Tributary",
+            PredictorKind::Logistic => "LogisticRegression",
+        };
+        MarketPredictorSet { pool: pool.clone(), models, label: label.to_string() }
+    }
+
+    /// Predicts for an explicit, already-built sample (evaluation path).
+    pub fn predict_sample(&self, instance_name: &str, sample: &Sample) -> Option<f64> {
+        Some(self.models.get(instance_name)?.predict(sample))
+    }
+}
+
+impl RevocationEstimator for MarketPredictorSet {
+    fn revocation_probability(&self, instance_name: &str, t: SimTime, max_price: f64) -> f64 {
+        let (Some(model), Some(market)) =
+            (self.models.get(instance_name), self.pool.market(instance_name))
+        else {
+            return 0.5; // unknown market: no information
+        };
+        model.predict(&build_input(market, t, max_price))
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trains_per_market_and_estimates() {
+        let pool = MarketPool::standard(SimDur::from_days(2), 5);
+        let cfg = TrainConfig {
+            lstm_hidden: 4,
+            lstm_tiers: 1,
+            dense_hidden: 4,
+            epochs: 1,
+            batch: 32,
+            seed: 2,
+            ..TrainConfig::default()
+        };
+        let set = MarketPredictorSet::train(
+            PredictorKind::Logistic, // fast baseline for the unit test
+            &pool,
+            SimTime::from_hours(2),
+            SimTime::from_hours(20),
+            SimDur::from_mins(30),
+            &cfg,
+        );
+        let t = SimTime::from_hours(30);
+        for market in pool.iter() {
+            let price = market.price_at(t);
+            let p = set.revocation_probability(market.instance().name(), t, price + 0.01);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        // Unknown instances return the uninformative prior.
+        assert_eq!(set.revocation_probability("bogus", t, 1.0), 0.5);
+        assert_eq!(set.name(), "LogisticRegression");
+    }
+
+    #[test]
+    fn policy_pairing_matches_paper() {
+        assert_eq!(PredictorKind::RevPred.delta_policy(), DeltaPolicy::Algorithm2);
+        assert_eq!(PredictorKind::Tributary.delta_policy(), DeltaPolicy::UniformRandom);
+    }
+}

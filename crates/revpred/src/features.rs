@@ -1,0 +1,101 @@
+//! The six engineered features RevPred computes per price record (§III.B):
+//!
+//! 1. current spot market price;
+//! 2. average spot market price (over the past hour);
+//! 3. number of price changes in the past hour;
+//! 4. time since the current price was set;
+//! 5. whether the time is a workday;
+//! 6. current hour of the day.
+
+use spottune_market::time::HOUR;
+use spottune_market::{PriceTrace, SimDur, SimTime};
+
+/// Number of engineered features per record.
+pub const RECORD_FEATURES: usize = 6;
+
+/// Raw (un-normalized) feature vector at instant `t`.
+pub fn raw_features(trace: &PriceTrace, t: SimTime) -> [f64; RECORD_FEATURES] {
+    let hour_ago = t.saturating_sub(SimDur::from_secs(HOUR));
+    [
+        trace.price_at(t),
+        trace.avg_over(hour_ago, t.max(SimTime::from_mins(1))),
+        trace.changes_in(hour_ago, t.max(SimTime::from_mins(1))) as f64,
+        trace.duration_since_change(t).as_hours_f64(),
+        if t.is_workday() { 1.0 } else { 0.0 },
+        t.hour_of_day() as f64,
+    ]
+}
+
+/// Normalizes a raw feature vector into network-friendly ranges: prices are
+/// divided by the instance's on-demand price, counts by 60, durations by one
+/// hour (already in hours), the hour of day by 24.
+pub fn normalize(raw: [f64; RECORD_FEATURES], on_demand_price: f64) -> [f64; RECORD_FEATURES] {
+    assert!(on_demand_price > 0.0, "on-demand price must be positive");
+    [
+        raw[0] / on_demand_price,
+        raw[1] / on_demand_price,
+        raw[2] / 60.0,
+        raw[3],
+        raw[4],
+        raw[5] / 24.0,
+    ]
+}
+
+/// Normalized features at `t` in one call.
+pub fn features_at(
+    trace: &PriceTrace,
+    t: SimTime,
+    on_demand_price: f64,
+) -> [f64; RECORD_FEATURES] {
+    normalize(raw_features(trace, t), on_demand_price)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> PriceTrace {
+        // 90 minutes: flat 0.2 for 60, then climbing.
+        let mut prices = vec![0.2; 60];
+        for i in 0..30 {
+            prices.push(0.2 + 0.01 * (i + 1) as f64);
+        }
+        PriceTrace::from_minutes(prices)
+    }
+
+    #[test]
+    fn raw_features_match_trace_queries() {
+        let t = trace();
+        let at = SimTime::from_mins(75);
+        let f = raw_features(&t, at);
+        assert_eq!(f[0], t.price_at(at));
+        assert!(f[1] > 0.2 && f[1] < f[0]); // average lags the climb
+        assert!(f[2] >= 15.0); // many changes during the climb
+        assert_eq!(f[3], 0.0); // price changed this minute
+        assert_eq!(f[4], 1.0); // day 0 is a Wednesday
+        assert_eq!(f[5], 1.0); // 75 min = hour 1
+    }
+
+    #[test]
+    fn flat_region_has_zero_changes() {
+        let t = trace();
+        let f = raw_features(&t, SimTime::from_mins(59));
+        assert_eq!(f[2], 0.0);
+        assert!(f[3] > 0.9); // ~59 minutes since the price was set
+    }
+
+    #[test]
+    fn normalization_bounds() {
+        let t = trace();
+        let f = features_at(&t, SimTime::from_mins(80), 0.4);
+        assert!(f[0] > 0.0 && f[0] < 2.0);
+        assert!(f[2] <= 1.0);
+        assert!(f[5] < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "on-demand price must be positive")]
+    fn bad_normalizer_rejected() {
+        let _ = normalize([0.0; 6], 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # spottune-revpred
+//!
+//! Spot-instance revocation-probability prediction (paper §III.B): the six
+//! engineered features, the Algorithm-2 training-delta generation, the
+//! RevPred dual-path network (three-tier LSTM over 59 history records ⊕
+//! three dense layers over the present record), the Eq. 3 calibration, and
+//! the two baselines of Fig. 10 (a re-implementation of Tributary's
+//! predictor and a logistic regression), plus the evaluation metrics and the
+//! bridge to the orchestrator's `RevocationEstimator` interface.
+
+pub mod dataset;
+pub mod estimator;
+pub mod eval;
+pub mod features;
+pub mod logistic;
+pub mod model;
+pub mod tributary;
+
+pub use dataset::{build_dataset, build_input, build_sample, DeltaPolicy, Sample};
+pub use estimator::{MarketPredictorSet, PredictorKind};
+pub use eval::BinaryEval;
+pub use logistic::LogisticModel;
+pub use model::{ProbModel, RevPredNet, TrainConfig, TrainStats};
+pub use tributary::TributaryNet;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::dataset::{
+        algorithm2_delta, build_dataset, build_input, build_sample, positive_fraction,
+        DeltaPolicy, Sample, HISTORY_LEN, PRESENT_FEATURES,
+    };
+    pub use crate::estimator::{MarketPredictorSet, PredictorKind};
+    pub use crate::eval::BinaryEval;
+    pub use crate::features::{features_at, raw_features, RECORD_FEATURES};
+    pub use crate::logistic::LogisticModel;
+    pub use crate::model::{calibrate, ProbModel, RevPredNet, TrainConfig, TrainStats};
+    pub use crate::tributary::TributaryNet;
+}

@@ -1,0 +1,144 @@
+//! Logistic-regression baseline on flattened features (the third bar of
+//! paper Fig. 10).
+
+use crate::dataset::{Sample, HISTORY_LEN, PRESENT_FEATURES};
+use crate::features::RECORD_FEATURES;
+use crate::model::{calibrate, ProbModel, TrainConfig, TrainStats};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use spottune_nn::activation::sigmoid;
+
+/// Flattened input width: 59 history records × 6 features + 7 present.
+pub const FLAT_FEATURES: usize = HISTORY_LEN * RECORD_FEATURES + PRESENT_FEATURES;
+
+/// Logistic regression over the flattened sample.
+#[derive(Debug, Clone)]
+pub struct LogisticModel {
+    w: Vec<f64>,
+    b: f64,
+    phi_pos: f64,
+    phi_neg: f64,
+}
+
+fn flatten(sample: &Sample) -> Vec<f64> {
+    let mut x = Vec::with_capacity(FLAT_FEATURES);
+    for rec in &sample.history {
+        x.extend_from_slice(rec);
+    }
+    x.extend_from_slice(&sample.present);
+    x
+}
+
+impl Default for LogisticModel {
+    fn default() -> Self {
+        LogisticModel::new()
+    }
+}
+
+impl LogisticModel {
+    /// Creates an untrained model.
+    pub fn new() -> Self {
+        LogisticModel { w: vec![0.0; FLAT_FEATURES], b: 0.0, phi_pos: 0.5, phi_neg: 0.5 }
+    }
+
+    /// Trains with class-weighted SGD (only `epochs`, `batch`, `optim.lr`
+    /// and `seed` of the config are used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn train(&mut self, samples: &[Sample], cfg: &TrainConfig) -> TrainStats {
+        assert!(!samples.is_empty(), "cannot train on an empty dataset");
+        let n_pos = samples.iter().filter(|s| s.label).count();
+        self.phi_pos = (n_pos as f64 / samples.len() as f64).clamp(0.02, 0.98);
+        self.phi_neg = 1.0 - self.phi_pos;
+        let (w_pos, w_neg) = (self.phi_neg, self.phi_pos);
+        let xs: Vec<Vec<f64>> = samples.iter().map(flatten).collect();
+
+        let lr = cfg.optim.lr * 10.0; // linear model tolerates a larger step
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x106);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            for &i in &order {
+                let x = &xs[i];
+                let y = if samples[i].label { 1.0 } else { 0.0 };
+                let weight = if samples[i].label { w_pos } else { w_neg };
+                let z: f64 = self.w.iter().zip(x).map(|(w, x)| w * x).sum::<f64>() + self.b;
+                let p = sigmoid(z);
+                // Stable weighted BCE.
+                let softplus = (1.0 + (-z.abs()).exp()).ln() + z.max(0.0);
+                total += weight * (softplus - y * z);
+                let g = weight * (p - y);
+                for (w, &xi) in self.w.iter_mut().zip(x) {
+                    *w -= lr * (g * xi + 1e-5 * *w);
+                }
+                self.b -= lr * g;
+            }
+            epoch_losses.push(total / samples.len() as f64);
+        }
+        TrainStats { epoch_losses, phi_pos: self.phi_pos }
+    }
+
+    /// Raw probability before calibration.
+    pub fn predict_raw(&self, sample: &Sample) -> f64 {
+        let x = flatten(sample);
+        let z: f64 = self.w.iter().zip(&x).map(|(w, x)| w * x).sum::<f64>() + self.b;
+        sigmoid(z)
+    }
+}
+
+impl ProbModel for LogisticModel {
+    fn predict(&self, sample: &Sample) -> f64 {
+        calibrate(self.predict_raw(sample), self.phi_pos, self.phi_neg)
+    }
+
+    fn name(&self) -> &'static str {
+        "LogisticRegression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{build_dataset, DeltaPolicy};
+    use spottune_market::prelude::*;
+
+    #[test]
+    fn trains_on_market_data() {
+        let pool = MarketPool::standard(SimDur::from_days(3), 5);
+        let market = pool.market("r4.large").unwrap();
+        let samples = build_dataset(
+            market,
+            SimTime::from_hours(2),
+            SimTime::from_hours(50),
+            SimDur::from_mins(15),
+            DeltaPolicy::Algorithm2,
+            13,
+        );
+        let cfg = TrainConfig { epochs: 4, ..TrainConfig::default() };
+        let mut m = LogisticModel::new();
+        let stats = m.train(&samples, &cfg);
+        assert!(stats.epoch_losses.last().unwrap() <= &stats.epoch_losses[0]);
+        let p = m.predict(&samples[0]);
+        assert!((0.0..=1.0).contains(&p));
+        assert_eq!(m.name(), "LogisticRegression");
+    }
+
+    #[test]
+    fn flatten_width_matches_constant() {
+        let pool = MarketPool::standard(SimDur::from_days(1), 5);
+        let market = pool.market("r4.large").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = crate::dataset::build_sample(
+            market,
+            SimTime::from_hours(3),
+            DeltaPolicy::Algorithm2,
+            &mut rng,
+        );
+        assert_eq!(flatten(&s).len(), FLAT_FEATURES);
+    }
+}

@@ -1,0 +1,177 @@
+//! Re-implementation of Tributary's revocation predictor [1], the baseline
+//! of paper Fig. 10 ("Tributary Predict").
+//!
+//! Differences from RevPred, per §III.B and §IV.D:
+//! * the **whole** input goes through the LSTM — there is no separate dense
+//!   path for the present record (we append the normalized max price as a
+//!   constant 7th feature to every timestep);
+//! * training max prices are generated with the **uniform-random** delta
+//!   rather than Algorithm 2 (that choice lives in
+//!   [`crate::dataset::DeltaPolicy`], picked by the caller).
+
+use crate::dataset::{Sample, HISTORY_LEN, PRESENT_FEATURES};
+use crate::features::RECORD_FEATURES;
+use crate::model::{calibrate, ProbModel, TrainConfig, TrainStats};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use spottune_nn::activation::sigmoid;
+use spottune_nn::loss::weighted_bce_with_logits;
+use spottune_nn::optim::clip_global_norm;
+use spottune_nn::prelude::*;
+
+/// The Tributary baseline network.
+#[derive(Debug)]
+pub struct TributaryNet {
+    lstm: StackedLstm,
+    head: Dense,
+    phi_pos: f64,
+    phi_neg: f64,
+    hidden: usize,
+}
+
+/// Packs samples for the single-path LSTM: 60 timesteps (59 history + the
+/// present record), each with 7 features (6 engineered + max price).
+fn batch_sequence(samples: &[&Sample]) -> Vec<Matrix> {
+    let b = samples.len();
+    let mut seq = Vec::with_capacity(HISTORY_LEN + 1);
+    for t in 0..HISTORY_LEN {
+        seq.push(Matrix::from_fn(b, PRESENT_FEATURES, |r, c| {
+            if c < RECORD_FEATURES {
+                samples[r].history[t][c]
+            } else {
+                // Max price replicated on every timestep.
+                samples[r].present[RECORD_FEATURES]
+            }
+        }));
+    }
+    seq.push(Matrix::from_fn(b, PRESENT_FEATURES, |r, c| samples[r].present[c]));
+    seq
+}
+
+impl TributaryNet {
+    /// Initializes an untrained network.
+    pub fn new(cfg: &TrainConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let lstm = StackedLstm::new(PRESENT_FEATURES, cfg.lstm_hidden, cfg.lstm_tiers, &mut rng);
+        let head = Dense::new(cfg.lstm_hidden, 1, Activation::Identity, &mut rng);
+        TributaryNet { lstm, head, phi_pos: 0.5, phi_neg: 0.5, hidden: cfg.lstm_hidden }
+    }
+
+    /// Trains on labeled samples (same weighted loss as RevPred so the
+    /// comparison isolates input-shape and delta-policy differences).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn train(&mut self, samples: &[Sample], cfg: &TrainConfig) -> TrainStats {
+        assert!(!samples.is_empty(), "cannot train on an empty dataset");
+        let n_pos = samples.iter().filter(|s| s.label).count();
+        self.phi_pos = (n_pos as f64 / samples.len() as f64).clamp(0.02, 0.98);
+        self.phi_neg = 1.0 - self.phi_pos;
+        let (w_pos, w_neg) = (self.phi_neg, self.phi_pos);
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ TRIB_SHUFFLE_SALT);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch) {
+                let batch: Vec<&Sample> = chunk.iter().map(|&i| &samples[i]).collect();
+                let targets: Vec<f64> =
+                    batch.iter().map(|s| if s.label { 1.0 } else { 0.0 }).collect();
+                self.lstm.zero_grad();
+                self.head.zero_grad();
+                let hs = self.lstm.forward(&batch_sequence(&batch));
+                let logits = self.head.forward(hs.last().expect("nonempty"));
+                let (loss, dlogits) = weighted_bce_with_logits(&logits, &targets, w_pos, w_neg);
+                total += loss;
+                batches += 1;
+                let dh_last = self.head.backward(&dlogits);
+                let mut dhs: Vec<Matrix> = (0..=HISTORY_LEN)
+                    .map(|_| Matrix::zeros(batch.len(), self.hidden))
+                    .collect();
+                *dhs.last_mut().expect("nonempty") = dh_last;
+                self.lstm.backward(&dhs);
+                {
+                    let mut grads: Vec<&mut [f64]> = Vec::new();
+                    grads.extend(self.lstm.grads_mut());
+                    grads.extend(self.head.grads_mut());
+                    clip_global_norm(&mut grads, cfg.optim.grad_clip);
+                }
+                self.lstm.step_optim(&cfg.optim);
+                self.head.step(&cfg.optim);
+            }
+            epoch_losses.push(total / batches.max(1) as f64);
+        }
+        TrainStats { epoch_losses, phi_pos: self.phi_pos }
+    }
+
+    /// Raw network probability before calibration.
+    pub fn predict_raw(&self, sample: &Sample) -> f64 {
+        let hs = self.lstm.forward_inference(&batch_sequence(&[sample]));
+        let logits = self.head.forward_inference(hs.last().expect("nonempty"));
+        sigmoid(logits[(0, 0)])
+    }
+}
+
+impl ProbModel for TributaryNet {
+    fn predict(&self, sample: &Sample) -> f64 {
+        calibrate(self.predict_raw(sample), self.phi_pos, self.phi_neg)
+    }
+
+    fn name(&self) -> &'static str {
+        "Tributary"
+    }
+}
+
+/// Shuffle-seed salt, distinct from RevPred's so the baselines do not share
+/// batch orderings.
+const TRIB_SHUFFLE_SALT: u64 = 0x771b;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{build_dataset, DeltaPolicy};
+    use spottune_market::prelude::*;
+
+    fn tiny_cfg() -> TrainConfig {
+        TrainConfig {
+            lstm_hidden: 6,
+            lstm_tiers: 2,
+            dense_hidden: 6,
+            epochs: 3,
+            batch: 16,
+            seed: 4,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn trains_and_predicts_probabilities() {
+        let pool = MarketPool::standard(SimDur::from_days(3), 5);
+        let market = pool.market("m4.2xlarge").unwrap();
+        let samples = build_dataset(
+            market,
+            SimTime::from_hours(2),
+            SimTime::from_hours(40),
+            SimDur::from_mins(25),
+            DeltaPolicy::UniformRandom,
+            13,
+        );
+        let cfg = tiny_cfg();
+        let mut net = TributaryNet::new(&cfg);
+        let stats = net.train(&samples, &cfg);
+        // Loss should not diverge (tiny net + few epochs may plateau).
+        let first = stats.epoch_losses[0];
+        let last = *stats.epoch_losses.last().unwrap();
+        assert!(last.is_finite() && last < first * 1.05, "{first} -> {last}");
+        for s in samples.iter().take(10) {
+            let p = net.predict(s);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert_eq!(net.name(), "Tributary");
+    }
+}

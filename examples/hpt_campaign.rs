@@ -1,0 +1,44 @@
+//! A full HPT cost study: SpotTune vs the Single-Spot baselines on two
+//! benchmark workloads — a miniature of the paper's Fig. 7.
+//!
+//! ```text
+//! cargo run --release --example hpt_campaign
+//! ```
+
+use spottune::prelude::*;
+
+fn main() {
+    let pool = MarketPool::standard(SimDur::from_days(12), 42);
+
+    for algorithm in [Algorithm::Svm, Algorithm::Gbtr] {
+        let workload = Workload::benchmark(algorithm);
+        println!("\n==== {} ====", workload.algorithm());
+
+        let oracle = OracleEstimator::new(pool.clone(), 0.9);
+        let mut reports = Vec::new();
+        for theta in [0.7, 1.0] {
+            let cfg = SpotTuneConfig::new(theta, 3).with_seed(42);
+            reports.push(Orchestrator::new(cfg, workload.clone(), pool.clone(), &oracle).run());
+        }
+        for kind in [SingleSpotKind::Cheapest, SingleSpotKind::Fastest] {
+            reports.push(run_single_spot(kind, &workload, &pool, SpotTuneConfig::default().start, 42));
+        }
+
+        let reference = reports[0].clone();
+        for r in &reports {
+            println!(
+                "{:<28} cost=${:<7.3} jct={:<8} pcr(norm)={:.2}",
+                r.approach,
+                r.cost,
+                format!("{}", r.jct),
+                r.pcr_normalized(&reference)
+            );
+        }
+        // SpotTune must win the cost comparison on every workload (Fig 7a).
+        let best_cost = reports
+            .iter()
+            .map(|r| r.cost)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(best_cost, reports[0].cost, "SpotTune(0.7) should be cheapest");
+    }
+}

@@ -1,0 +1,81 @@
+//! Explore the synthetic spot markets and train a revocation predictor.
+//!
+//! ```text
+//! cargo run --release --example market_explorer
+//! ```
+//!
+//! Prints per-market statistics (average discount vs on-demand, price
+//! changes, empirical revoke-within-hour frequency) and then trains the
+//! logistic baseline predictor per market, reporting held-out quality.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spottune::prelude::*;
+
+fn main() {
+    let days = 12;
+    let pool = MarketPool::standard(SimDur::from_days(days), 42);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    println!("{:<12} {:>8} {:>8} {:>10} {:>12}", "market", "avg/od", "max/od", "changes/d", "p(revoke|1h)");
+    for market in pool.iter() {
+        let trace = market.trace();
+        let od = market.instance().on_demand_price();
+        let avg = trace.avg_over(SimTime::ZERO, SimTime::from_days(days));
+        let (_, hi) = trace.min_max();
+        let changes =
+            trace.changes_in(SimTime::ZERO, SimTime::from_days(days)) as f64 / days as f64;
+        // Empirical revoke-within-hour frequency under random max prices.
+        let trials = 2000;
+        let hits = (0..trials)
+            .filter(|_| {
+                let t = SimTime::from_mins(rng.random_range(120..(days * 1440 - 120)));
+                let delta = rng.random_range(0.00001..0.2);
+                market.revoked_within_hour(t, market.price_at(t) + delta)
+            })
+            .count();
+        println!(
+            "{:<12} {:>8.2} {:>8.2} {:>10.0} {:>12.3}",
+            market.instance().name(),
+            avg / od,
+            hi / od,
+            changes,
+            hits as f64 / trials as f64
+        );
+    }
+
+    // Train the fast logistic predictor per market and evaluate held-out.
+    println!("\ntraining logistic revocation predictors (days 0-9, eval 9-12)...");
+    let cfg = TrainConfig { epochs: 4, seed: 1, ..TrainConfig::default() };
+    let set = MarketPredictorSet::train(
+        PredictorKind::Logistic,
+        &pool,
+        SimTime::from_hours(2),
+        SimTime::from_days(9),
+        SimDur::from_mins(20),
+        &cfg,
+    );
+    let mut probs = Vec::new();
+    let mut labels = Vec::new();
+    for market in pool.iter() {
+        let samples = build_dataset(
+            market,
+            SimTime::from_days(9),
+            SimTime::from_days(12) - SimDur::from_hours(2),
+            SimDur::from_mins(30),
+            DeltaPolicy::UniformRandom,
+            99,
+        );
+        for s in &samples {
+            probs.push(set.predict_sample(market.instance().name(), s).expect("trained"));
+            labels.push(s.label);
+        }
+    }
+    let eval = BinaryEval::score(&probs, &labels, 0.5);
+    println!(
+        "held-out: accuracy {:.3}, F1 {:.3} over {} samples",
+        eval.accuracy(),
+        eval.f1(),
+        eval.total()
+    );
+}

@@ -1,0 +1,51 @@
+//! # SpotTune
+//!
+//! A comprehensive Rust reproduction of *SpotTune: Leveraging Transient
+//! Resources for Cost-efficient Hyper-parameter Tuning in the Public Cloud*
+//! (ICDCS 2020): an orchestrating system that runs hyper-parameter tuning on
+//! revocable spot instances, combining fine-grained cost-aware provisioning
+//! (expected step cost with learned revocation probabilities) with staged
+//! training-curve prediction for early shutdown of unpromising models.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`market`] — spot markets, price traces, synthetic trace generation;
+//! * [`cloud`] — the discrete-event cloud (VMs, billing with first-hour
+//!   refunds, object storage);
+//! * [`nn`] — the small LSTM/dense neural-network library;
+//! * [`mlsim`] — benchmark workloads, real trainers and the performance model;
+//! * [`earlycurve`] — staged curve fitting and the SLAQ baseline;
+//! * [`revpred`] — the RevPred revocation predictor and its baselines;
+//! * [`core`] — the SpotTune orchestrator, baselines and reports.
+//!
+//! ## Example
+//!
+//! ```
+//! use spottune::prelude::*;
+//!
+//! let pool = MarketPool::standard(SimDur::from_days(3), 42);
+//! let oracle = OracleEstimator::new(pool.clone(), 0.9);
+//! let base = Workload::benchmark(Algorithm::LoR);
+//! // A tiny slice of the benchmark keeps the doctest fast.
+//! let workload = Workload::custom(Algorithm::LoR, 20, base.hp_grid()[..2].to_vec());
+//! let report = Orchestrator::new(SpotTuneConfig::new(0.5, 1), workload, pool, &oracle).run();
+//! assert_eq!(report.predicted_finals.len(), 2);
+//! ```
+
+pub use spottune_cloud as cloud;
+pub use spottune_core as core;
+pub use spottune_earlycurve as earlycurve;
+pub use spottune_market as market;
+pub use spottune_mlsim as mlsim;
+pub use spottune_nn as nn;
+pub use spottune_revpred as revpred;
+
+/// Everything needed for typical use, in one import.
+pub mod prelude {
+    pub use spottune_cloud::prelude::*;
+    pub use spottune_core::prelude::*;
+    pub use spottune_earlycurve::prelude::*;
+    pub use spottune_market::prelude::*;
+    pub use spottune_mlsim::prelude::*;
+    pub use spottune_revpred::prelude::*;
+}

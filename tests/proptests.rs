@@ -1,0 +1,139 @@
+//! Property-based tests on core invariants across crates.
+
+use proptest::prelude::*;
+use spottune::prelude::*;
+use spottune_cloud::billing::{integrate_cost, settle, EndCause};
+use spottune_cloud::VmId;
+use spottune_earlycurve::fit::fit_stage;
+use spottune_market::stats::{cov, trimmed_mean};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Billing is additive over time splits: cost(a,c) = cost(a,b) + cost(b,c).
+    #[test]
+    fn billing_is_additive(
+        seed in 0u64..1000,
+        a in 0u64..5_000,
+        len1 in 1u64..5_000,
+        len2 in 1u64..5_000,
+    ) {
+        let inst = spottune_market::instance::by_name("r3.xlarge").unwrap();
+        let trace = TraceGenerator::preset(Regime::Volatile)
+            .generate(&inst, SimDur::from_hours(4), seed);
+        let (ta, tb, tc) = (
+            SimTime::from_secs(a),
+            SimTime::from_secs(a + len1),
+            SimTime::from_secs(a + len1 + len2),
+        );
+        let whole = integrate_cost(&trace, ta, tc);
+        let split = integrate_cost(&trace, ta, tb) + integrate_cost(&trace, tb, tc);
+        prop_assert!((whole - split).abs() < 1e-9, "{whole} vs {split}");
+    }
+
+    /// The refund rule: net cost is zero iff provider-revoked within 1h.
+    #[test]
+    fn refund_rule(seed in 0u64..500, mins in 1u64..180, provider_revoked in any::<bool>()) {
+        let inst = spottune_market::instance::by_name("r4.large").unwrap();
+        let trace = TraceGenerator::preset(Regime::Stable)
+            .generate(&inst, SimDur::from_hours(4), seed);
+        let cause = if provider_revoked { EndCause::ProviderRevoked } else { EndCause::UserTerminated };
+        let rec = settle(VmId::from_raw(0), "r4.large", &trace, SimTime::ZERO, SimTime::from_mins(mins), cause);
+        prop_assert!(rec.gross > 0.0);
+        let free = provider_revoked && mins < 60;
+        prop_assert_eq!(rec.was_free(), free);
+        let expected_net = if free { 0.0 } else { rec.gross };
+        prop_assert!((rec.net() - expected_net).abs() < 1e-12);
+    }
+
+    /// Synthetic traces are always positive and within the configured caps.
+    #[test]
+    fn traces_respect_bounds(seed in 0u64..500, hours in 1u64..72) {
+        let inst = spottune_market::instance::by_name("m4.2xlarge").unwrap();
+        let generator = TraceGenerator::preset(Regime::Spiky);
+        let trace = generator.generate(&inst, SimDur::from_hours(hours), seed);
+        let (lo, hi) = trace.min_max();
+        let config = generator.config();
+        prop_assert!(lo >= config.floor_fraction * inst.on_demand_price() - 1e-12);
+        prop_assert!(hi <= config.cap_fraction * inst.on_demand_price() + 1e-12);
+        prop_assert_eq!(trace.len_minutes() as u64, hours * 60);
+    }
+
+    /// `first_exceed` really is the first minute above the threshold.
+    #[test]
+    fn first_exceed_is_minimal(seed in 0u64..300, threshold_frac in 0.3f64..3.0) {
+        let inst = spottune_market::instance::by_name("r3.xlarge").unwrap();
+        let trace = TraceGenerator::preset(Regime::Volatile)
+            .generate(&inst, SimDur::from_hours(8), seed);
+        let threshold = threshold_frac * 0.25 * inst.on_demand_price();
+        match trace.first_exceed(SimTime::ZERO, SimDur::from_hours(8), threshold) {
+            Some(at) => {
+                prop_assert!(trace.price_at(at) > threshold);
+                for m in 0..at.minute_index() {
+                    prop_assert!(trace.price_at(SimTime::from_mins(m)) <= threshold);
+                }
+            }
+            None => {
+                let (_, hi) = trace.min_max();
+                prop_assert!(hi <= threshold);
+            }
+        }
+    }
+
+    /// Trimmed mean is bounded by min/max and matches the plain mean for
+    /// constant inputs.
+    #[test]
+    fn trimmed_mean_bounds(xs in prop::collection::vec(0.0f64..100.0, 1..50)) {
+        let tm = trimmed_mean(&xs, 0.2);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(tm >= lo - 1e-12 && tm <= hi + 1e-12);
+    }
+
+    /// The fitted stage model is non-increasing in k (non-negative
+    /// coefficients guarantee it), so extrapolation never exceeds the last
+    /// observed prediction.
+    #[test]
+    fn stage_fit_is_monotone(a1 in 0.001f64..0.5, a2 in 0.1f64..2.0, a3 in 0.0f64..1.0) {
+        let points: Vec<(u64, f64)> = (0..60)
+            .map(|k| (k, a3 + 1.0 / (a1 * k as f64 + a2)))
+            .collect();
+        let fit = fit_stage(&points, 0);
+        let mut prev = f64::INFINITY;
+        for k in (0..600).step_by(17) {
+            let v = fit.predict(k);
+            prop_assert!(v <= prev + 1e-9, "fit increased at {k}");
+            prop_assert!(v.is_finite() && v >= 0.0);
+            prev = v;
+        }
+    }
+
+    /// Performance samples stay positive with bounded dispersion.
+    #[test]
+    fn perf_samples_bounded(seed in 0u64..200) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let model = PerfModel::new();
+        let w = Workload::benchmark(Algorithm::AlexNet);
+        let hp = w.hp_grid()[0].clone();
+        let inst = spottune_market::instance::by_name("r4.xlarge").unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..100).map(|_| model.sample_spe(&inst, &w, &hp, &mut rng)).collect();
+        prop_assert!(samples.iter().all(|&s| s > 0.0));
+        prop_assert!(cov(&samples) < 0.12);
+    }
+
+    /// Grid expansion size is the product of axis lengths and all settings
+    /// are distinct.
+    #[test]
+    fn grid_expansion_product(n1 in 1usize..4, n2 in 1usize..4, n3 in 1usize..4) {
+        let axes = vec![
+            GridAxis::new("a", (0..n1).map(|i| HpValue::Int(i as i64)).collect()),
+            GridAxis::new("b", (0..n2).map(|i| HpValue::Int(i as i64)).collect()),
+            GridAxis::new("c", (0..n3).map(|i| HpValue::Int(i as i64)).collect()),
+        ];
+        let grid = expand_grid(&axes);
+        prop_assert_eq!(grid.len(), n1 * n2 * n3);
+        let ids: std::collections::HashSet<String> = grid.iter().map(|h| h.id()).collect();
+        prop_assert_eq!(ids.len(), grid.len());
+    }
+}
