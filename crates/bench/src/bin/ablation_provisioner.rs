@@ -13,6 +13,7 @@
 //!
 //! Run with: `cargo run --release -p spottune-bench --bin ablation_provisioner`
 
+use rayon::prelude::*;
 use spottune_bench::{print_table, standard_pool, MASTER_SEED};
 use spottune_core::prelude::*;
 use spottune_market::prelude::*;
@@ -46,21 +47,28 @@ fn main() {
         ("anti-oracle", &anti),
     ];
 
-    let mut rows = Vec::new();
-    for alg in workloads {
-        let w = Workload::benchmark(alg);
-        for (label, est) in estimators {
+    // Every (workload, estimator) campaign is independent: fan the whole
+    // ablation grid out across cores.
+    let grid: Vec<(Algorithm, usize)> = workloads
+        .iter()
+        .flat_map(|&alg| (0..estimators.len()).map(move |ei| (alg, ei)))
+        .collect();
+    let rows: Vec<Vec<String>> = grid
+        .into_par_iter()
+        .map(|(alg, ei)| {
+            let (label, est) = estimators[ei];
+            let w = Workload::benchmark(alg);
             let cfg = SpotTuneConfig::new(0.7, 3).with_seed(MASTER_SEED);
             let r = Orchestrator::new(cfg, w.clone(), pool.clone(), est).run();
-            rows.push(vec![
+            vec![
                 w.algorithm().name().to_string(),
                 label.to_string(),
                 format!("{:.3}", r.cost),
                 format!("{:.1}", 100.0 * r.free_step_fraction()),
                 format!("{:.2}", r.jct.as_hours_f64()),
-            ]);
-        }
-    }
+            ]
+        })
+        .collect();
     print_table(
         "Ablation: revocation awareness in the provisioner (θ=0.7)",
         &["workload", "estimator", "cost_$", "free_steps_pct", "jct_h"],

@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release -p spottune-bench --bin fig08_theta_sweep`
 
+use rayon::prelude::*;
 use spottune_bench::{print_table, run_campaigns, standard_pool, Approach, MASTER_SEED};
 use spottune_earlycurve::prelude::*;
 use spottune_mlsim::prelude::*;
@@ -44,43 +45,54 @@ fn main() {
     print_table("Fig 8(b): SpotTune JCT (hours) vs θ", &header_refs, &jct_rows);
 
     // (c): EarlyCurve selection accuracy vs θ, averaged over workloads and
-    // seeds (the prediction itself needs no cloud simulation).
+    // seeds (the prediction itself needs no cloud simulation). Each
+    // (θ, workload, seed) cell is independent — fan the whole grid out
+    // across cores and reduce per θ afterwards.
     let seeds = [42u64, 7, 1234, 99, 555];
-    let mut acc_rows = Vec::new();
-    for &theta in &THETAS {
-        let (mut hit1, mut hit3, mut n) = (0u32, 0u32, 0u32);
-        for w in &workloads {
+    let cells: Vec<(usize, usize, u64)> = (0..THETAS.len())
+        .flat_map(|ti| {
+            (0..workloads.len()).flat_map(move |wi| seeds.into_iter().map(move |s| (ti, wi, s)))
+        })
+        .collect();
+    let hits: Vec<(usize, bool, bool)> = cells
+        .into_par_iter()
+        .map(|(ti, wi, seed)| {
+            let theta = THETAS[ti];
+            let w = &workloads[wi];
             let max = w.max_trial_steps();
             let target = ((theta * max as f64).ceil() as u64).clamp(1, max);
-            for &seed in &seeds {
-                let mut preds = Vec::with_capacity(w.hp_grid().len());
-                let mut finals = Vec::with_capacity(w.hp_grid().len());
-                for hp in w.hp_grid() {
-                    let mut run = TrainingRun::new(w, hp, seed);
-                    let mut ec = EarlyCurve::new(EarlyCurveConfig::default());
-                    for k in 1..=target {
-                        ec.push(k, run.metric_at(k));
-                    }
-                    let last = run.metric_at(target);
-                    preds.push(if theta >= 1.0 {
-                        last
-                    } else {
-                        ec.predict_final(max).unwrap_or(last)
-                    });
-                    finals.push(run.final_metric());
+            let mut preds = Vec::with_capacity(w.hp_grid().len());
+            let mut finals = Vec::with_capacity(w.hp_grid().len());
+            for hp in w.hp_grid() {
+                let mut run = TrainingRun::new(w, hp, seed);
+                let mut ec = EarlyCurve::new(EarlyCurveConfig::default());
+                for k in 1..=target {
+                    ec.push(k, run.metric_at(k));
                 }
-                let best = argmin(&finals);
-                let mut rank: Vec<usize> = (0..preds.len()).collect();
-                rank.sort_by(|&a, &b| preds[a].partial_cmp(&preds[b]).expect("finite"));
-                hit1 += (rank[0] == best) as u32;
-                hit3 += rank[..3].contains(&best) as u32;
-                n += 1;
+                let last = run.metric_at(target);
+                preds.push(if theta >= 1.0 {
+                    last
+                } else {
+                    ec.predict_final(max).unwrap_or(last)
+                });
+                finals.push(run.final_metric());
             }
-        }
+            let best = argmin(&finals);
+            let mut rank: Vec<usize> = (0..preds.len()).collect();
+            rank.sort_by(|&a, &b| preds[a].partial_cmp(&preds[b]).expect("finite"));
+            (ti, rank[0] == best, rank[..3].contains(&best))
+        })
+        .collect();
+    let mut acc_rows = Vec::new();
+    for (ti, &theta) in THETAS.iter().enumerate() {
+        let cell: Vec<&(usize, bool, bool)> = hits.iter().filter(|(i, _, _)| *i == ti).collect();
+        let n = cell.len() as f64;
+        let hit1 = cell.iter().filter(|(_, h1, _)| *h1).count() as f64;
+        let hit3 = cell.iter().filter(|(_, _, h3)| *h3).count() as f64;
         acc_rows.push(vec![
             format!("{theta}"),
-            format!("{:.3}", hit1 as f64 / n as f64),
-            format!("{:.3}", hit3 as f64 / n as f64),
+            format!("{:.3}", hit1 / n),
+            format!("{:.3}", hit3 / n),
         ]);
     }
     print_table(

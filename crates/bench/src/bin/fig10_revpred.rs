@@ -28,7 +28,6 @@ fn main() {
     crossbeam::thread::scope(|scope| {
         for (i, kind) in kinds.iter().enumerate() {
             let pool = pool.clone();
-            let cfg = cfg;
             let sets = &sets;
             scope.spawn(move |_| {
                 let set = MarketPredictorSet::train(

@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release -p spottune-bench --bin tables`
 
+use rayon::prelude::*;
 use spottune_bench::print_table;
 use spottune_core::SpotTuneConfig;
 use spottune_market::instance;
@@ -39,9 +40,11 @@ fn main() {
         ],
     );
 
-    // Table II: algorithms, datasets, optimizers, metrics, HP grids.
+    // Table II: algorithms, datasets, optimizers, metrics, HP grids. Each
+    // row walks its whole grid to collect the axis values — independent
+    // per workload, so fan the rows across cores.
     let rows: Vec<Vec<String>> = Workload::all_benchmarks()
-        .iter()
+        .par_iter()
         .map(|w| {
             let axes: Vec<String> = w.hp_grid()[0]
                 .entries()

@@ -4,7 +4,7 @@
 //! per paper figure; see DESIGN.md's experiment index) and the criterion
 //! micro-benchmarks.
 
-use parking_lot::Mutex;
+use rayon::prelude::*;
 use spottune_core::prelude::*;
 use spottune_market::prelude::*;
 use spottune_mlsim::prelude::*;
@@ -59,30 +59,19 @@ pub fn run_approach(approach: Approach, workload: &Workload, pool: &MarketPool, 
     }
 }
 
-/// Runs a set of (approach, workload) campaigns in parallel with crossbeam
-/// scoped threads, preserving input order in the output.
+/// Runs a set of (approach, workload) campaigns across all cores with
+/// rayon, preserving input order in the output. Campaigns are independent
+/// simulations over a shared (`Arc`-backed, cheap-to-clone) market pool,
+/// so the sweep scales linearly until the machine runs out of cores.
 pub fn run_campaigns(
     tasks: Vec<(Approach, Workload)>,
     pool: &MarketPool,
     seed: u64,
 ) -> Vec<HptReport> {
-    let results: Mutex<Vec<(usize, HptReport)>> = Mutex::new(Vec::with_capacity(tasks.len()));
-    crossbeam::thread::scope(|scope| {
-        for (idx, (approach, workload)) in tasks.iter().enumerate() {
-            let results = &results;
-            let pool = pool.clone();
-            let workload = workload.clone();
-            let approach = *approach;
-            scope.spawn(move |_| {
-                let report = run_approach(approach, &workload, &pool, seed);
-                results.lock().push((idx, report));
-            });
-        }
-    })
-    .expect("campaign thread panicked");
-    let mut collected = results.into_inner();
-    collected.sort_by_key(|(idx, _)| *idx);
-    collected.into_iter().map(|(_, r)| r).collect()
+    tasks
+        .into_par_iter()
+        .map(|(approach, workload)| run_approach(approach, &workload, pool, seed))
+        .collect()
 }
 
 /// Prints a CSV-ish header + rows helper used by the figure binaries.

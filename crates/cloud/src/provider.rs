@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 use spottune_market::{MarketPool, SimDur, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
 
@@ -72,10 +72,25 @@ impl Error for RequestSpotError {}
 /// the current simulation time explicitly; the provider never advances time
 /// itself, which keeps the orchestrator's control loop in charge (as in
 /// Algorithm 1).
+/// Kind of a pending agenda entry. `Notice < Revoke` so that a VM's notice
+/// sorts before its revocation when both share an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum PendingKind {
+    Notice,
+    Revoke,
+}
+
 #[derive(Debug)]
 pub struct CloudProvider {
     pool: MarketPool,
     vms: HashMap<VmId, Vm>,
+    /// Future notice/revocation events, time-ordered. Entries are inserted
+    /// at `request_spot` (revocation instants are trace-determined, so both
+    /// events are known up front), removed when they fire in [`Self::poll`]
+    /// or when the VM is user-terminated. This makes `poll` O(events fired)
+    /// instead of O(all VMs ever created), and gives the event-driven
+    /// orchestrator its [`Self::next_event_at`] jump target.
+    agenda: BTreeSet<(SimTime, VmId, PendingKind)>,
     ledger: Ledger,
     next_id: u64,
     launch_delay: SimDur,
@@ -88,6 +103,7 @@ impl CloudProvider {
         CloudProvider {
             pool,
             vms: HashMap::new(),
+            agenda: BTreeSet::new(),
             ledger: Ledger::new(),
             next_id: 0,
             launch_delay: DEFAULT_LAUNCH_DELAY,
@@ -141,6 +157,11 @@ impl CloudProvider {
         let revoke_at = market.revocation_within(launched_at, horizon, max_price);
         let id = VmId::new(self.next_id);
         self.next_id += 1;
+        if let Some(at) = revoke_at {
+            self.agenda
+                .insert((at.saturating_sub(self.notice_lead), id, PendingKind::Notice));
+            self.agenda.insert((at, id, PendingKind::Revoke));
+        }
         self.vms.insert(
             id,
             Vm::new(id, market.instance().clone(), launched_at, max_price, revoke_at),
@@ -165,11 +186,64 @@ impl CloudProvider {
 
     /// Advances provider-side state to time `t` and returns the events that
     /// fired since the last poll (notices first, then revocations, ordered
-    /// by VM id for determinism).
+    /// by VM id for determinism — the same sequence [`Self::poll_scan`]
+    /// produces).
+    ///
+    /// Only pending agenda entries up to `t` are visited, so a poll costs
+    /// O(events fired · log pending), independent of how many VMs exist.
     pub fn poll(&mut self, t: SimTime) -> Vec<CloudEvent> {
+        if self.agenda.first().is_none_or(|&(at, _, _)| at > t) {
+            return Vec::new(); // common case: nothing due
+        }
+        let mut due = Vec::new();
+        while let Some(&(at, id, kind)) = self.agenda.iter().next() {
+            if at > t {
+                break;
+            }
+            self.agenda.remove(&(at, id, kind));
+            due.push((id, kind));
+        }
+        // Process in the scan order (VM id major, notice before revoke) so
+        // both poll implementations emit bit-identical event sequences.
+        due.sort_unstable();
+        let mut events = Vec::new();
+        for (id, kind) in due {
+            let vm = self.vms.get_mut(&id).expect("agenda vm exists");
+            if !vm.is_alive() {
+                continue; // stale entry: terminated this instant
+            }
+            let revoke_at = vm.revoke_at.expect("agenda vm has a revocation");
+            match kind {
+                PendingKind::Notice => {
+                    vm.notice_sent = true;
+                    vm.state = VmState::Notified { revoke_at };
+                    events.push(CloudEvent::RevocationNotice { vm: id, revoke_at });
+                }
+                PendingKind::Revoke => {
+                    // Deliver a (late) notice if the poll skipped the window.
+                    if !vm.notice_sent {
+                        vm.notice_sent = true;
+                        events.push(CloudEvent::RevocationNotice { vm: id, revoke_at });
+                    }
+                    vm.state = VmState::Revoked { at: revoke_at };
+                    let record = self.settle_vm(id, revoke_at, EndCause::ProviderRevoked);
+                    self.ledger.push(record);
+                    events.push(CloudEvent::Revoked { vm: id, at: revoke_at });
+                }
+            }
+        }
+        events
+    }
+
+    /// The original polling implementation: visit every VM ever created, in
+    /// id order, and fire whatever is due. Produces exactly the same event
+    /// sequences as [`Self::poll`]; retained as the measured baseline of
+    /// the tick-driven reference drive (its per-poll cost grows with the
+    /// total VM count, which is precisely what the agenda removes).
+    pub fn poll_scan(&mut self, t: SimTime) -> Vec<CloudEvent> {
         let mut events = Vec::new();
         let mut ids: Vec<VmId> = self.vms.keys().copied().collect();
-        ids.sort();
+        ids.sort_unstable();
         for id in ids {
             let vm = self.vms.get_mut(&id).expect("vm exists");
             if !vm.is_alive() {
@@ -179,21 +253,31 @@ impl CloudProvider {
             if !vm.notice_sent && t >= revoke_at.saturating_sub(self.notice_lead) && t < revoke_at {
                 vm.notice_sent = true;
                 vm.state = VmState::Notified { revoke_at };
+                self.agenda
+                    .remove(&(revoke_at.saturating_sub(self.notice_lead), id, PendingKind::Notice));
                 events.push(CloudEvent::RevocationNotice { vm: id, revoke_at });
             }
             if t >= revoke_at {
-                // Deliver a (late) notice if the poll skipped the window.
                 if !vm.notice_sent {
                     vm.notice_sent = true;
+                    self.agenda
+                        .remove(&(revoke_at.saturating_sub(self.notice_lead), id, PendingKind::Notice));
                     events.push(CloudEvent::RevocationNotice { vm: id, revoke_at });
                 }
                 vm.state = VmState::Revoked { at: revoke_at };
+                self.agenda.remove(&(revoke_at, id, PendingKind::Revoke));
                 let record = self.settle_vm(id, revoke_at, EndCause::ProviderRevoked);
                 self.ledger.push(record);
                 events.push(CloudEvent::Revoked { vm: id, at: revoke_at });
             }
         }
         events
+    }
+
+    /// Instant of the earliest pending notice or revocation, if any — the
+    /// cloud-side jump target for event-driven simulation.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.agenda.iter().next().map(|&(at, _, _)| at)
     }
 
     /// User-initiated shutdown at time `t`. Bills the VM without a refund.
@@ -206,6 +290,12 @@ impl CloudProvider {
         assert!(vm.is_alive(), "terminate: {id} already ended");
         let end = t.max(vm.launched_at());
         vm.state = VmState::Terminated { at: end };
+        let revoke_at = vm.revoke_at;
+        if let Some(at) = revoke_at {
+            let lead = self.notice_lead;
+            self.agenda.remove(&(at.saturating_sub(lead), id, PendingKind::Notice));
+            self.agenda.remove(&(at, id, PendingKind::Revoke));
+        }
         let record = self.settle_vm(id, end, EndCause::UserTerminated);
         self.ledger.push(record.clone());
         record
@@ -314,6 +404,29 @@ mod tests {
         assert!((rec.net() - 0.05).abs() < 1e-9);
         assert_eq!(p.alive_count(), 0);
         // No further events for this VM.
+        assert!(p.poll(SimTime::from_mins(120)).is_empty());
+    }
+
+    #[test]
+    fn next_event_at_tracks_agenda() {
+        let mut p = provider();
+        assert_eq!(p.next_event_at(), None);
+        let _vm = p.request_spot(SimTime::ZERO, "t.spike", 0.2).unwrap();
+        // Price exceeds 0.2 at minute 90 → notice pending at minute 88.
+        assert_eq!(p.next_event_at(), Some(SimTime::from_mins(88)));
+        p.poll(SimTime::from_mins(88));
+        assert_eq!(p.next_event_at(), Some(SimTime::from_mins(90)));
+        p.poll(SimTime::from_mins(90));
+        assert_eq!(p.next_event_at(), None);
+    }
+
+    #[test]
+    fn terminate_clears_pending_events() {
+        let mut p = provider();
+        let vm = p.request_spot(SimTime::ZERO, "t.spike", 0.2).unwrap();
+        assert!(p.next_event_at().is_some());
+        p.terminate(SimTime::from_mins(10), vm);
+        assert_eq!(p.next_event_at(), None);
         assert!(p.poll(SimTime::from_mins(120)).is_empty());
     }
 

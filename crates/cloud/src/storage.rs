@@ -17,8 +17,22 @@ pub const BASE_SPEED_MBPS: f64 = 62.83;
 pub const SPEED_EXPONENT: f64 = 0.274;
 
 /// Checkpoint upload/download speed for an instance type, in MB/s.
+///
+/// Memoized for common vCPU counts — `transfer_time` runs on every
+/// checkpoint, restore, notice and recycle of every campaign, and `powf`
+/// is the only expensive operation in it.
 pub fn checkpoint_speed_mbps(instance: &InstanceType) -> f64 {
-    BASE_SPEED_MBPS * (instance.vcpus() as f64).powf(SPEED_EXPONENT)
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[f64; 65]> = OnceLock::new();
+    let v = instance.vcpus();
+    if (v as usize) < 65 {
+        let table = TABLE.get_or_init(|| {
+            std::array::from_fn(|i| BASE_SPEED_MBPS * (i as f64).powf(SPEED_EXPONENT))
+        });
+        table[v as usize]
+    } else {
+        BASE_SPEED_MBPS * (v as f64).powf(SPEED_EXPONENT)
+    }
 }
 
 /// Largest model checkpointable within the two-minute notice window, in MB.
@@ -70,10 +84,15 @@ impl ObjectStore {
     /// Uploads (or overwrites) an object from `instance`, returning the
     /// simulated transfer time.
     pub fn put(&mut self, key: &str, size_mb: f64, instance: &InstanceType) -> SimDur {
-        let meta = self.objects.entry(key.to_string()).or_insert(ObjectMeta {
-            size_mb,
-            versions: 0,
-        });
+        // Overwrites (the common case: every job re-checkpoints the same
+        // key on each notice/recycle) must not re-allocate the key.
+        let meta = match self.objects.get_mut(key) {
+            Some(meta) => meta,
+            None => self
+                .objects
+                .entry(key.to_string())
+                .or_insert(ObjectMeta { size_mb, versions: 0 }),
+        };
         meta.size_mb = size_mb;
         meta.versions += 1;
         self.bytes_up_mb += size_mb;

@@ -23,6 +23,12 @@ pub struct Job {
     pub hp_index: usize,
     /// The configuration itself.
     pub hp: HpSetting,
+    /// Object-store key of this job's checkpoint (computed once; the
+    /// orchestrator checkpoints on every notice, recycle and finish).
+    pub ckpt_key: String,
+    /// Checkpoint size of this configuration's model, cached from
+    /// [`Workload::model_size_mb`].
+    pub model_size_mb: f64,
     /// Lazily advanced metric source.
     pub run: TrainingRun,
     /// Observed metric history feeding EarlyCurve.
@@ -35,13 +41,31 @@ pub struct Job {
     pub assigned: Option<VmId>,
     /// Instant the current VM finishes restore and can execute.
     pub exec_ready_at: SimTime,
+    /// Cached event candidates for the event-driven drive (absolute grid
+    /// ticks, maintained by the orchestrator; meaningless while
+    /// unassigned). `ready_tick`: first tick at/after `exec_ready_at`;
+    /// `recycle_tick`: first tick strictly past the one-hour recycle
+    /// threshold; `step_complete_tick`: tick the in-flight step finishes
+    /// (valid while `current_spe` is `Some`).
+    pub ready_tick: SimTime,
+    /// See [`Self::ready_tick`].
+    pub recycle_tick: SimTime,
+    /// See [`Self::ready_tick`].
+    pub step_complete_tick: SimTime,
     /// Execution halted by a revocation notice (checkpointed, waiting for
     /// the VM to disappear).
     pub halted: bool,
     /// Steps executed on the current VM (for refund attribution).
     pub steps_on_vm: u64,
-    /// Seconds accumulated toward the next step.
-    pub progress_secs: f64,
+    /// Whole poll intervals accumulated toward the in-flight step. Progress
+    /// is `step_carry + step_ticks × poll`; counting ticks as an integer
+    /// (instead of accumulating an `f64`) makes "advance by n quiet ticks"
+    /// exactly associative, so the event-driven drive reproduces the tick
+    /// loop bit-for-bit.
+    pub step_ticks: u64,
+    /// Fractional seconds carried into the in-flight step from the instant
+    /// the previous step completed mid-tick.
+    pub step_carry: f64,
     /// Sampled seconds-per-step for the in-flight step.
     pub current_spe: Option<f64>,
     /// Whether the job is done for the current phase.
@@ -72,6 +96,8 @@ impl Job {
         let hp = workload.hp_grid()[hp_index].clone();
         Job {
             hp_index,
+            ckpt_key: format!("ckpt/{}/{}", workload.algorithm().name(), hp_index),
+            model_size_mb: workload.model_size_mb(&hp),
             run: TrainingRun::new(workload, &hp, seed),
             hp,
             curve: EarlyCurve::new(ec_config),
@@ -79,9 +105,13 @@ impl Job {
             target_steps,
             assigned: None,
             exec_ready_at: SimTime::ZERO,
+            ready_tick: SimTime::ZERO,
+            recycle_tick: SimTime::ZERO,
+            step_complete_tick: SimTime::ZERO,
             halted: false,
             steps_on_vm: 0,
-            progress_secs: 0.0,
+            step_ticks: 0,
+            step_carry: 0.0,
             current_spe: None,
             finished: None,
             free_steps: 0,
@@ -114,7 +144,8 @@ impl Job {
         self.assigned = None;
         self.halted = false;
         self.current_spe = None;
-        self.progress_secs = 0.0;
+        self.step_ticks = 0;
+        self.step_carry = 0.0;
     }
 
     /// Last observed metric, if any step completed.

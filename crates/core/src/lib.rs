@@ -28,7 +28,7 @@ pub mod provision;
 pub mod report;
 
 pub use baseline::{run_single_spot, SingleSpotKind};
-pub use config::SpotTuneConfig;
+pub use config::{DriveMode, SpotTuneConfig};
 pub use orchestrator::{Orchestrator, TraceEvent};
 pub use perfmatrix::PerfMatrix;
 pub use provision::{InstChoice, OracleEstimator, Provisioner};
@@ -37,7 +37,7 @@ pub use report::HptReport;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::baseline::{run_single_spot, SingleSpotKind};
-    pub use crate::config::SpotTuneConfig;
+    pub use crate::config::{DriveMode, SpotTuneConfig};
     pub use crate::job::{FinishReason, Job};
     pub use crate::orchestrator::{Orchestrator, TraceEvent};
     pub use crate::perfmatrix::PerfMatrix;

@@ -9,19 +9,24 @@
 use serde::{Deserialize, Serialize};
 use spottune_market::stats::Ewma;
 use spottune_market::InstanceType;
-use std::collections::HashMap;
 
 /// Online estimate of seconds-per-step for each (instance, configuration).
+///
+/// Storage is a handful of linearly-scanned vectors rather than hash maps:
+/// the matrix holds one row per market (six in the standard pool) and one
+/// column per grid point, and `estimate` runs for every market on every
+/// deploy decision — a short string scan beats hashing the instance name.
 #[derive(Debug, Clone)]
 pub struct PerfMatrix {
     c0: f64,
     alpha: f64,
-    cells: HashMap<(String, usize), Ewma>,
+    /// Per-instance rows of per-configuration observed seconds-per-step.
+    cells: Vec<(String, Vec<Option<Ewma>>)>,
     /// Per-configuration work scale: EWMA of `spe × vcpus` over all
     /// observations of that configuration. Unobserved (instance, hp) cells
     /// fall back to `scale / vcpus` — the paper's CPU-count-proportional
     /// initialization, calibrated by whatever has been profiled so far.
-    scales: HashMap<usize, Ewma>,
+    scales: Vec<Option<Ewma>>,
 }
 
 /// Snapshot of one matrix cell for reports.
@@ -44,7 +49,7 @@ impl PerfMatrix {
     pub fn new(c0: f64, alpha: f64) -> Self {
         assert!(c0 > 0.0, "c0 must be positive");
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        PerfMatrix { c0, alpha, cells: HashMap::new(), scales: HashMap::new() }
+        PerfMatrix { c0, alpha, cells: Vec::new(), scales: Vec::new() }
     }
 
     /// Current estimate for `(instance, hp_index)`. Falls back to the
@@ -52,25 +57,29 @@ impl PerfMatrix {
     /// the configuration's observations on other instances (or `c0` before
     /// any observation at all).
     pub fn estimate(&self, instance: &InstanceType, hp_index: usize) -> f64 {
-        if let Some(v) = self
-            .cells
-            .get(&(instance.name().to_string(), hp_index))
-            .and_then(Ewma::value)
-        {
+        if let Some(v) = self.cell(instance.name(), hp_index).and_then(Ewma::value) {
             return v;
         }
         let scale = self
             .scales
-            .get(&hp_index)
+            .get(hp_index)
+            .and_then(Option::as_ref)
             .and_then(Ewma::value)
             .unwrap_or(self.c0);
         scale / instance.vcpus() as f64
     }
 
+    fn cell(&self, name: &str, hp_index: usize) -> Option<&Ewma> {
+        self.cells
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, row)| row.get(hp_index))
+            .and_then(Option::as_ref)
+    }
+
     /// Whether a cell has been observed at least once.
     pub fn observed(&self, instance: &InstanceType, hp_index: usize) -> bool {
-        self.cells
-            .get(&(instance.name().to_string(), hp_index))
+        self.cell(instance.name(), hp_index)
             .and_then(Ewma::value)
             .is_some()
     }
@@ -85,19 +94,34 @@ impl PerfMatrix {
             spe_sample.is_finite() && spe_sample > 0.0,
             "seconds-per-step sample must be positive, got {spe_sample}"
         );
-        self.cells
-            .entry((instance.name().to_string(), hp_index))
-            .or_insert_with(|| Ewma::new(self.alpha))
+        let alpha = self.alpha;
+        let row = match self.cells.iter_mut().position(|(n, _)| n == instance.name()) {
+            Some(i) => &mut self.cells[i].1,
+            None => {
+                self.cells.push((instance.name().to_string(), Vec::new()));
+                &mut self.cells.last_mut().expect("just pushed").1
+            }
+        };
+        if row.len() <= hp_index {
+            row.resize(hp_index + 1, None);
+        }
+        row[hp_index]
+            .get_or_insert_with(|| Ewma::new(alpha))
             .update(spe_sample);
-        self.scales
-            .entry(hp_index)
-            .or_insert_with(|| Ewma::new(self.alpha))
+        if self.scales.len() <= hp_index {
+            self.scales.resize(hp_index + 1, None);
+        }
+        self.scales[hp_index]
+            .get_or_insert_with(|| Ewma::new(alpha))
             .update(spe_sample * instance.vcpus() as f64);
     }
 
     /// Number of cells with at least one observation.
     pub fn observed_cells(&self) -> usize {
-        self.cells.len()
+        self.cells
+            .iter()
+            .map(|(_, row)| row.iter().flatten().count())
+            .sum()
     }
 
     /// Snapshot of all observed cells (sorted for determinism).
@@ -105,11 +129,13 @@ impl PerfMatrix {
         let mut out: Vec<PerfCell> = self
             .cells
             .iter()
-            .filter_map(|((name, idx), e)| {
-                e.value().map(|spe| PerfCell {
-                    instance: name.clone(),
-                    hp_index: *idx,
-                    spe,
+            .flat_map(|(name, row)| {
+                row.iter().enumerate().filter_map(|(idx, e)| {
+                    e.as_ref().and_then(Ewma::value).map(|spe| PerfCell {
+                        instance: name.clone(),
+                        hp_index: idx,
+                        spe,
+                    })
                 })
             })
             .collect();

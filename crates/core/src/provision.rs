@@ -60,8 +60,11 @@ impl<'a> Provisioner<'a> {
         m: &PerfMatrix,
         rng: &mut StdRng,
     ) -> InstChoice {
-        let mut best: Option<InstChoice> = None;
-        for market in pool.iter() {
+        // Track the winner by value and materialize the choice (one string
+        // allocation) only once — this runs for every market on every
+        // deploy decision of every campaign.
+        let mut best: Option<(usize, f64, f64, f64, f64)> = None;
+        for (i, market) in pool.iter().enumerate() {
             let inst = market.instance();
             let delta = rng.random_range(self.delta_range.0..self.delta_range.1);
             let max_price = market.price_at(t) + delta;
@@ -73,21 +76,19 @@ impl<'a> Provisioner<'a> {
             let spe = m.estimate(inst, hp_index);
             // Eq. 2: E[sCost] = M[inst][hp] · (1 − p) · price.
             let expected_step_cost = spe * (1.0 - p) * avg_price;
-            let candidate = InstChoice {
-                instance: inst.name().to_string(),
-                max_price,
-                p_revoke: p,
-                avg_price,
-                expected_step_cost,
-            };
-            if best
-                .as_ref()
-                .map_or(true, |b| candidate.expected_step_cost < b.expected_step_cost)
-            {
-                best = Some(candidate);
+            if best.is_none_or(|(_, _, _, _, c)| expected_step_cost < c) {
+                best = Some((i, max_price, p, avg_price, expected_step_cost));
             }
         }
-        best.expect("market pool must not be empty")
+        let (i, max_price, p_revoke, avg_price, expected_step_cost) =
+            best.expect("market pool must not be empty");
+        InstChoice {
+            instance: pool.markets()[i].instance().name().to_string(),
+            max_price,
+            p_revoke,
+            avg_price,
+            expected_step_cost,
+        }
     }
 
     /// The wrapped estimator's name (for reports).

@@ -7,13 +7,15 @@
 //! EarlyCurve "uses a linear regression solver to find the best
 //! coefficients" (§III.C): for a fixed plateau `a3`, the transform
 //! `y = 1/(L − a3)` turns the model into a quadratic that is *linear* in
-//! `(a0, a1, a2)`. We line-search `a3` over a grid below the smallest
-//! observed metric, solve each weighted linear least-squares problem, and
-//! keep the coefficients with the smallest residual in the original metric
-//! space. Non-negativity is enforced by refitting on coefficient subsets
-//! (exact active-set enumeration — only 3 coefficients).
+//! `(a0, a1, a2)`. We line-search `a3` (coarse grid below the smallest
+//! observed metric, then a fine pass around the winner), solve each
+//! weighted linear least-squares problem, and keep the plateau whose fit
+//! has the smallest residual in the original metric space. Non-negativity
+//! is enforced by active-set descent over coefficient subsets: the first
+//! (most expressive) subset whose unconstrained solution is already
+//! non-negative is accepted.
 
-use crate::solver::weighted_least_squares;
+use crate::solver::solve_in_place;
 use serde::{Deserialize, Serialize};
 
 /// Fitted coefficients for one stage.
@@ -66,17 +68,48 @@ pub fn fit_stage(points: &[(u64, f64)], start: u64) -> StageFit {
     }
     let min_l = points.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
 
+    // Two-phase line search of the plateau over [0, min_l): a coarse
+    // quadratic-spaced grid (denser near min_l where the true plateau
+    // usually sits, plus a3 = 0 exactly), then a fine pass around the
+    // coarse winner. Same resolution as a dense 25-point grid at roughly
+    // half the solves — this runs inside every selection of every
+    // campaign, so it is a hot path of scenario sweeps.
+    const COARSE: usize = 8;
+    const FINE: usize = 6;
+    let top = min_l * (1.0 - 1e-3);
+    let coarse_a3 = |j: usize| {
+        let frac = (j as f64 / COARSE as f64).powi(2);
+        top * (1.0 - frac)
+    };
+    // The regression rows depend only on the step offsets, not on the
+    // plateau candidate — build them once for the whole line search.
+    let rows: Vec<[f64; 3]> = points
+        .iter()
+        .map(|&(k, _)| {
+            let rel = k.saturating_sub(start) as f64;
+            [rel * rel, rel, 1.0]
+        })
+        .collect();
     let mut best: Option<StageFit> = None;
-    // Line search the plateau over [0, min_l), denser near min_l where the
-    // true plateau usually sits, plus a3 = 0 exactly.
-    const GRID: usize = 24;
-    for j in 0..=GRID {
-        // Quadratic spacing concentrates candidates near min_l.
-        let frac = (j as f64 / GRID as f64).powi(2);
-        let a3 = (min_l * (1.0 - 1e-3)) * (1.0 - frac);
-        if let Some(fit) = fit_with_plateau(points, start, a3) {
-            if best.as_ref().map_or(true, |b| fit.mse < b.mse) {
+    let mut best_j = 0usize;
+    for j in 0..=COARSE {
+        if let Some(fit) = fit_with_plateau(points, &rows, start, coarse_a3(j)) {
+            if best.as_ref().is_none_or(|b| fit.mse < b.mse) {
                 best = Some(fit);
+                best_j = j;
+            }
+        }
+    }
+    if best.is_some() {
+        // Refine between the coarse neighbors of the winner.
+        let lo_a3 = coarse_a3((best_j + 1).min(COARSE));
+        let hi_a3 = coarse_a3(best_j.saturating_sub(1));
+        for i in 1..=FINE {
+            let a3 = lo_a3 + (hi_a3 - lo_a3) * i as f64 / (FINE + 1) as f64;
+            if let Some(fit) = fit_with_plateau(points, &rows, start, a3) {
+                if best.as_ref().is_none_or(|b| fit.mse < b.mse) {
+                    best = Some(fit);
+                }
             }
         }
     }
@@ -96,44 +129,76 @@ fn variance(points: &[(u64, f64)], mean: f64) -> f64 {
 
 /// Linearized weighted LS for a fixed plateau, with non-negativity via
 /// active-set enumeration over the three coefficients.
-fn fit_with_plateau(points: &[(u64, f64)], start: u64, a3: f64) -> Option<StageFit> {
+///
+/// The normal equations are accumulated directly on stack arrays — this
+/// runs `plateau grid × 4 subsets` times per fitted stage, and the
+/// orchestrator fits a stage per configuration at every selection, so a
+/// per-row allocation here was the single hottest allocation site of a
+/// campaign simulation.
+fn fit_with_plateau(
+    points: &[(u64, f64)],
+    rows: &[[f64; 3]],
+    start: u64,
+    a3: f64,
+) -> Option<StageFit> {
     // y = 1/(L - a3); weight (L - a3)^4 maps y-residuals back to L-space,
     // and the extra 1/L² makes residuals *relative*, so a large initial
     // transient (loss falling orders of magnitude) cannot drown out the
     // plateau tail that the final-metric prediction extrapolates from.
-    let mut rows = Vec::with_capacity(points.len());
-    let mut ys = Vec::with_capacity(points.len());
-    let mut ws = Vec::with_capacity(points.len());
-    for &(k, m) in points {
+    let target_of = |m: f64| -> Option<(f64, f64)> {
         let gap = m - a3;
         if gap <= 1e-9 {
             return None; // plateau not strictly below all points
         }
-        let rel = k.saturating_sub(start) as f64;
-        rows.push(vec![rel * rel, rel, 1.0]);
-        ys.push(1.0 / gap);
-        ws.push(gap.powi(4) / (m * m).max(1e-12));
+        Some((1.0 / gap, gap.powi(4) / (m * m).max(1e-12)))
+    };
+    // Every point must sit strictly above the plateau.
+    if points.iter().any(|&(_, m)| m - a3 <= 1e-9) {
+        return None;
     }
 
-    // Subsets of active coefficients; inactive ones are pinned to zero.
-    // a2 (the intercept) is always active — the model needs 1/a2 finite at
-    // the stage start.
+    // Subsets of active coefficients, most expressive first; inactive ones
+    // are pinned to zero. a2 (the intercept) is always active — the model
+    // needs 1/a2 finite at the stage start. The first subset whose
+    // unconstrained solution is already non-negative is accepted
+    // (active-set descent); later subsets only run when an earlier one
+    // violates the constraint.
     const SUBSETS: [[bool; 3]; 4] = [
         [true, true, true],
         [false, true, true],
         [true, false, true],
         [false, false, true],
     ];
-    let mut best: Option<StageFit> = None;
     for active in SUBSETS {
-        let idx: Vec<usize> = (0..3).filter(|&i| active[i]).collect();
-        let sub_rows: Vec<Vec<f64>> = rows
-            .iter()
-            .map(|r| idx.iter().map(|&i| r[i]).collect())
-            .collect();
-        let Some(beta) = weighted_least_squares(&sub_rows, &ys, &ws, idx.len(), 1e-9) else {
+        let mut idx = [0usize; 3];
+        let mut p = 0;
+        for (i, &on) in active.iter().enumerate() {
+            if on {
+                idx[p] = i;
+                p += 1;
+            }
+        }
+        let idx = &idx[..p];
+        // Weighted normal equations over the active columns, in the same
+        // accumulation order as the general solver used previously.
+        let mut xtx = [0.0f64; 9];
+        let mut xty = [0.0f64; 3];
+        for (row, &(_, m)) in rows.iter().zip(points) {
+            let (target, weight) = target_of(m).expect("gap checked above");
+            for (si, &i) in idx.iter().enumerate() {
+                xty[si] += weight * row[i] * target;
+                for (sj, &j) in idx.iter().enumerate() {
+                    xtx[si * p + sj] += weight * row[i] * row[j];
+                }
+            }
+        }
+        for i in 0..p {
+            xtx[i * p + i] += 1e-9;
+        }
+        if !solve_in_place(&mut xtx[..p * p], &mut xty[..p], p) {
             continue;
-        };
+        }
+        let beta = &xty[..p];
         let mut coef = [0.0f64; 3];
         for (slot, &i) in idx.iter().enumerate() {
             coef[i] = beta[slot];
@@ -157,12 +222,9 @@ fn fit_with_plateau(points: &[(u64, f64)], start: u64, a3: f64) -> Option<StageF
             })
             .sum::<f64>()
             / points.len() as f64;
-        let candidate = StageFit { mse, ..candidate };
-        if best.as_ref().map_or(true, |b| candidate.mse < b.mse) {
-            best = Some(candidate);
-        }
+        return Some(StageFit { mse, ..candidate });
     }
-    best
+    None
 }
 
 #[cfg(test)]

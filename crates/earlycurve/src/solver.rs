@@ -13,6 +13,23 @@ pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
     assert_eq!(b.len(), n, "rhs must have n entries");
     let mut m = a.to_vec();
     let mut rhs = b.to_vec();
+    if solve_in_place(&mut m, &mut rhs, n) {
+        Some(rhs)
+    } else {
+        None
+    }
+}
+
+/// Allocation-free variant of [`solve`]: destroys `m`, leaves the solution
+/// in `rhs`, returns `false` on a (numerically) singular system. Callers on
+/// hot paths (EarlyCurve's plateau line search) pass stack buffers.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn solve_in_place(m: &mut [f64], rhs: &mut [f64], n: usize) -> bool {
+    assert_eq!(m.len(), n * n, "matrix must be n×n");
+    assert_eq!(rhs.len(), n, "rhs must have n entries");
     for col in 0..n {
         // Partial pivot.
         let mut pivot = col;
@@ -22,7 +39,7 @@ pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
             }
         }
         if m[pivot * n + col].abs() < 1e-12 {
-            return None;
+            return false;
         }
         if pivot != col {
             for c in 0..n {
@@ -42,16 +59,15 @@ pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
             rhs[r] -= factor * rhs[col];
         }
     }
-    // Back substitution.
-    let mut x = vec![0.0; n];
+    // Back substitution (solution overwrites `rhs`).
     for col in (0..n).rev() {
         let mut acc = rhs[col];
         for c in col + 1..n {
-            acc -= m[col * n + c] * x[c];
+            acc -= m[col * n + c] * rhs[c];
         }
-        x[col] = acc / m[col * n + col];
+        rhs[col] = acc / m[col * n + col];
     }
-    Some(x)
+    true
 }
 
 /// Weighted linear least squares: minimizes `Σ wᵢ (xᵢᵀβ − yᵢ)²` over β.

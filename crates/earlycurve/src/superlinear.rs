@@ -68,7 +68,7 @@ pub fn fit_geometric(points: &[(u64, f64)], start: u64) -> GeometricFit {
         let Some(fit) = fit_with_plateau(points, start, a3) else {
             continue;
         };
-        if best.as_ref().map_or(true, |b| fit.mse < b.mse) {
+        if best.as_ref().is_none_or(|b| fit.mse < b.mse) {
             best = Some(fit);
         }
     }

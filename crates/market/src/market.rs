@@ -6,6 +6,7 @@ use crate::price::PriceTrace;
 use crate::synth::{regime_for, TraceGenerator};
 use crate::time::{SimDur, SimTime, HOUR};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One spot market: "different instance types have different spot markets"
 /// (§II.A), so each [`InstanceType`] carries its own [`PriceTrace`].
@@ -61,9 +62,15 @@ impl SpotMarket {
 }
 
 /// A pool of spot markets, keyed by instance-type name.
+///
+/// Markets are immutable once constructed, so the pool shares them behind
+/// an [`Arc`]: cloning a pool (which every orchestrator, provider and
+/// estimator does) is a reference-count bump, not a deep copy of megabytes
+/// of price traces — essential when fanning thousands of campaigns over
+/// the same markets.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MarketPool {
-    markets: Vec<SpotMarket>,
+    markets: Arc<[SpotMarket]>,
 }
 
 impl MarketPool {
@@ -83,7 +90,7 @@ impl MarketPool {
                 );
             }
         }
-        MarketPool { markets }
+        MarketPool { markets: markets.into() }
     }
 
     /// The standard evaluation pool: the six Table-III instance types with

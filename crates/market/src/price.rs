@@ -28,7 +28,25 @@ pub struct PricePoint {
 pub struct PriceTrace {
     /// Price per minute, `per_minute[i]` effective during minute `i`.
     per_minute: Vec<f64>,
+    /// Prefix sums: `prefix[i]` = sum of `per_minute[..i]`. Makes every
+    /// window average O(1); the orchestrator's provisioner calls
+    /// `avg_last_hour` for all six markets on every deploy decision.
+    prefix: Vec<f64>,
+    /// Prefix change counts: `change_prefix[i]` = number of `k ∈ 1..=i`
+    /// with `per_minute[k] != per_minute[k-1]` (`change_prefix[0] = 0`).
+    change_prefix: Vec<u32>,
+    /// `run_start[i]` = first minute of the constant-price run containing
+    /// minute `i` (O(1) `duration_since_change`).
+    run_start: Vec<u32>,
+    /// Per-64-minute-block maxima: `first_exceed` (called on every spot
+    /// request to derive the VM's revocation instant) skips whole blocks
+    /// whose maximum is below the threshold instead of scanning every
+    /// minute to the end of the trace.
+    block_max: Vec<f64>,
 }
+
+/// Minutes per [`PriceTrace::block_max`] block.
+const BLOCK: usize = 64;
 
 impl PriceTrace {
     /// Builds a trace directly from per-minute samples.
@@ -45,7 +63,27 @@ impl PriceTrace {
                 "price sample {i} must be finite and positive, got {p}"
             );
         }
-        PriceTrace { per_minute }
+        let mut prefix = Vec::with_capacity(per_minute.len() + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for &p in &per_minute {
+            acc += p;
+            prefix.push(acc);
+        }
+        let mut change_prefix = Vec::with_capacity(per_minute.len());
+        let mut run_start = Vec::with_capacity(per_minute.len());
+        change_prefix.push(0);
+        run_start.push(0);
+        for i in 1..per_minute.len() {
+            let changed = per_minute[i] != per_minute[i - 1];
+            change_prefix.push(change_prefix[i - 1] + u32::from(changed));
+            run_start.push(if changed { i as u32 } else { run_start[i - 1] });
+        }
+        let block_max = per_minute
+            .chunks(BLOCK)
+            .map(|c| c.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)))
+            .collect();
+        PriceTrace { per_minute, prefix, change_prefix, run_start, block_max }
     }
 
     /// Interpolates sparse records onto the one-minute grid by carrying each
@@ -108,10 +146,21 @@ impl PriceTrace {
         &self.per_minute[lo..hi]
     }
 
-    /// Average price over `[from, to)`.
+    /// Clamped `[lo, hi)` minute bounds shared by the window queries
+    /// (identical to [`Self::window`]'s clamping: at least one sample).
+    #[inline]
+    fn window_bounds(&self, from: SimTime, to: SimTime) -> (usize, usize) {
+        let lo = (from.minute_index() as usize).min(self.per_minute.len() - 1);
+        let hi = (to.minute_index() as usize)
+            .max(lo + 1)
+            .min(self.per_minute.len());
+        (lo, hi)
+    }
+
+    /// Average price over `[from, to)` — O(1) via the prefix-sum cache.
     pub fn avg_over(&self, from: SimTime, to: SimTime) -> f64 {
-        let w = self.window(from, to);
-        w.iter().sum::<f64>() / w.len() as f64
+        let (lo, hi) = self.window_bounds(from, to);
+        (self.prefix[hi] - self.prefix[lo]) / (hi - lo) as f64
     }
 
     /// Average price over the hour preceding `t` — the `price` used in the
@@ -121,23 +170,18 @@ impl PriceTrace {
         self.avg_over(t.saturating_sub(SimDur::from_secs(HOUR)), t)
     }
 
-    /// Number of price *changes* in `[from, to)` (adjacent-sample deltas).
+    /// Number of price *changes* in `[from, to)` (adjacent-sample deltas) —
+    /// O(1) via the change-count prefix cache.
     pub fn changes_in(&self, from: SimTime, to: SimTime) -> usize {
-        self.window(from, to)
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count()
+        let (lo, hi) = self.window_bounds(from, to);
+        (self.change_prefix[hi - 1] - self.change_prefix[lo]) as usize
     }
 
-    /// How long the price effective at `t` has held (time since last change).
+    /// How long the price effective at `t` has held (time since last
+    /// change) — O(1) via the run-start cache.
     pub fn duration_since_change(&self, t: SimTime) -> SimDur {
         let m = (t.minute_index() as usize).min(self.per_minute.len() - 1);
-        let cur = self.per_minute[m];
-        let mut back = m;
-        while back > 0 && self.per_minute[back - 1] == cur {
-            back -= 1;
-        }
-        SimDur::from_mins((m - back) as u64)
+        SimDur::from_mins((m - self.run_start[m] as usize) as u64)
     }
 
     /// First instant in `[from, from + horizon)` at which the price strictly
@@ -146,11 +190,24 @@ impl PriceTrace {
     /// instance would be revoked" (§II.A).
     pub fn first_exceed(&self, from: SimTime, horizon: SimDur, threshold: f64) -> Option<SimTime> {
         let lo = from.minute_index() as usize;
-        let hi = (((from + horizon).as_secs() + MINUTE - 1) / MINUTE) as usize;
+        let hi = (from + horizon).as_secs().div_ceil(MINUTE) as usize;
         let hi = hi.min(self.per_minute.len());
-        (lo..hi)
-            .find(|&m| self.per_minute[m] > threshold)
-            .map(|m| SimTime::from_mins(m as u64).max(from))
+        let mut m = lo;
+        while m < hi {
+            // Skip whole blocks that cannot contain an exceedance.
+            if m.is_multiple_of(BLOCK) && m + BLOCK <= hi && self.block_max[m / BLOCK] <= threshold {
+                m += BLOCK;
+                continue;
+            }
+            let end = hi.min((m / BLOCK + 1) * BLOCK);
+            for i in m..end {
+                if self.per_minute[i] > threshold {
+                    return Some(SimTime::from_mins(i as u64).max(from));
+                }
+            }
+            m = end;
+        }
+        None
     }
 
     /// Absolute per-minute price deltas over `[from, to)`; input to the
@@ -247,6 +304,62 @@ mod tests {
         let t = ramp();
         let a = t.avg_last_hour(SimTime::from_mins(2));
         assert!((a - 0.15).abs() < 1e-12); // minutes 0 and 1
+    }
+
+    #[test]
+    fn cached_queries_match_naive_scans() {
+        // Pseudo-random trace with constant runs, exercising the prefix
+        // caches against the original O(window) definitions.
+        let mut prices = Vec::new();
+        let mut x = 7u64;
+        while prices.len() < 300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let level = 0.05 + (x >> 33) as f64 / u32::MAX as f64;
+            let run = 1 + (x % 7) as usize;
+            for _ in 0..run {
+                prices.push(level);
+            }
+        }
+        prices.truncate(300);
+        let t = PriceTrace::from_minutes(prices.clone());
+        for &(a, b) in &[(0u64, 10u64), (5, 5), (17, 120), (250, 400), (299, 300), (0, 300)] {
+            let (from, to) = (SimTime::from_mins(a), SimTime::from_mins(b));
+            let w = t.window(from, to);
+            let naive_avg = w.iter().sum::<f64>() / w.len() as f64;
+            assert!((t.avg_over(from, to) - naive_avg).abs() < 1e-9, "avg window {a}..{b}");
+            let naive_changes = w.windows(2).filter(|p| p[0] != p[1]).count();
+            assert_eq!(t.changes_in(from, to), naive_changes, "changes window {a}..{b}");
+        }
+        for &(from_min, horizon_min, thr) in &[
+            (0u64, 400u64, 0.3),
+            (10, 50, 0.6),
+            (100, 400, 10.0),
+            (250, 400, 0.2),
+            (63, 130, 0.5),
+        ] {
+            let from = SimTime::from_mins(from_min);
+            let hi = ((from_min + horizon_min) as usize).min(prices.len());
+            let naive = (from_min as usize..hi)
+                .find(|&m| prices[m] > thr)
+                .map(|m| SimTime::from_mins(m as u64).max(from));
+            assert_eq!(
+                t.first_exceed(from, SimDur::from_mins(horizon_min), thr),
+                naive,
+                "first_exceed from {from_min} thr {thr}"
+            );
+        }
+        for m in [0usize, 1, 13, 150, 299, 500] {
+            let idx = m.min(prices.len() - 1);
+            let mut back = idx;
+            while back > 0 && prices[back - 1] == prices[idx] {
+                back -= 1;
+            }
+            assert_eq!(
+                t.duration_since_change(SimTime::from_mins(m as u64)),
+                SimDur::from_mins((idx - back) as u64),
+                "run length at minute {m}"
+            );
+        }
     }
 
     #[test]

@@ -88,7 +88,14 @@ impl PerfModel {
         hp: &HpSetting,
         rng: &mut StdRng,
     ) -> f64 {
-        let mean = self.true_spe(instance, workload, hp);
+        Self::sample_with_mean(self.true_spe(instance, workload, hp), rng)
+    }
+
+    /// Draws one sample around a precomputed [`Self::true_spe`] mean —
+    /// identical distribution and RNG consumption to [`Self::sample_spe`],
+    /// for callers (the orchestrator's hot loop) that cache the means per
+    /// (instance, configuration) instead of re-deriving them every step.
+    pub fn sample_with_mean(mean: f64, rng: &mut StdRng) -> f64 {
         // Clamped multiplicative Gaussian noise, COV ≈ STEP_TIME_COV.
         let u1: f64 = rng.random::<f64>().max(1e-12);
         let u2: f64 = rng.random::<f64>();

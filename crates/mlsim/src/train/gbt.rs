@@ -92,7 +92,7 @@ impl RegressionTree {
                     let m = if data.x(r)[feat] <= threshold { lm } else { rm };
                     sse += (targets[i] - m) * (targets[i] - m);
                 }
-                if sse < base_sse * 0.999 && best.map_or(true, |(_, _, b)| sse < b) {
+                if sse < base_sse * 0.999 && best.is_none_or(|(_, _, b)| sse < b) {
                     best = Some((feat, threshold, sse));
                 }
             }

@@ -84,12 +84,11 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // No zero-skip: LSTM/dense weights are dense, so a branch per
+        // element only mispredicts; the straight-line axpy loop vectorizes.
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[r * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
                 let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
@@ -107,9 +106,6 @@ impl Matrix {
         for k in 0..self.rows {
             for r in 0..self.cols {
                 let a = self.data[k * self.cols + r];
-                if a == 0.0 {
-                    continue;
-                }
                 let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
@@ -128,9 +124,21 @@ impl Matrix {
             let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
             for c in 0..rhs.rows {
                 let b_row = &rhs.data[c * rhs.cols..(c + 1) * rhs.cols];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+                // Four independent accumulators break the serial f64-add
+                // dependency chain of the dot product.
+                let chunks = self.cols / 4 * 4;
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                let mut i = 0;
+                while i < chunks {
+                    s0 += a_row[i] * b_row[i];
+                    s1 += a_row[i + 1] * b_row[i + 1];
+                    s2 += a_row[i + 2] * b_row[i + 2];
+                    s3 += a_row[i + 3] * b_row[i + 3];
+                    i += 4;
+                }
+                let mut acc = (s0 + s1) + (s2 + s3);
+                for j in chunks..self.cols {
+                    acc += a_row[j] * b_row[j];
                 }
                 out.data[r * rhs.rows + c] = acc;
             }
@@ -296,8 +304,30 @@ mod tests {
         let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64 * 0.3 - 1.0);
         let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64 * 0.7 + 0.1);
         assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+        // matmul_t uses a 4-way unrolled accumulator, which reorders the
+        // f64 sums — compare elementwise within rounding noise.
         let d = Matrix::from_fn(5, 4, |r, c| (r + c) as f64);
-        assert_eq!(a.matmul_t(&d), a.matmul(&d.transpose()));
+        let fast = a.matmul_t(&d);
+        let reference = a.matmul(&d.transpose());
+        assert_eq!((fast.rows(), fast.cols()), (reference.rows(), reference.cols()));
+        for (x, y) in fast.data().iter().zip(reference.data()) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn unrolled_matmul_t_handles_all_remainders() {
+        // Inner dimensions 1..=9 cover every `cols % 4` case of the
+        // unrolled dot product.
+        for cols in 1..=9usize {
+            let a = Matrix::from_fn(2, cols, |r, c| (r * cols + c) as f64 * 0.17 - 0.5);
+            let d = Matrix::from_fn(3, cols, |r, c| (r + 2 * c) as f64 * 0.23 + 0.1);
+            let fast = a.matmul_t(&d);
+            let reference = a.matmul(&d.transpose());
+            for (x, y) in fast.data().iter().zip(reference.data()) {
+                assert!((x - y).abs() < 1e-12, "cols={cols}: {x} vs {y}");
+            }
+        }
     }
 
     #[test]

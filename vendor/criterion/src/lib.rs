@@ -1,0 +1,349 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A real (if small) measuring harness behind criterion's macro surface:
+//! warmup, adaptive iteration counts, N timed samples, mean/median/min
+//! reporting. Honors:
+//!
+//! * a positional CLI argument as a substring filter on benchmark names;
+//! * `--sample-size N` or `SPOTTUNE_BENCH_SAMPLES` to shrink runs (CI smoke);
+//! * `--test` (what `cargo test --benches` passes): run every routine once;
+//! * `SPOTTUNE_BENCH_JSON=path`: append one JSON line per benchmark, the
+//!   `BENCH_*.json` baseline format described in `crates/bench/README.md`.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped per measurement (API compatibility only —
+/// this harness times each routine invocation individually).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Opaque measurement sink handed to bench closures.
+pub struct Bencher<'a> {
+    cfg: &'a RunConfig,
+    /// Mean/median/min nanoseconds per iteration, filled by `iter*`.
+    result: Option<Stats>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+}
+
+#[derive(Debug, Clone)]
+struct RunConfig {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(2);
+
+impl<'a> Bencher<'a> {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.cfg.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warmup + per-iteration estimate.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (MIN_SAMPLE_TIME.as_nanos() / once.as_nanos()).max(1) as u64;
+        let mut samples = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some(summarize(&mut samples));
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine is
+    /// measured.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.cfg.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (MIN_SAMPLE_TIME.as_nanos() / once.as_nanos()).max(1) as u64;
+        let mut samples = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            samples.push(total.as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some(summarize(&mut samples));
+    }
+}
+
+fn summarize(samples: &mut [f64]) -> Stats {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = samples.len();
+    Stats {
+        mean_ns: samples.iter().sum::<f64>() / n as f64,
+        median_ns: samples[n / 2],
+        min_ns: samples[0],
+        samples: n,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    cfg: RunConfig,
+    json_path: Option<String>,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            cfg: RunConfig { sample_size: 20, test_mode: false },
+            json_path: std::env::var("SPOTTUNE_BENCH_JSON").ok(),
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from CLI args (filter, `--sample-size`, `--test`)
+    /// and the `SPOTTUNE_BENCH_SAMPLES` / `SPOTTUNE_BENCH_JSON` env vars.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        if let Some(n) = std::env::var("SPOTTUNE_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            c.cfg.sample_size = n.max(2);
+        }
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => c.cfg.test_mode = true,
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|s| s.parse::<usize>().ok()) {
+                        c.cfg.sample_size = n.max(2);
+                    }
+                }
+                "--bench" | "--quiet" | "--verbose" | "--noplot" => {}
+                s if s.starts_with("--") => {
+                    // Unknown flag (possibly with a value); skip its value if
+                    // the next token is not flag-like.
+                }
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), sample_size: None }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        self.run_one("", id.as_ref(), None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        group: &str,
+        id: &str,
+        sample_size: Option<usize>,
+        mut f: F,
+    ) {
+        let full = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut cfg = self.cfg.clone();
+        if let Some(n) = sample_size {
+            // CLI/env overrides beat the in-code group setting so CI smoke
+            // runs stay fast even for groups that pin a large sample count.
+            if std::env::var("SPOTTUNE_BENCH_SAMPLES").is_err() {
+                cfg.sample_size = n.max(2);
+            }
+        }
+        let mut b = Bencher { cfg: &cfg, result: None };
+        f(&mut b);
+        self.ran += 1;
+        if cfg.test_mode {
+            println!("test {full} ... ok");
+            return;
+        }
+        if let Some(stats) = b.result {
+            println!(
+                "{full:<52} time: [{}]  (median {}, min {}, {} samples)",
+                format_ns(stats.mean_ns),
+                format_ns(stats.median_ns),
+                format_ns(stats.min_ns),
+                stats.samples,
+            );
+            if let Some(path) = &self.json_path {
+                let mut line = String::new();
+                let _ = write!(
+                    line,
+                    "{{\"group\":\"{group}\",\"bench\":\"{id}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{}}}",
+                    stats.mean_ns, stats.median_ns, stats.min_ns, stats.samples,
+                );
+                if let Ok(mut file) =
+                    std::fs::OpenOptions::new().create(true).append(true).open(path)
+                {
+                    let _ = writeln!(file, "{line}");
+                }
+            }
+        }
+    }
+
+    /// Prints the closing line (mirrors criterion's summary hook).
+    pub fn final_summary(&self) {
+        if !self.cfg.test_mode {
+            println!("\n{} benchmark(s) completed", self.ran);
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Sets the per-benchmark sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let (name, n) = (self.name.clone(), self.sample_size);
+        self.c.run_one(&name, id.as_ref(), n, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_routine() {
+        let cfg = RunConfig { sample_size: 5, test_mode: false };
+        let mut b = Bencher { cfg: &cfg, result: None };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+            acc
+        });
+        let stats = b.result.expect("stats recorded");
+        assert_eq!(stats.samples, 5);
+        assert!(stats.min_ns > 0.0 && stats.mean_ns >= stats.min_ns);
+    }
+
+    #[test]
+    fn test_mode_runs_once_without_stats() {
+        let cfg = RunConfig { sample_size: 5, test_mode: true };
+        let mut b = Bencher { cfg: &cfg, result: None };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.result.is_none());
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline stand-in for `crossbeam`: just the `thread::scope` API the
+//! workspace uses, implemented on `std::thread::scope` (which did not exist
+//! when crossbeam's scoped threads were written, and fully replaces them).
+
+/// Scoped threads.
+pub mod thread {
+    /// Mirror of `crossbeam::thread::Scope`: spawn handle passed to the
+    /// scope closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a scope reference
+        /// (ignored by all call sites here) to match crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads all join before `scope`
+    /// returns. Always `Ok` — std's scope propagates child panics by
+    /// panicking on join, so the `Result` exists only for signature
+    /// compatibility with crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let n = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| n.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 8);
+    }
+}

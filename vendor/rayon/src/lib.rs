@@ -1,0 +1,165 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the `par_iter()/into_par_iter() → map → collect` shape the
+//! bench binaries use for fanning independent campaign simulations across
+//! cores. Items are distributed round-robin over `available_parallelism()`
+//! scoped threads and results are reassembled in input order, so a parallel
+//! sweep produces exactly the same output vector as the sequential loop it
+//! replaces. No work stealing — campaign tasks are coarse enough that static
+//! striding keeps every core busy.
+
+use std::thread;
+
+/// A materialized parallel iterator (eager, unlike real rayon).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A mapped parallel iterator, pending execution at `collect`.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+/// By-value conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// By-reference conversion into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: Send;
+    /// Parallel iterator over borrowed elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<I: Send> ParIter<I> {
+    /// Lazily attaches the map stage.
+    pub fn map<R: Send, F: Fn(I) -> R + Sync>(self, f: F) -> ParMap<I, F> {
+        ParMap { items: self.items, f }
+    }
+}
+
+impl<I: Send, R: Send, F: Fn(I) -> R + Sync> ParMap<I, F> {
+    /// Executes the map across threads, preserving input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(par_map(self.items, &self.f))
+    }
+}
+
+fn par_map<I: Send, R: Send, F: Fn(I) -> R + Sync>(items: Vec<I>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Round-robin buckets: worker w takes items w, w+workers, w+2·workers, …
+    let mut buckets: Vec<Vec<(usize, I)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (idx, item) in items.into_iter().enumerate() {
+        buckets[idx % workers].push((idx, item));
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunks = thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(idx, item)| (idx, f(item)))
+                        .collect::<Vec<(usize, R)>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon stub worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for chunk in chunks {
+        for (idx, r) in chunk {
+            slots[idx] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// The conversion traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        let squares: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[99], 99 * 99);
+    }
+
+    #[test]
+    fn matches_sequential_for_owned_vec() {
+        let xs = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = xs.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u64> = vec![7u64].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! real serde proc-macro stack is unavailable. The codebase only uses
+//! `#[derive(Serialize, Deserialize)]` as annotations (nothing serializes at
+//! runtime yet), so empty derive expansions are sufficient: they satisfy the
+//! attribute without generating any trait impls.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
