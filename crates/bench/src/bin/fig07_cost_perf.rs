@@ -5,11 +5,11 @@
 //!
 //! Run with: `cargo run --release -p spottune-bench --bin fig07_cost_perf`
 
-use spottune_bench::{print_table, run_campaigns, standard_pool, Approach, MASTER_SEED};
+use spottune_bench::{print_table, run_campaigns, standard_scenario, Approach, MASTER_SEED};
 use spottune_mlsim::prelude::*;
 
 fn main() {
-    let pool = standard_pool(MASTER_SEED);
+    let scenario = standard_scenario(MASTER_SEED);
     let workloads = Workload::all_benchmarks();
     let approaches = Approach::fig7_set();
 
@@ -17,7 +17,7 @@ fn main() {
         .iter()
         .flat_map(|w| approaches.iter().map(move |a| (*a, w.clone())))
         .collect();
-    let reports = run_campaigns(tasks, &pool, MASTER_SEED);
+    let reports = run_campaigns(tasks, scenario, MASTER_SEED);
 
     // Group per workload: rows of 4 approaches.
     let mut cost_rows = Vec::new();

@@ -5,14 +5,14 @@
 //! Run with: `cargo run --release -p spottune-bench --bin fig08_theta_sweep`
 
 use rayon::prelude::*;
-use spottune_bench::{print_table, run_campaigns, standard_pool, Approach, MASTER_SEED};
+use spottune_bench::{print_table, run_campaigns, standard_scenario, Approach, MASTER_SEED};
 use spottune_earlycurve::prelude::*;
 use spottune_mlsim::prelude::*;
 
 const THETAS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 
 fn main() {
-    let pool = standard_pool(MASTER_SEED);
+    let scenario = standard_scenario(MASTER_SEED);
     let workloads = Workload::all_benchmarks();
 
     // (a) + (b): one campaign per (workload, θ).
@@ -20,7 +20,7 @@ fn main() {
         .iter()
         .flat_map(|w| THETAS.iter().map(move |&theta| (Approach::SpotTune { theta }, w.clone())))
         .collect();
-    let reports = run_campaigns(tasks, &pool, MASTER_SEED);
+    let reports = run_campaigns(tasks, scenario, MASTER_SEED);
 
     let mut cost_rows = Vec::new();
     let mut jct_rows = Vec::new();

@@ -4,17 +4,17 @@
 //!
 //! Run with: `cargo run --release -p spottune-bench --bin fig09_refund`
 
-use spottune_bench::{print_table, run_campaigns, standard_pool, Approach, MASTER_SEED};
+use spottune_bench::{print_table, run_campaigns, standard_scenario, Approach, MASTER_SEED};
 use spottune_mlsim::prelude::*;
 
 fn main() {
-    let pool = standard_pool(MASTER_SEED);
+    let scenario = standard_scenario(MASTER_SEED);
     let workloads = Workload::all_benchmarks();
     let tasks: Vec<(Approach, Workload)> = workloads
         .iter()
         .map(|w| (Approach::SpotTune { theta: 0.7 }, w.clone()))
         .collect();
-    let reports = run_campaigns(tasks, &pool, MASTER_SEED);
+    let reports = run_campaigns(tasks, scenario, MASTER_SEED);
 
     let mut contribution = Vec::new();
     let mut refund = Vec::new();

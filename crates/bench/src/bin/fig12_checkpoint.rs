@@ -5,19 +5,19 @@
 //!
 //! Run with: `cargo run --release -p spottune-bench --bin fig12_checkpoint`
 
-use spottune_bench::{print_table, run_campaigns, standard_pool, Approach, MASTER_SEED};
+use spottune_bench::{print_table, run_campaigns, standard_scenario, Approach, MASTER_SEED};
 use spottune_cloud::storage::{checkpoint_speed_mbps, max_model_size_mb};
 use spottune_market::{instance, InstanceType};
 use spottune_mlsim::prelude::*;
 
 fn main() {
-    let pool = standard_pool(MASTER_SEED);
+    let scenario = standard_scenario(MASTER_SEED);
     let workloads = Workload::all_benchmarks();
     let tasks: Vec<(Approach, Workload)> = workloads
         .iter()
         .map(|w| (Approach::SpotTune { theta: 0.7 }, w.clone()))
         .collect();
-    let reports = run_campaigns(tasks, &pool, MASTER_SEED);
+    let reports = run_campaigns(tasks, scenario, MASTER_SEED);
 
     let rows: Vec<Vec<String>> = reports
         .iter()

@@ -1,0 +1,145 @@
+//! Sweep client of the sharded campaign server: builds a
+//! workload × θ × seed × market-scenario request grid, submits it to a
+//! [`CampaignServer`] worker pool, streams reports back in completion
+//! order and prints throughput plus shared-tier hit rates.
+//!
+//! Run with (all flags optional):
+//!
+//! ```sh
+//! cargo run --release -p spottune-bench --bin run_campaigns -- \
+//!     --workloads LoR,GBTR --thetas 0.5,0.7,1.0 --seeds 8 \
+//!     --scenario-seeds 2 --days 12 --workers 0 --baselines --quiet
+//! ```
+//!
+//! `--workers 0` (the default) sizes the pool to the machine.
+
+use spottune_bench::TRACE_DAYS;
+use spottune_core::prelude::*;
+use spottune_market::prelude::*;
+use spottune_mlsim::prelude::*;
+use spottune_server::{CampaignServer, ServerConfig};
+use std::time::Instant;
+
+struct Args {
+    workers: usize,
+    workloads: Vec<Algorithm>,
+    thetas: Vec<f64>,
+    seeds: u64,
+    scenario_seeds: u64,
+    days: u64,
+    baselines: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workers: 0,
+        workloads: vec![Algorithm::LoR, Algorithm::ResNet],
+        thetas: vec![0.7, 1.0],
+        seeds: 4,
+        scenario_seeds: 1,
+        days: TRACE_DAYS,
+        baselines: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--workers" => args.workers = value("--workers").parse().expect("--workers: usize"),
+            "--workloads" => {
+                args.workloads = value("--workloads")
+                    .split(',')
+                    .map(|name| {
+                        Algorithm::all()
+                            .into_iter()
+                            .find(|a| a.name().eq_ignore_ascii_case(name))
+                            .unwrap_or_else(|| panic!("unknown workload {name}"))
+                    })
+                    .collect();
+            }
+            "--thetas" => {
+                args.thetas = value("--thetas")
+                    .split(',')
+                    .map(|t| t.parse().expect("--thetas: f64 list"))
+                    .collect();
+            }
+            "--seeds" => args.seeds = value("--seeds").parse().expect("--seeds: u64"),
+            "--scenario-seeds" => {
+                args.scenario_seeds =
+                    value("--scenario-seeds").parse().expect("--scenario-seeds: u64");
+            }
+            "--days" => args.days = value("--days").parse().expect("--days: u64"),
+            "--baselines" => args.baselines = true,
+            "--quiet" => args.quiet = true,
+            other => panic!("unknown flag {other} (see the module docs for usage)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut approaches: Vec<Approach> =
+        args.thetas.iter().map(|&theta| Approach::SpotTune { theta }).collect();
+    if args.baselines {
+        approaches.push(Approach::SingleSpot(SingleSpotKind::Cheapest));
+        approaches.push(Approach::SingleSpot(SingleSpotKind::Fastest));
+    }
+
+    // The full sweep grid: workload × approach × seed × market scenario.
+    let mut requests = Vec::new();
+    for &algorithm in &args.workloads {
+        let workload = Workload::benchmark(algorithm);
+        for &approach in &approaches {
+            for seed in 0..args.seeds {
+                for scenario_seed in 0..args.scenario_seeds {
+                    requests.push(CampaignRequest {
+                        id: requests.len() as u64,
+                        approach,
+                        workload: workload.clone(),
+                        scenario: MarketScenario::from_days(args.days, 42 + scenario_seed),
+                        seed: 42 + seed,
+                    });
+                }
+            }
+        }
+    }
+    let total = requests.len();
+
+    let server = CampaignServer::start(ServerConfig::with_workers(args.workers));
+    let workers = server.stats().workers;
+    println!("submitting {total} campaigns to {workers} workers …");
+    let t0 = Instant::now();
+    let mut done = 0usize;
+    for response in server.submit_sweep(requests) {
+        done += 1;
+        if !args.quiet {
+            println!("[{done:>5}/{total}] #{:<5} {}", response.id, response.report.summary());
+        }
+    }
+    let elapsed = t0.elapsed();
+    let stats = server.stats();
+    server.shutdown();
+
+    assert_eq!(done, total, "every submitted campaign must report");
+    println!("\n--- sweep complete ---");
+    println!("campaigns    : {done} in {elapsed:.2?} ({:.1}/s)", done as f64 / elapsed.as_secs_f64());
+    println!("workers      : {}", stats.workers);
+    println!(
+        "pool tier    : {} resident, {} hits / {} lookups ({:.1}% hit rate)",
+        stats.resident_pools,
+        stats.pool_cache.hits,
+        stats.pool_cache.lookups(),
+        100.0 * stats.pool_cache.hit_rate(),
+    );
+    println!(
+        "curve tier   : {} resident, {} hits / {} lookups ({:.1}% hit rate)",
+        stats.resident_curves,
+        stats.curve_cache.hits,
+        stats.curve_cache.lookups(),
+        100.0 * stats.curve_cache.hit_rate(),
+    );
+}

@@ -2,12 +2,18 @@
 //!
 //! Shared infrastructure for the figure/table regeneration binaries (one
 //! per paper figure; see DESIGN.md's experiment index) and the criterion
-//! micro-benchmarks.
+//! micro-benchmarks. The campaign fan-out itself lives in
+//! `spottune-server`: the helpers here are thin clients that build
+//! [`CampaignRequest`]s and stream reports back from a worker pool.
 
-use rayon::prelude::*;
 use spottune_core::prelude::*;
 use spottune_market::prelude::*;
 use spottune_mlsim::prelude::*;
+use spottune_server::{CampaignServer, ServerConfig};
+
+// Re-exported so existing figure binaries keep importing the approach enum
+// from the bench facade (it moved into `spottune_core::campaign`).
+pub use spottune_core::campaign::Approach;
 
 /// Length of the standard simulated price history (the Kaggle dataset spans
 /// ~12 days: 2017-04-26 → 2017-05-08).
@@ -18,60 +24,56 @@ pub const MASTER_SEED: u64 = 42;
 
 /// The standard six-market pool used by all experiments.
 pub fn standard_pool(seed: u64) -> MarketPool {
-    MarketPool::standard(SimDur::from_days(TRACE_DAYS), seed)
+    standard_scenario(seed).build()
 }
 
-/// The four approaches of paper Fig. 7.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Approach {
-    /// SpotTune with the given θ.
-    SpotTune {
-        /// Early-shutdown rate.
-        theta: f64,
-    },
-    /// Single-Spot Tune baselines.
-    SingleSpot(SingleSpotKind),
-}
-
-impl Approach {
-    /// The four bars of Fig. 7, in paper order.
-    pub fn fig7_set() -> [Approach; 4] {
-        [
-            Approach::SpotTune { theta: 0.7 },
-            Approach::SpotTune { theta: 1.0 },
-            Approach::SingleSpot(SingleSpotKind::Cheapest),
-            Approach::SingleSpot(SingleSpotKind::Fastest),
-        ]
-    }
+/// The scenario key naming [`standard_pool`] on the server's pool tier.
+pub fn standard_scenario(seed: u64) -> MarketScenario {
+    MarketScenario::from_days(TRACE_DAYS, seed)
 }
 
 /// Runs one approach on one workload with the oracle revocation estimator.
-pub fn run_approach(approach: Approach, workload: &Workload, pool: &MarketPool, seed: u64) -> HptReport {
-    match approach {
-        Approach::SpotTune { theta } => {
-            let oracle = OracleEstimator::new(pool.clone(), 0.9);
-            let cfg = SpotTuneConfig::new(theta, 3).with_seed(seed);
-            Orchestrator::new(cfg, workload.clone(), pool.clone(), &oracle).run()
-        }
-        Approach::SingleSpot(kind) => {
-            run_single_spot(kind, workload, pool, SpotTuneConfig::default().start, seed)
-        }
-    }
-}
-
-/// Runs a set of (approach, workload) campaigns across all cores with
-/// rayon, preserving input order in the output. Campaigns are independent
-/// simulations over a shared (`Arc`-backed, cheap-to-clone) market pool,
-/// so the sweep scales linearly until the machine runs out of cores.
-pub fn run_campaigns(
-    tasks: Vec<(Approach, Workload)>,
+pub fn run_approach(
+    approach: Approach,
+    workload: &Workload,
     pool: &MarketPool,
     seed: u64,
+) -> HptReport {
+    Campaign::new(approach, workload.clone(), seed).run(pool)
+}
+
+/// Runs a set of (approach, workload) campaigns through a sharded
+/// [`CampaignServer`] worker pool (one worker per core), preserving input
+/// order in the output. The server shares the scenario's market pool and
+/// the training-curve memo across all campaigns, and its reports are
+/// bit-identical to running each campaign serially.
+pub fn run_campaigns(
+    tasks: Vec<(Approach, Workload)>,
+    scenario: MarketScenario,
+    seed: u64,
 ) -> Vec<HptReport> {
-    tasks
-        .into_par_iter()
-        .map(|(approach, workload)| run_approach(approach, &workload, pool, seed))
-        .collect()
+    let requests: Vec<CampaignRequest> = tasks
+        .into_iter()
+        .enumerate()
+        .map(|(i, (approach, workload))| CampaignRequest {
+            id: i as u64,
+            approach,
+            workload,
+            scenario,
+            seed,
+        })
+        .collect();
+    // Share the process-wide curve memo: figure binaries interleave
+    // server sweeps with direct TrainingRun evaluation (e.g. fig08's
+    // accuracy grid), and both sides replay each other's curves.
+    let server = CampaignServer::start_with_tiers(
+        ServerConfig::default(),
+        PoolCache::new(),
+        CurveCache::global(),
+    );
+    let responses = server.run_sweep(requests);
+    server.shutdown();
+    responses.into_iter().map(|r| r.report).collect()
 }
 
 /// Prints a CSV-ish header + rows helper used by the figure binaries.
@@ -95,15 +97,14 @@ mod tests {
     }
 
     #[test]
-    fn parallel_campaigns_preserve_order() {
-        let pool = standard_pool(1);
+    fn server_campaigns_preserve_order() {
         let base = Workload::benchmark(Algorithm::LoR);
         let small = Workload::custom(Algorithm::LoR, 30, base.hp_grid()[..2].to_vec());
         let tasks = vec![
             (Approach::SingleSpot(SingleSpotKind::Cheapest), small.clone()),
             (Approach::SingleSpot(SingleSpotKind::Fastest), small),
         ];
-        let reports = run_campaigns(tasks, &pool, 3);
+        let reports = run_campaigns(tasks, standard_scenario(1), 3);
         assert_eq!(reports.len(), 2);
         assert!(reports[0].approach.contains("Cheapest"));
         assert!(reports[1].approach.contains("Fastest"));

@@ -11,13 +11,14 @@
 use crate::report::HptReport;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use spottune_cloud::CloudProvider;
 use spottune_market::{instance, MarketPool, SimDur, SimTime};
-use spottune_mlsim::runner::ground_truth_finals;
-use spottune_mlsim::{PerfModel, TrainingRun, Workload};
+use spottune_mlsim::runner::ground_truth_finals_with_cache;
+use spottune_mlsim::{CurveCache, PerfModel, TrainingRun, Workload};
 
 /// Which fixed instance type the baseline uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SingleSpotKind {
     /// Lowest on-demand price in the catalog: `r4.large`.
     Cheapest,
@@ -55,6 +56,24 @@ pub fn run_single_spot(
     start: SimTime,
     seed: u64,
 ) -> HptReport {
+    run_single_spot_with_cache(kind, workload, pool, start, seed, &CurveCache::global())
+}
+
+/// [`run_single_spot`] against an explicit curve-memo tier (the server's
+/// shared cross-request tier; the plain entry point uses the process-wide
+/// default).
+///
+/// # Panics
+///
+/// Panics if the pool lacks the baseline's instance type.
+pub fn run_single_spot_with_cache(
+    kind: SingleSpotKind,
+    workload: &Workload,
+    pool: &MarketPool,
+    start: SimTime,
+    seed: u64,
+    curve_cache: &CurveCache,
+) -> HptReport {
     let inst_name = kind.instance_name();
     let market = pool
         .market(inst_name)
@@ -78,7 +97,7 @@ pub fn run_single_spot(
             .expect("baseline request cannot be rejected");
         let launched = provider.vm(vm).expect("vm exists").launched_at();
         // Advance the training run to completion, sampling per-step times.
-        let mut run = TrainingRun::new(workload, hp, seed);
+        let mut run = TrainingRun::with_cache(workload, hp, seed, curve_cache);
         let max = workload.max_trial_steps();
         let mut busy = 0.0f64;
         for k in 1..=max {
@@ -95,7 +114,7 @@ pub fn run_single_spot(
     }
 
     let ledger = provider.ledger();
-    let true_finals = ground_truth_finals(workload, seed);
+    let true_finals = ground_truth_finals_with_cache(workload, seed, curve_cache);
     let mut ranking: Vec<usize> = (0..finals.len()).collect();
     ranking.sort_by(|&a, &b| finals[a].partial_cmp(&finals[b]).expect("finite"));
     HptReport {

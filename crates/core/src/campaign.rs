@@ -1,0 +1,173 @@
+//! One campaign as a first-class, schedulable unit of work.
+//!
+//! A *campaign* is a single HPT evaluation point: an approach (SpotTune at
+//! some θ, or a Single-Spot baseline) applied to one workload over one
+//! market pool with one seed. The figure binaries, the rayon fan-outs and
+//! the sharded campaign server all funnel through [`Campaign::run`], so a
+//! sweep scheduled any way — serially, across cores, across a worker pool —
+//! produces bit-identical [`HptReport`]s.
+//!
+//! [`CampaignRequest`]/[`CampaignResponse`] are the serializable wire
+//! types of the campaign server: requests name their market environment by
+//! [`MarketScenario`] (a key into the server's shared pool tier) instead
+//! of shipping price traces.
+
+use crate::baseline::{run_single_spot_with_cache, SingleSpotKind};
+use crate::config::SpotTuneConfig;
+use crate::orchestrator::Orchestrator;
+use crate::provision::OracleEstimator;
+use crate::report::HptReport;
+use serde::{Deserialize, Serialize};
+use spottune_market::{MarketPool, MarketScenario};
+use spottune_mlsim::{CurveCache, Workload};
+
+/// The approaches of paper Fig. 7 (SpotTune and the Single-Spot baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Approach {
+    /// SpotTune with the given θ.
+    SpotTune {
+        /// Early-shutdown rate.
+        theta: f64,
+    },
+    /// Single-Spot Tune baselines.
+    SingleSpot(SingleSpotKind),
+}
+
+impl Approach {
+    /// The four bars of Fig. 7, in paper order.
+    pub fn fig7_set() -> [Approach; 4] {
+        [
+            Approach::SpotTune { theta: 0.7 },
+            Approach::SpotTune { theta: 1.0 },
+            Approach::SingleSpot(SingleSpotKind::Cheapest),
+            Approach::SingleSpot(SingleSpotKind::Fastest),
+        ]
+    }
+}
+
+/// One fully-specified campaign, minus the market pool it runs against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// The approach under evaluation.
+    pub approach: Approach,
+    /// The workload (algorithm + HP grid + step budget).
+    pub workload: Workload,
+    /// Master seed: orchestrator RNG and training-run seeds derive from it.
+    pub seed: u64,
+}
+
+impl Campaign {
+    /// Creates a campaign.
+    pub fn new(approach: Approach, workload: Workload, seed: u64) -> Self {
+        Campaign { approach, workload, seed }
+    }
+
+    /// Runs the campaign over `pool` with the oracle revocation estimator,
+    /// memoizing curves through the process-wide tier.
+    pub fn run(&self, pool: &MarketPool) -> HptReport {
+        self.run_with_cache(pool, &CurveCache::global())
+    }
+
+    /// Runs the campaign with an explicit curve-memo tier (the server's
+    /// shared cross-request tier).
+    ///
+    /// Deterministic: the report is a pure function of `(self, pool)` — the
+    /// tier only changes what is recomputed versus replayed.
+    pub fn run_with_cache(&self, pool: &MarketPool, curve_cache: &CurveCache) -> HptReport {
+        match self.approach {
+            Approach::SpotTune { theta } => {
+                let oracle = OracleEstimator::new(pool.clone(), 0.9);
+                let cfg = SpotTuneConfig::new(theta, 3).with_seed(self.seed);
+                Orchestrator::new(cfg, self.workload.clone(), pool.clone(), &oracle)
+                    .with_curve_cache(curve_cache.clone())
+                    .run()
+            }
+            Approach::SingleSpot(kind) => run_single_spot_with_cache(
+                kind,
+                &self.workload,
+                pool,
+                SpotTuneConfig::default().start,
+                self.seed,
+                curve_cache,
+            ),
+        }
+    }
+}
+
+/// One unit of work submitted to the campaign server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignRequest {
+    /// Client-chosen correlation id, echoed in the response. The server
+    /// streams responses in *completion* order; ids let clients reorder.
+    pub id: u64,
+    /// The approach under evaluation.
+    pub approach: Approach,
+    /// The workload to tune.
+    pub workload: Workload,
+    /// Market environment, resolved through the server's shared pool tier.
+    pub scenario: MarketScenario,
+    /// Master seed for the campaign.
+    pub seed: u64,
+}
+
+impl CampaignRequest {
+    /// The campaign this request describes (everything but the pool).
+    pub fn campaign(&self) -> Campaign {
+        Campaign::new(self.approach, self.workload.clone(), self.seed)
+    }
+}
+
+/// The server's answer to one [`CampaignRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResponse {
+    /// Echo of [`CampaignRequest::id`].
+    pub id: u64,
+    /// The campaign's report.
+    pub report: HptReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spottune_mlsim::Algorithm;
+    use spottune_market::SimDur;
+
+    fn tiny_workload() -> Workload {
+        let base = Workload::benchmark(Algorithm::LoR);
+        Workload::custom(Algorithm::LoR, 30, base.hp_grid()[..2].to_vec())
+    }
+
+    #[test]
+    fn fig7_set_matches_paper_order() {
+        let set = Approach::fig7_set();
+        assert!(matches!(set[0], Approach::SpotTune { theta } if theta == 0.7));
+        assert!(matches!(set[3], Approach::SingleSpot(SingleSpotKind::Fastest)));
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_tiers() {
+        let pool = MarketPool::standard(SimDur::from_days(2), 11);
+        let campaign = Campaign::new(Approach::SpotTune { theta: 0.6 }, tiny_workload(), 5);
+        let a = campaign.run(&pool);
+        let b = campaign.run_with_cache(&pool, &CurveCache::new());
+        assert_eq!(a, b, "tier choice must never change the report");
+    }
+
+    #[test]
+    fn request_round_trips_to_campaign() {
+        let req = CampaignRequest {
+            id: 9,
+            approach: Approach::SingleSpot(SingleSpotKind::Cheapest),
+            workload: tiny_workload(),
+            scenario: MarketScenario::from_days(2, 3),
+            seed: 21,
+        };
+        let campaign = req.campaign();
+        assert_eq!(campaign.approach, req.approach);
+        assert_eq!(campaign.seed, 21);
+        let report = campaign.run(&req.scenario.build());
+        assert!(report.approach.contains("Cheapest"));
+        let resp = CampaignResponse { id: req.id, report };
+        assert_eq!(resp.id, 9);
+    }
+}

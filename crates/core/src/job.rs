@@ -2,7 +2,7 @@
 
 use spottune_cloud::VmId;
 use spottune_earlycurve::{EarlyCurve, EarlyCurveConfig};
-use spottune_mlsim::{HpSetting, TrainingRun, Workload};
+use spottune_mlsim::{CurveCache, HpSetting, TrainingRun, Workload};
 use spottune_market::{SimDur, SimTime};
 
 /// Why a job stopped iterating.
@@ -85,20 +85,22 @@ pub struct Job {
 }
 
 impl Job {
-    /// Creates the job for one grid point.
+    /// Creates the job for one grid point; its training run memoizes
+    /// through `curve_cache`.
     pub fn new(
         workload: &Workload,
         hp_index: usize,
         target_steps: u64,
         ec_config: EarlyCurveConfig,
         seed: u64,
+        curve_cache: &CurveCache,
     ) -> Self {
         let hp = workload.hp_grid()[hp_index].clone();
         Job {
             hp_index,
             ckpt_key: format!("ckpt/{}/{}", workload.algorithm().name(), hp_index),
             model_size_mb: workload.model_size_mb(&hp),
-            run: TrainingRun::new(workload, &hp, seed),
+            run: TrainingRun::with_cache(workload, &hp, seed, curve_cache),
             hp,
             curve: EarlyCurve::new(ec_config),
             steps_done: 0,
@@ -161,7 +163,7 @@ mod tests {
 
     fn job() -> Job {
         let w = Workload::benchmark(Algorithm::LoR);
-        Job::new(&w, 0, 10, EarlyCurveConfig::default(), 1)
+        Job::new(&w, 0, 10, EarlyCurveConfig::default(), 1, &CurveCache::global())
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! ```
 
 pub mod baseline;
+pub mod campaign;
 pub mod config;
 pub mod job;
 pub mod orchestrator;
@@ -27,7 +28,8 @@ pub mod perfmatrix;
 pub mod provision;
 pub mod report;
 
-pub use baseline::{run_single_spot, SingleSpotKind};
+pub use baseline::{run_single_spot, run_single_spot_with_cache, SingleSpotKind};
+pub use campaign::{Approach, Campaign, CampaignRequest, CampaignResponse};
 pub use config::{DriveMode, SpotTuneConfig};
 pub use orchestrator::{Orchestrator, TraceEvent};
 pub use perfmatrix::PerfMatrix;
@@ -36,7 +38,8 @@ pub use report::HptReport;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::baseline::{run_single_spot, SingleSpotKind};
+    pub use crate::baseline::{run_single_spot, run_single_spot_with_cache, SingleSpotKind};
+    pub use crate::campaign::{Approach, Campaign, CampaignRequest, CampaignResponse};
     pub use crate::config::{DriveMode, SpotTuneConfig};
     pub use crate::job::{FinishReason, Job};
     pub use crate::orchestrator::{Orchestrator, TraceEvent};

@@ -27,7 +27,7 @@ use rand::SeedableRng;
 use spottune_cloud::{CloudEvent, CloudProvider, ObjectStore, VmId};
 use spottune_earlycurve::EarlyCurveConfig;
 use spottune_market::{MarketPool, RevocationEstimator, SimDur, SimTime};
-use spottune_mlsim::{PerfModel, Workload};
+use spottune_mlsim::{CurveCache, PerfModel, Workload};
 
 /// One entry of the campaign timeline (the lifecycle of paper Fig. 4).
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +88,7 @@ pub struct Orchestrator<'a> {
     estimator: &'a dyn RevocationEstimator,
     perf_model: PerfModel,
     ec_config: EarlyCurveConfig,
+    curve_cache: CurveCache,
 }
 
 impl<'a> Orchestrator<'a> {
@@ -106,12 +107,22 @@ impl<'a> Orchestrator<'a> {
             estimator,
             perf_model: PerfModel::new(),
             ec_config: EarlyCurveConfig::default(),
+            curve_cache: CurveCache::global(),
         }
     }
 
     /// Overrides the EarlyCurve configuration.
     pub fn with_earlycurve_config(mut self, ec: EarlyCurveConfig) -> Self {
         self.ec_config = ec;
+        self
+    }
+
+    /// Routes the training-curve memo through an explicit shared tier
+    /// (the server's cross-request tier) instead of the process default.
+    /// Curves are pure functions of their key, so the tier choice affects
+    /// wall-clock and counters, never results.
+    pub fn with_curve_cache(mut self, cache: CurveCache) -> Self {
+        self.curve_cache = cache;
         self
     }
 
@@ -134,7 +145,9 @@ impl<'a> Orchestrator<'a> {
         let provisioner = Provisioner::new(self.estimator, cfg.delta_range);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ ORCH_SALT);
         let mut jobs: Vec<Job> = (0..self.workload.hp_grid().len())
-            .map(|i| Job::new(&self.workload, i, target, self.ec_config, cfg.seed))
+            .map(|i| {
+                Job::new(&self.workload, i, target, self.ec_config, cfg.seed, &self.curve_cache)
+            })
             .collect();
         // True seconds-per-step means per (market, configuration): the
         // model is deterministic, so derive it once instead of hashing
@@ -202,7 +215,11 @@ impl<'a> Orchestrator<'a> {
         }
 
         // ---- Report. ----
-        let true_finals = spottune_mlsim::runner::ground_truth_finals(&self.workload, cfg.seed);
+        let true_finals = spottune_mlsim::runner::ground_truth_finals_with_cache(
+            &self.workload,
+            cfg.seed,
+            &self.curve_cache,
+        );
         let ledger = provider.ledger();
         let report = HptReport {
             approach: format!("SpotTune(θ={})", cfg.theta),

@@ -27,6 +27,7 @@ pub mod csvload;
 pub mod estimator;
 pub mod instance;
 pub mod market;
+pub mod poolcache;
 pub mod price;
 pub mod stats;
 pub mod synth;
@@ -35,6 +36,7 @@ pub mod time;
 pub use estimator::{ConstantEstimator, RevocationEstimator};
 pub use instance::InstanceType;
 pub use market::{MarketPool, SpotMarket};
+pub use poolcache::{CacheStats, MarketScenario, PoolCache};
 pub use price::{PricePoint, PriceTrace};
 pub use time::{SimDur, SimTime};
 
@@ -43,6 +45,7 @@ pub mod prelude {
     pub use crate::estimator::{ConstantEstimator, RevocationEstimator};
     pub use crate::instance::{self, InstanceType};
     pub use crate::market::{MarketPool, SpotMarket};
+    pub use crate::poolcache::{CacheStats, MarketScenario, PoolCache};
     pub use crate::price::{PricePoint, PriceTrace};
     pub use crate::synth::{Regime, TraceGenerator};
     pub use crate::time::{SimDur, SimTime};

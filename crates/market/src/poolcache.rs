@@ -1,0 +1,203 @@
+//! Cross-request market-pool tier: scenario-keyed, `Arc`-backed sharing of
+//! constructed [`MarketPool`]s.
+//!
+//! A multi-campaign sweep evaluates many (workload, θ, seed) points against
+//! the *same* few market scenarios. Generating the standard six-market pool
+//! for a 12-day trace costs ~100 k synthetic samples plus the prefix/change/
+//! run/block caches per market, so a long-running server must build each
+//! scenario once and hand out reference-counted clones — [`MarketPool`] is
+//! already `Arc`-backed, making a cache hit a pointer bump.
+
+use crate::market::MarketPool;
+use crate::time::SimDur;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Identifies one reproducible market environment: the standard Table-III
+/// catalog with synthetic traces of `trace_mins` minutes derived from
+/// `seed` (see [`MarketPool::standard`]).
+///
+/// This is the wire-level key of the pool tier: requests name a scenario
+/// instead of shipping megabytes of price traces, and equal scenarios are
+/// guaranteed to resolve to the identical (shared) pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MarketScenario {
+    /// Trace length in minutes.
+    pub trace_mins: u64,
+    /// Master seed the per-market trace seeds derive from.
+    pub seed: u64,
+}
+
+impl MarketScenario {
+    /// Scenario covering `total` of simulated time.
+    pub fn new(total: SimDur, seed: u64) -> Self {
+        MarketScenario { trace_mins: total.as_secs() / crate::time::MINUTE, seed }
+    }
+
+    /// Scenario covering `days` days (the evaluation standard is 12).
+    pub fn from_days(days: u64, seed: u64) -> Self {
+        MarketScenario::new(SimDur::from_days(days), seed)
+    }
+
+    /// Total trace duration.
+    pub fn total(&self) -> SimDur {
+        SimDur::from_mins(self.trace_mins)
+    }
+
+    /// Constructs the pool this scenario describes (cache-independent).
+    pub fn build(&self) -> MarketPool {
+        MarketPool::standard(self.total(), self.seed)
+    }
+}
+
+/// Hit/miss counters of a shared cache tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build/compute the entry.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.lookups() as f64
+    }
+}
+
+/// A shared, thread-safe pool tier keyed by [`MarketScenario`].
+///
+/// Cloning the cache clones a handle to the same tier (the server hands one
+/// to every worker). The map mutex guards only the entry lookup; the
+/// expensive pool construction runs inside a per-scenario `OnceLock`, so
+/// distinct cold scenarios build in parallel, hits never wait behind a
+/// build, and two workers racing on the *same* cold scenario still pay the
+/// construction cost once.
+#[derive(Debug, Clone, Default)]
+pub struct PoolCache {
+    inner: Arc<PoolCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct PoolCacheInner {
+    pools: Mutex<HashMap<MarketScenario, Arc<OnceLock<MarketPool>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PoolCache {
+    /// Creates an empty tier.
+    pub fn new() -> Self {
+        PoolCache::default()
+    }
+
+    /// The pool for `scenario`: a shared clone on a hit, built (and
+    /// retained) on a miss. The requester that creates the entry counts
+    /// the miss and builds; concurrent same-scenario requesters count hits
+    /// and block only on that entry.
+    pub fn get(&self, scenario: MarketScenario) -> MarketPool {
+        let cell = {
+            let mut pools = self.inner.pools.lock().expect("pool cache lock");
+            match pools.get(&scenario) {
+                Some(cell) => {
+                    self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(cell)
+                }
+                None => {
+                    self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                    let cell = Arc::new(OnceLock::new());
+                    pools.insert(scenario, Arc::clone(&cell));
+                    cell
+                }
+            }
+        };
+        cell.get_or_init(|| scenario.build()).clone()
+    }
+
+    /// Number of distinct scenarios currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.pools.lock().expect("pool cache lock").len()
+    }
+
+    /// Whether no scenario has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every resident pool (counters are retained).
+    pub fn clear(&self) {
+        self.inner.pools.lock().expect("pool cache lock").clear();
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_share_the_same_markets() {
+        let cache = PoolCache::new();
+        let scenario = MarketScenario::from_days(1, 7);
+        let a = cache.get(scenario);
+        let b = cache.get(scenario);
+        // Same Arc-backed pool, not a rebuilt equal one.
+        assert!(std::ptr::eq(a.markets(), b.markets()));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_scenarios_build_distinct_pools() {
+        let cache = PoolCache::new();
+        let a = cache.get(MarketScenario::from_days(1, 7));
+        let b = cache.get(MarketScenario::from_days(1, 8));
+        assert!(!std::ptr::eq(a.markets(), b.markets()));
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn scenario_reproduces_standard_pool() {
+        let scenario = MarketScenario::from_days(1, 42);
+        assert_eq!(scenario.build(), MarketPool::standard(SimDur::from_days(1), 42));
+        assert_eq!(scenario.total(), SimDur::from_days(1));
+    }
+
+    #[test]
+    fn hit_rate_reports_fraction() {
+        let stats = CacheStats { hits: 3, misses: 1 };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(stats.lookups(), 4);
+    }
+
+    #[test]
+    fn shared_handles_see_each_other() {
+        let cache = PoolCache::new();
+        let clone = cache.clone();
+        clone.get(MarketScenario::from_days(1, 3));
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -21,9 +21,11 @@ pub struct PricePoint {
 /// A spot-price time series with one sample per minute.
 ///
 /// Prices are step functions: the value sampled at minute `m` holds for the
-/// whole minute `[m, m+1)`. Queries outside the trace clamp to the first /
-/// last sample, so simulations that run slightly past the trace end remain
-/// well-defined.
+/// whole minute `[m, m+1)`, and the last sample is carried forward past the
+/// trace end, so simulations that run slightly past the end remain
+/// well-defined. Window queries account for that extension explicitly: a
+/// window past the end averages the (still effective) last price rather
+/// than silently reporting a clamped in-trace sample.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PriceTrace {
     /// Price per minute, `per_minute[i]` effective during minute `i`.
@@ -134,33 +136,51 @@ impl PriceTrace {
         self.per_minute[m]
     }
 
-    /// Per-minute samples in `[from, to)`, clamped to the trace bounds.
+    /// In-trace per-minute samples of the window `[from, to)`.
     ///
-    /// Returns at least one sample (the clamped endpoint) when the window is
-    /// degenerate.
+    /// Empty when the window is empty (`to ≤ from`) or lies entirely past
+    /// the trace end; the past-end extension (the last sample carried
+    /// forward) is not materialized as a slice — use [`Self::avg_over`] and
+    /// friends for queries that must account for it.
     pub fn window(&self, from: SimTime, to: SimTime) -> &[f64] {
-        let lo = (from.minute_index() as usize).min(self.per_minute.len() - 1);
-        let hi = (to.minute_index() as usize)
-            .max(lo + 1)
-            .min(self.per_minute.len());
-        &self.per_minute[lo..hi]
+        let (lo, hi) = self.window_bounds(from, to);
+        let n = self.per_minute.len();
+        &self.per_minute[lo.min(n)..hi.min(n)]
     }
 
-    /// Clamped `[lo, hi)` minute bounds shared by the window queries
-    /// (identical to [`Self::window`]'s clamping: at least one sample).
+    /// Minute bounds `[lo, hi)` of a window, with `hi ≥ lo` (a reversed
+    /// window is empty, not reordered). Bounds are *not* clamped to the
+    /// trace: minutes at or past `len` refer to the step-function extension
+    /// (the last sample carried forward), and each query accounts for that
+    /// extension explicitly instead of silently shrinking the window.
     #[inline]
     fn window_bounds(&self, from: SimTime, to: SimTime) -> (usize, usize) {
-        let lo = (from.minute_index() as usize).min(self.per_minute.len() - 1);
-        let hi = (to.minute_index() as usize)
-            .max(lo + 1)
-            .min(self.per_minute.len());
+        let lo = from.minute_index() as usize;
+        let hi = (to.minute_index() as usize).max(lo);
         (lo, hi)
     }
 
     /// Average price over `[from, to)` — O(1) via the prefix-sum cache.
+    ///
+    /// The average is taken over the step function extended past the trace
+    /// end by the last sample, so windows that overlap or lie past the end
+    /// are weighted honestly rather than truncated. A degenerate window
+    /// (`to ≤ from`) has zero measure; its "average" is defined as the
+    /// instantaneous price at `from`, which keeps `avg_last_hour` at the
+    /// very first instant well-defined.
     pub fn avg_over(&self, from: SimTime, to: SimTime) -> f64 {
         let (lo, hi) = self.window_bounds(from, to);
-        (self.prefix[hi] - self.prefix[lo]) / (hi - lo) as f64
+        if hi == lo {
+            return self.price_at(from);
+        }
+        let n = self.per_minute.len();
+        let in_lo = lo.min(n);
+        let in_hi = hi.min(n);
+        // Window minutes not covered by the trace carry the last sample.
+        let past_minutes = (hi - lo) - (in_hi - in_lo);
+        let last = self.per_minute[n - 1];
+        let sum = (self.prefix[in_hi] - self.prefix[in_lo]) + past_minutes as f64 * last;
+        sum / (hi - lo) as f64
     }
 
     /// Average price over the hour preceding `t` — the `price` used in the
@@ -170,28 +190,71 @@ impl PriceTrace {
         self.avg_over(t.saturating_sub(SimDur::from_secs(HOUR)), t)
     }
 
-    /// Number of price *changes* in `[from, to)` (adjacent-sample deltas) —
-    /// O(1) via the change-count prefix cache.
+    /// Number of price *changes* in `[from, to)` — O(1) via the
+    /// change-count prefix cache.
+    ///
+    /// A change event happens at the start of minute `k ≥ 1` when
+    /// `per_minute[k] != per_minute[k - 1]`; the count covers the events
+    /// at minute starts `k ∈ [from.minute_index(), to.minute_index())` —
+    /// window endpoints floor to the trace's one-minute grid, like every
+    /// other window query. The extension past the trace end holds the
+    /// last price forever, so it contributes no events, and an empty
+    /// window reports zero (the old clamping counted one sample as a
+    /// window and misattributed the window-edge events).
     pub fn changes_in(&self, from: SimTime, to: SimTime) -> usize {
         let (lo, hi) = self.window_bounds(from, to);
-        (self.change_prefix[hi - 1] - self.change_prefix[lo]) as usize
+        (self.change_events_before(hi) - self.change_events_before(lo)) as usize
+    }
+
+    /// Number of change events at minute starts `k < x` (change events
+    /// exist only for `k ∈ [1, len)`).
+    #[inline]
+    fn change_events_before(&self, x: usize) -> u32 {
+        if x == 0 {
+            0
+        } else {
+            self.change_prefix[(x - 1).min(self.per_minute.len() - 1)]
+        }
     }
 
     /// How long the price effective at `t` has held (time since last
     /// change) — O(1) via the run-start cache.
+    ///
+    /// Past the trace end the last price is still in effect (the step
+    /// function extends), so the hold time keeps growing with `t` instead
+    /// of being clamped to the last in-trace minute — clamping would
+    /// under-report hold time for late-horizon deploy decisions.
     pub fn duration_since_change(&self, t: SimTime) -> SimDur {
-        let m = (t.minute_index() as usize).min(self.per_minute.len() - 1);
-        SimDur::from_mins((m - self.run_start[m] as usize) as u64)
+        let m = t.minute_index() as usize;
+        let idx = m.min(self.per_minute.len() - 1);
+        SimDur::from_mins((m - self.run_start[idx] as usize) as u64)
     }
 
     /// First instant in `[from, from + horizon)` at which the price strictly
     /// exceeds `threshold`, if any. This is the ground-truth revocation test:
     /// "once the spot market price is over the user's maximum price, the
     /// instance would be revoked" (§II.A).
+    ///
+    /// Honors the same step-function extension as the other window queries:
+    /// past the trace end the last sample is still the effective price, so a
+    /// query starting there can still report an exceedance instead of the
+    /// market inconsistently never revoking while `price_at` reads
+    /// over-threshold.
     pub fn first_exceed(&self, from: SimTime, horizon: SimDur, threshold: f64) -> Option<SimTime> {
+        // An empty window contains no instant, whatever the price does.
+        if horizon == SimDur::ZERO {
+            return None;
+        }
+        let n = self.per_minute.len();
         let lo = from.minute_index() as usize;
-        let hi = (from + horizon).as_secs().div_ceil(MINUTE) as usize;
-        let hi = hi.min(self.per_minute.len());
+        let hi = ((from + horizon).as_secs().div_ceil(MINUTE) as usize).min(n);
+        // Query window entirely past the end: the extended (last) price
+        // holds throughout, so it exceeds at `from` or never. (A window
+        // merely straddling the end needs no special case — the extension
+        // equals the last in-trace sample, which the scan below visits.)
+        if lo >= n {
+            return (self.per_minute[n - 1] > threshold).then_some(from);
+        }
         let mut m = lo;
         while m < hi {
             // Skip whole blocks that cannot contain an exceedance.
@@ -322,12 +385,29 @@ mod tests {
         }
         prices.truncate(300);
         let t = PriceTrace::from_minutes(prices.clone());
-        for &(a, b) in &[(0u64, 10u64), (5, 5), (17, 120), (250, 400), (299, 300), (0, 300)] {
+        let n = prices.len();
+        // Extended step function: the last sample holds past the trace end.
+        let extended = |m: usize| prices[m.min(n - 1)];
+        for &(a, b) in &[
+            (0u64, 10u64),
+            (5, 5),
+            (17, 120),
+            (250, 400),
+            (299, 300),
+            (0, 300),
+            (310, 340),
+            (302, 302),
+        ] {
             let (from, to) = (SimTime::from_mins(a), SimTime::from_mins(b));
-            let w = t.window(from, to);
-            let naive_avg = w.iter().sum::<f64>() / w.len() as f64;
+            let naive_avg = if a == b {
+                extended(a as usize)
+            } else {
+                (a..b).map(|m| extended(m as usize)).sum::<f64>() / (b - a) as f64
+            };
             assert!((t.avg_over(from, to) - naive_avg).abs() < 1e-9, "avg window {a}..{b}");
-            let naive_changes = w.windows(2).filter(|p| p[0] != p[1]).count();
+            let naive_changes = (a.max(1)..b.min(n as u64))
+                .filter(|&k| prices[k as usize] != prices[k as usize - 1])
+                .count();
             assert_eq!(t.changes_in(from, to), naive_changes, "changes window {a}..{b}");
         }
         for &(from_min, horizon_min, thr) in &[
@@ -354,12 +434,71 @@ mod tests {
             while back > 0 && prices[back - 1] == prices[idx] {
                 back -= 1;
             }
+            // Past the trace end the last price is still in effect, so the
+            // hold time keeps growing with `m`.
             assert_eq!(
                 t.duration_since_change(SimTime::from_mins(m as u64)),
-                SimDur::from_mins((idx - back) as u64),
+                SimDur::from_mins((m - back) as u64),
                 "run length at minute {m}"
             );
         }
+    }
+
+    #[test]
+    fn empty_window_is_instantaneous_not_one_sample() {
+        let t = ramp();
+        // Zero-measure window: defined as the instantaneous price.
+        assert_eq!(t.avg_over(SimTime::from_mins(3), SimTime::from_mins(3)), 0.4);
+        assert_eq!(t.changes_in(SimTime::from_mins(3), SimTime::from_mins(3)), 0);
+        // A reversed window is empty too, not reordered.
+        assert_eq!(t.changes_in(SimTime::from_mins(7), SimTime::from_mins(3)), 0);
+        assert!(t.window(SimTime::from_mins(3), SimTime::from_mins(3)).is_empty());
+    }
+
+    #[test]
+    fn change_at_window_start_is_counted() {
+        // Change event at minute 1; the window [1, 2) must see it (the old
+        // prefix indexing dropped window-edge events).
+        let t = PriceTrace::from_minutes(vec![0.1, 0.2, 0.2, 0.2]);
+        assert_eq!(t.changes_in(SimTime::from_mins(1), SimTime::from_mins(2)), 1);
+        assert_eq!(t.changes_in(SimTime::from_mins(2), SimTime::from_mins(4)), 0);
+        // The event instant is minute 1 exactly: windows strictly after miss it.
+        assert_eq!(t.changes_in(SimTime::from_mins(2), SimTime::from_mins(3)), 0);
+    }
+
+    #[test]
+    fn past_end_queries_extend_the_last_price() {
+        // Ten minutes ending at 1.0; queries past the end see 1.0 forever.
+        let t = ramp();
+        // Window fully past the end: the average is the extended price.
+        let avg = t.avg_over(SimTime::from_mins(20), SimTime::from_mins(30));
+        assert!((avg - 1.0).abs() < 1e-12);
+        // Window straddling the end: honest time-weighted blend, not a
+        // truncated in-trace average.
+        let avg = t.avg_over(SimTime::from_mins(8), SimTime::from_mins(12));
+        assert!((avg - (0.9 + 1.0 + 1.0 + 1.0) / 4.0).abs() < 1e-12);
+        // No change events past the end (the last event is at minute 9).
+        assert_eq!(t.changes_in(SimTime::from_mins(9), SimTime::from_mins(40)), 1);
+        assert_eq!(t.changes_in(SimTime::from_mins(10), SimTime::from_mins(40)), 0);
+        // Hold time keeps growing past the end: the last run started at
+        // minute 9, so at minute 25 the price has held 16 minutes.
+        assert_eq!(
+            t.duration_since_change(SimTime::from_mins(25)),
+            SimDur::from_mins(16)
+        );
+        // Revocation ground truth honors the extension too: past the end
+        // the (still effective) last price of 1.0 exceeds a 0.9 offer at
+        // the query instant itself, and never exceeds a 1.5 offer.
+        assert_eq!(
+            t.first_exceed(SimTime::from_mins(30), SimDur::from_hours(1), 0.9),
+            Some(SimTime::from_mins(30))
+        );
+        assert_eq!(t.first_exceed(SimTime::from_mins(30), SimDur::from_hours(1), 1.5), None);
+        // Empty windows contain no instant, at any alignment, in or out of
+        // the trace.
+        assert_eq!(t.first_exceed(SimTime::from_mins(30), SimDur::ZERO, 0.9), None);
+        assert_eq!(t.first_exceed(SimTime::from_secs(1830), SimDur::ZERO, 0.5), None);
+        assert_eq!(t.first_exceed(SimTime::from_secs(510), SimDur::ZERO, 0.5), None);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Property tests pinning every O(1)/block-skipped [`PriceTrace`] window
+//! query to the naive O(n) scan it replaced.
+//!
+//! The paper's Eq. 1 expected-cost decisions (avg-price-last-hour, change
+//! counts, hold times, revocation scans) are evaluated millions of times in
+//! a multi-campaign sweep, so the cached math must be *provably* identical
+//! to the definitions — on arbitrary traces and arbitrary windows,
+//! including empty, reversed and past-the-end ones. The reference semantics
+//! throughout: the trace is a step function whose last sample is carried
+//! forward past the trace end.
+
+use proptest::prelude::*;
+use spottune_market::time::MINUTE;
+use spottune_market::{PriceTrace, SimDur, SimTime};
+
+/// Builds a trace with constant-price runs from raw levels and run lengths.
+/// Levels are quantized so equal prices can also recur across run
+/// boundaries (exercising the "no change" edge between distinct runs).
+fn build_prices(raw: &[f64], runs: &[usize]) -> Vec<f64> {
+    let mut prices = Vec::new();
+    for (i, &level) in raw.iter().enumerate() {
+        let level = (level * 25.0).round() / 25.0 + 0.01;
+        for _ in 0..runs[i % runs.len()] {
+            prices.push(level);
+        }
+    }
+    prices
+}
+
+/// The extended step function: last sample carried forward.
+fn extended(prices: &[f64], m: usize) -> f64 {
+    prices[m.min(prices.len() - 1)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `avg_over` equals the per-minute mean of the extended step function
+    /// (endpoints at second resolution floor to the minute grid); a
+    /// zero-measure window reports the instantaneous price.
+    #[test]
+    fn avg_over_matches_naive_scan(
+        raw in prop::collection::vec(0.05f64..1.0, 1..40),
+        runs in prop::collection::vec(1usize..8, 1..10),
+        from_secs in 0u64..24_000,
+        to_secs in 0u64..30_000,
+    ) {
+        let prices = build_prices(&raw, &runs);
+        let trace = PriceTrace::from_minutes(prices.clone());
+        let (from_min, to_min) = (from_secs / MINUTE, to_secs / MINUTE);
+        let naive = if to_min <= from_min {
+            extended(&prices, from_min as usize)
+        } else {
+            (from_min..to_min).map(|m| extended(&prices, m as usize)).sum::<f64>()
+                / (to_min - from_min) as f64
+        };
+        let cached = trace.avg_over(SimTime::from_secs(from_secs), SimTime::from_secs(to_secs));
+        prop_assert!(
+            (cached - naive).abs() < 1e-9,
+            "avg [{from_secs}s,{to_secs}s) over {} minutes: {cached} vs naive {naive}",
+            prices.len()
+        );
+    }
+
+    /// `changes_in` equals the count of change events (minute starts whose
+    /// price differs from the previous minute) inside `[from, to)`. The
+    /// endpoints are drawn at *second* resolution — the event-driven
+    /// orchestrator queries at arbitrary instants — and floor to the
+    /// trace's one-minute grid, as documented.
+    #[test]
+    fn changes_in_matches_naive_scan(
+        raw in prop::collection::vec(0.05f64..1.0, 1..40),
+        runs in prop::collection::vec(1usize..8, 1..10),
+        from_secs in 0u64..24_000,
+        to_secs in 0u64..30_000,
+    ) {
+        let prices = build_prices(&raw, &runs);
+        let trace = PriceTrace::from_minutes(prices.clone());
+        let (from_min, to_min) = (from_secs / MINUTE, to_secs / MINUTE);
+        let naive = (from_min.max(1)..to_min.min(prices.len() as u64))
+            .filter(|&k| prices[k as usize] != prices[k as usize - 1])
+            .count();
+        let cached = trace.changes_in(SimTime::from_secs(from_secs), SimTime::from_secs(to_secs));
+        prop_assert_eq!(
+            cached,
+            naive,
+            "changes [{}s,{}s) over {} minutes",
+            from_secs,
+            to_secs,
+            prices.len()
+        );
+    }
+
+    /// `duration_since_change` equals the backward scan to the start of the
+    /// enclosing constant run, and keeps growing past the trace end.
+    #[test]
+    fn duration_since_change_matches_naive_scan(
+        raw in prop::collection::vec(0.05f64..1.0, 1..40),
+        runs in prop::collection::vec(1usize..8, 1..10),
+        at_min in 0u64..500,
+    ) {
+        let prices = build_prices(&raw, &runs);
+        let trace = PriceTrace::from_minutes(prices.clone());
+        let idx = (at_min as usize).min(prices.len() - 1);
+        let mut back = idx;
+        while back > 0 && prices[back - 1] == prices[idx] {
+            back -= 1;
+        }
+        let naive = SimDur::from_mins(at_min - back as u64);
+        prop_assert_eq!(
+            trace.duration_since_change(SimTime::from_mins(at_min)),
+            naive,
+            "hold time at minute {} over {} minutes",
+            at_min,
+            prices.len()
+        );
+    }
+
+    /// `first_exceed` (block-max skipping) equals the linear scan, for
+    /// second-resolution starts and arbitrary horizons/thresholds.
+    #[test]
+    fn first_exceed_matches_naive_scan(
+        raw in prop::collection::vec(0.05f64..1.0, 1..40),
+        runs in prop::collection::vec(1usize..8, 1..10),
+        from_secs in 0u64..30_000,
+        horizon_mins in 0u64..600,
+        threshold in 0.0f64..1.2,
+    ) {
+        let prices = build_prices(&raw, &runs);
+        let trace = PriceTrace::from_minutes(prices.clone());
+        let from = SimTime::from_secs(from_secs);
+        let horizon = SimDur::from_mins(horizon_mins);
+        let n = prices.len();
+        let lo = from.minute_index() as usize;
+        let hi = (from_secs + horizon_mins * MINUTE).div_ceil(MINUTE) as usize;
+        // Empty window → no instant; otherwise the in-trace scan, then the
+        // step-function extension (past the end the last sample is still
+        // the effective price).
+        let naive = if horizon_mins == 0 {
+            None
+        } else {
+            (lo..hi.min(n))
+                .find(|&m| prices[m] > threshold)
+                .map(|m| SimTime::from_mins(m as u64).max(from))
+                .or_else(|| (lo >= n && prices[n - 1] > threshold).then_some(from))
+        };
+        prop_assert_eq!(
+            trace.first_exceed(from, horizon, threshold),
+            naive,
+            "first_exceed from {}s horizon {}m thr {} over {} minutes",
+            from_secs,
+            horizon_mins,
+            threshold,
+            prices.len()
+        );
+    }
+
+    /// `avg_last_hour` — the Eq. 1 `price` input — equals the naive mean of
+    /// the trailing hour at every instant, in-trace or past the end.
+    #[test]
+    fn avg_last_hour_matches_naive_scan(
+        raw in prop::collection::vec(0.05f64..1.0, 1..40),
+        runs in prop::collection::vec(1usize..8, 1..10),
+        at_min in 0u64..500,
+    ) {
+        let prices = build_prices(&raw, &runs);
+        let trace = PriceTrace::from_minutes(prices.clone());
+        let lo = at_min.saturating_sub(60);
+        let naive = if at_min == 0 {
+            extended(&prices, 0)
+        } else {
+            (lo..at_min).map(|m| extended(&prices, m as usize)).sum::<f64>()
+                / (at_min - lo) as f64
+        };
+        let cached = trace.avg_last_hour(SimTime::from_mins(at_min));
+        prop_assert!(
+            (cached - naive).abs() < 1e-9,
+            "avg_last_hour at minute {at_min}: {cached} vs naive {naive}"
+        );
+    }
+}

@@ -27,7 +27,7 @@ pub mod workload;
 
 pub use hp::{HpSetting, HpValue};
 pub use perf::PerfModel;
-pub use runner::TrainingRun;
+pub use runner::{CurveCache, TrainingRun};
 pub use workload::{Algorithm, Workload};
 
 /// Convenient glob-import surface.
@@ -35,7 +35,9 @@ pub mod prelude {
     pub use crate::curve::{cnn_curve, CnnKind, Stage, StagedCurveModel};
     pub use crate::hp::{expand_grid, GridAxis, HpSetting, HpValue};
     pub use crate::perf::PerfModel;
-    pub use crate::runner::{ground_truth_finals, TrainingRun};
+    pub use crate::runner::{
+        ground_truth_finals, ground_truth_finals_with_cache, CurveCache, TrainingRun,
+    };
     pub use crate::train::{LrSchedule, Trainer};
     pub use crate::workload::{Algorithm, Workload};
 }

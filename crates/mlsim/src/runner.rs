@@ -10,8 +10,10 @@ use crate::train::logreg::LogRegTrainer;
 use crate::train::svm::{Kernel, SvmTrainer};
 use crate::train::{LrSchedule, Trainer};
 use crate::workload::{Algorithm, Workload};
+use spottune_market::CacheStats;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Learning-rate calibration factor from Table II values to this harness's
@@ -49,7 +51,7 @@ impl fmt::Debug for Backend {
 /// seed, configuration id).
 type CurveKey = (&'static str, u64, u64, String);
 
-/// Process-wide memo of *completed* metric curves.
+/// A shared memo tier of *completed* metric curves.
 ///
 /// Training runs are pure functions of their key, and every campaign
 /// evaluates the full curve of every configuration at least once (the
@@ -59,14 +61,94 @@ type CurveKey = (&'static str, u64, u64, String);
 /// seeds, repeated bench iterations — replays the memo. This is what lets
 /// the event-driven orchestrator's wall-clock be dominated by scheduling
 /// rather than by re-training identical models.
-fn curve_cache() -> &'static Mutex<HashMap<CurveKey, Arc<[f64]>>> {
-    static CACHE: OnceLock<Mutex<HashMap<CurveKey, Arc<[f64]>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+///
+/// The tier is an injectable handle: cloning shares the same storage and
+/// counters, so a long-running server can hand one tier to every worker
+/// (and report its hit rate), while [`CurveCache::global`] serves the
+/// single-process default. Curves are deterministic in their key, so
+/// concurrent publishers always agree on the entry's contents.
+#[derive(Debug, Clone, Default)]
+pub struct CurveCache {
+    inner: Arc<CurveCacheInner>,
 }
 
-/// Drops every memoized curve (for memory-sensitive sweeps and tests).
+#[derive(Debug, Default)]
+struct CurveCacheInner {
+    curves: Mutex<HashMap<CurveKey, Arc<[f64]>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CurveCache {
+    /// Creates an empty tier.
+    pub fn new() -> Self {
+        CurveCache::default()
+    }
+
+    /// A handle to the process-wide default tier (what
+    /// [`TrainingRun::new`] uses).
+    pub fn global() -> CurveCache {
+        static GLOBAL: OnceLock<CurveCache> = OnceLock::new();
+        GLOBAL.get_or_init(CurveCache::new).clone()
+    }
+
+    /// Completed curve for `key`, counting the lookup as a hit or miss.
+    fn lookup(&self, key: &CurveKey) -> Option<Arc<[f64]>> {
+        let found = self.inner.curves.lock().expect("curve cache lock").get(key).cloned();
+        match found {
+            Some(curve) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                Some(curve)
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publishes a completed curve, returning the canonical shared copy
+    /// (the first publisher wins; later ones — deterministic duplicates —
+    /// adopt it).
+    fn publish(&self, key: CurveKey, curve: &[f64]) -> Arc<[f64]> {
+        Arc::clone(
+            self.inner
+                .curves
+                .lock()
+                .expect("curve cache lock")
+                .entry(key)
+                .or_insert_with(|| Arc::from(curve)),
+        )
+    }
+
+    /// Number of memoized curves.
+    pub fn len(&self) -> usize {
+        self.inner.curves.lock().expect("curve cache lock").len()
+    }
+
+    /// Whether no curve has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized curve (for memory-sensitive sweeps and tests);
+    /// counters are retained.
+    pub fn clear(&self) {
+        self.inner.curves.lock().expect("curve cache lock").clear();
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Drops every curve memoized in the process-wide tier.
 pub fn clear_curve_cache() {
-    curve_cache().lock().expect("curve cache lock").clear();
+    CurveCache::global().clear();
 }
 
 /// A lazily-advanced training run for one (workload, configuration) pair.
@@ -86,25 +168,38 @@ const METRIC_SMOOTHING: f64 = 0.25;
 pub struct TrainingRun {
     backend: Backend,
     key: CurveKey,
+    cache: CurveCache,
     history: Vec<f64>,
     max_steps: u64,
     smoothed: Option<f64>,
 }
 
 impl TrainingRun {
-    /// Builds the training run for one grid point of a benchmark.
-    ///
-    /// If this exact run has already been completed anywhere in the
-    /// process, the memoized curve is reused and no trainer or dataset is
-    /// constructed.
+    /// Builds the training run for one grid point of a benchmark, memoized
+    /// through the process-wide [`CurveCache::global`] tier.
     pub fn new(workload: &Workload, hp: &HpSetting, seed: u64) -> Self {
+        TrainingRun::with_cache(workload, hp, seed, &CurveCache::global())
+    }
+
+    /// Builds the training run against an explicit curve-memo tier.
+    ///
+    /// If this exact run has already been completed through `cache`, the
+    /// memoized curve is reused and no trainer or dataset is constructed;
+    /// otherwise the completed curve is published back into `cache`.
+    pub fn with_cache(
+        workload: &Workload,
+        hp: &HpSetting,
+        seed: u64,
+        cache: &CurveCache,
+    ) -> Self {
         let run_seed = seed ^ hp.stable_hash();
         let max_steps = workload.max_trial_steps();
         let key: CurveKey = (workload.algorithm().name(), max_steps, seed, hp.id());
-        if let Some(curve) = curve_cache().lock().expect("curve cache lock").get(&key) {
+        if let Some(curve) = cache.lookup(&key) {
             return TrainingRun {
-                backend: Backend::Cached(Arc::clone(curve)),
+                backend: Backend::Cached(curve),
                 key,
+                cache: cache.clone(),
                 history: Vec::new(),
                 max_steps,
                 smoothed: None,
@@ -170,7 +265,14 @@ impl TrainingRun {
             }
             Algorithm::ResNet => Backend::Curve(cnn_curve(CnnKind::ResNet, hp, max_steps, seed)),
         };
-        TrainingRun { backend, key, history: Vec::new(), max_steps, smoothed: None }
+        TrainingRun {
+            backend,
+            key,
+            cache: cache.clone(),
+            history: Vec::new(),
+            max_steps,
+            smoothed: None,
+        }
     }
 
     /// The workload's `max_trial_steps`.
@@ -207,16 +309,10 @@ impl TrainingRun {
         if (self.history.len() as u64) == self.max_steps
             && !matches!(self.backend, Backend::Cached(_))
         {
-            // Completed for the first time: publish the full curve and
-            // switch this run onto it, so later `metric_at` calls never
-            // touch the global cache lock again.
-            let curve = Arc::clone(
-                curve_cache()
-                    .lock()
-                    .expect("curve cache lock")
-                    .entry(self.key.clone())
-                    .or_insert_with(|| Arc::from(self.history.as_slice())),
-            );
+            // Completed for the first time: publish the full curve into
+            // this run's memo tier and switch onto it, so later
+            // `metric_at` calls never touch the cache lock again.
+            let curve = self.cache.publish(self.key.clone(), &self.history);
             self.backend = Backend::Cached(curve);
         }
         self.history[(k - 1) as usize]
@@ -237,10 +333,19 @@ impl TrainingRun {
 /// configuration, in grid order. Used by the oracle ranking evaluation
 /// (paper Fig. 8(c) accuracy) and the baselines.
 pub fn ground_truth_finals(workload: &Workload, seed: u64) -> Vec<f64> {
+    ground_truth_finals_with_cache(workload, seed, &CurveCache::global())
+}
+
+/// [`ground_truth_finals`] against an explicit curve-memo tier.
+pub fn ground_truth_finals_with_cache(
+    workload: &Workload,
+    seed: u64,
+    cache: &CurveCache,
+) -> Vec<f64> {
     workload
         .hp_grid()
         .iter()
-        .map(|hp| TrainingRun::new(workload, hp, seed).final_metric())
+        .map(|hp| TrainingRun::with_cache(workload, hp, seed, cache).final_metric())
         .collect()
 }
 
@@ -305,6 +410,31 @@ mod tests {
         );
         let replay: Vec<f64> = (1..=w.max_trial_steps()).map(|k| replayed.metric_at(k)).collect();
         assert_eq!(full, replay, "memoized curve must be bit-identical");
+    }
+
+    #[test]
+    fn injected_tier_is_isolated_and_counts() {
+        let w = Workload::benchmark(Algorithm::Gbtr);
+        let hp = w.hp_grid()[2].clone();
+        let tier = CurveCache::new();
+        let mut first = TrainingRun::with_cache(&w, &hp, 4321, &tier);
+        let a = first.final_metric();
+        assert_eq!(tier.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(tier.len(), 1);
+        let mut second = TrainingRun::with_cache(&w, &hp, 4321, &tier);
+        assert!(format!("{second:?}").contains("Cached"));
+        assert_eq!(second.final_metric(), a);
+        assert_eq!(tier.stats(), CacheStats { hits: 1, misses: 1 });
+        assert!((tier.stats().hit_rate() - 0.5).abs() < 1e-12);
+        // A fresh tier knows nothing about the other tier's curves.
+        let other = CurveCache::new();
+        let third = TrainingRun::with_cache(&w, &hp, 4321, &other);
+        assert!(!format!("{third:?}").contains("Cached"));
+        assert_eq!(other.stats().misses, 1);
+        // Shared handles see the same storage.
+        assert_eq!(tier.clone().len(), 1);
+        tier.clear();
+        assert!(tier.is_empty());
     }
 
     #[test]

@@ -1,0 +1,395 @@
+//! # spottune-server
+//!
+//! A long-running, sharded multi-campaign service: the scaling layer that
+//! turns the per-process campaign fan-out into a reusable subsystem able to
+//! sweep 10⁵–10⁶ campaigns (workload × θ × seed × market scenario) in one
+//! process.
+//!
+//! ## Architecture
+//!
+//! * **Sharding** — [`CampaignServer::start`] spawns a fixed pool of
+//!   resident worker threads. Requests flow through an unbounded
+//!   `crossbeam::channel` MPMC queue, so an idle worker steals the next
+//!   request the moment it finishes — coarse campaigns shard evenly
+//!   without a scheduler.
+//! * **Streaming** — every submission (single request or sweep) carries its
+//!   own reply channel; [`CampaignResponse`]s stream back in *completion*
+//!   order, tagged with the request id so clients needing submission order
+//!   can reorder. The reply receiver disconnects exactly when the last
+//!   response of the submission has been delivered.
+//! * **Shared tiers** — workers resolve the market environment through a
+//!   scenario-keyed [`PoolCache`] and memoize training curves through a
+//!   cross-request [`CurveCache`], both `Arc`-backed with hit/miss
+//!   counters ([`CampaignServer::stats`]). Campaign results are pure
+//!   functions of `(request, scenario)`, so shared tiers change wall-clock
+//!   and counters, never reports: a sweep through the server is
+//!   bit-identical to running each campaign serially.
+//!
+//! ```no_run
+//! use spottune_core::prelude::*;
+//! use spottune_market::MarketScenario;
+//! use spottune_mlsim::prelude::*;
+//! use spottune_server::{CampaignServer, ServerConfig};
+//!
+//! let server = CampaignServer::start(ServerConfig::default());
+//! let scenario = MarketScenario::from_days(12, 42);
+//! let requests: Vec<CampaignRequest> = (0..1000)
+//!     .map(|i| CampaignRequest {
+//!         id: i,
+//!         approach: Approach::SpotTune { theta: 0.7 },
+//!         workload: Workload::benchmark(Algorithm::ResNet),
+//!         scenario,
+//!         seed: i,
+//!     })
+//!     .collect();
+//! for response in server.submit_sweep(requests) {
+//!     println!("{}", response.report.summary());
+//! }
+//! println!("curve memo hit rate: {:.1}%", 100.0 * server.stats().curve_cache.hit_rate());
+//! ```
+
+use crossbeam::channel::{self, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+use spottune_core::{CampaignRequest, CampaignResponse};
+use spottune_market::{CacheStats, PoolCache};
+use spottune_mlsim::CurveCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Campaign-server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Worker-pool size; `0` (the default) means one worker per available
+    /// core. Campaigns are single-threaded and CPU-bound, so more workers
+    /// than cores only adds contention on the shared tiers.
+    pub workers: usize,
+}
+
+impl ServerConfig {
+    /// Config with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ServerConfig { workers }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    }
+}
+
+/// A snapshot of the server's counters and shared-tier state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Requests accepted so far.
+    pub submitted: u64,
+    /// Responses delivered (or dropped by a departed client) so far.
+    pub completed: u64,
+    /// Hit/miss counters of the scenario-keyed market-pool tier.
+    pub pool_cache: CacheStats,
+    /// Hit/miss counters of the cross-request training-curve tier.
+    pub curve_cache: CacheStats,
+    /// Distinct market scenarios currently resident.
+    pub resident_pools: usize,
+    /// Completed training curves currently resident.
+    pub resident_curves: usize,
+}
+
+/// One queued unit of work: the request plus the submission's reply lane.
+struct WorkItem {
+    request: CampaignRequest,
+    reply: Sender<CampaignResponse>,
+}
+
+/// The long-running sharded campaign service.
+///
+/// Dropping the server disconnects the request queue and joins every
+/// worker; in-flight campaigns finish first ([`CampaignServer::shutdown`]
+/// does the same explicitly).
+pub struct CampaignServer {
+    req_tx: Option<Sender<WorkItem>>,
+    workers: Vec<JoinHandle<()>>,
+    pools: PoolCache,
+    curves: CurveCache,
+    submitted: AtomicU64,
+    completed: Arc<AtomicU64>,
+}
+
+impl CampaignServer {
+    /// Spawns the worker pool with fresh, server-private cache tiers.
+    pub fn start(config: ServerConfig) -> Self {
+        CampaignServer::start_with_tiers(config, PoolCache::new(), CurveCache::new())
+    }
+
+    /// Spawns the worker pool against caller-provided tiers — e.g.
+    /// [`CurveCache::global`] to share curves with non-server work in the
+    /// same process, or tiers handed from a previous server instance to
+    /// carry warm state across restarts.
+    pub fn start_with_tiers(config: ServerConfig, pools: PoolCache, curves: CurveCache) -> Self {
+        let workers = config.resolved_workers();
+        let (req_tx, req_rx) = channel::unbounded::<WorkItem>();
+        let completed = Arc::new(AtomicU64::new(0));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = req_rx.clone();
+                let pools = pools.clone();
+                let curves = curves.clone();
+                let completed = Arc::clone(&completed);
+                std::thread::Builder::new()
+                    .name(format!("campaign-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &pools, &curves, &completed))
+                    .expect("spawn campaign worker")
+            })
+            .collect();
+        CampaignServer {
+            req_tx: Some(req_tx),
+            workers: handles,
+            pools,
+            curves,
+            submitted: AtomicU64::new(0),
+            completed,
+        }
+    }
+
+    /// Submits one campaign; the returned receiver yields its single
+    /// response.
+    pub fn submit(&self, request: CampaignRequest) -> Receiver<CampaignResponse> {
+        self.submit_sweep(vec![request])
+    }
+
+    /// Submits a sweep; the returned receiver streams one response per
+    /// request in **completion** order and disconnects after the last one.
+    ///
+    /// Responses echo [`CampaignRequest::id`], so a client that needs
+    /// submission order sorts by id on its side (see
+    /// [`CampaignServer::run_sweep`]).
+    pub fn submit_sweep(&self, requests: Vec<CampaignRequest>) -> Receiver<CampaignResponse> {
+        let (reply_tx, reply_rx) = channel::unbounded();
+        let req_tx = self.req_tx.as_ref().expect("server is running");
+        self.submitted.fetch_add(requests.len() as u64, Ordering::Relaxed);
+        for request in requests {
+            req_tx
+                .send(WorkItem { request, reply: reply_tx.clone() })
+                .expect("worker pool alive while server is running");
+        }
+        // Workers hold the only remaining clones: the stream disconnects
+        // exactly when the sweep's last response has been sent.
+        drop(reply_tx);
+        reply_rx
+    }
+
+    /// Blocking convenience: runs a sweep and returns the responses in
+    /// *request* order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if request ids are not unique within the sweep, or if a
+    /// response went missing (its campaign panicked).
+    pub fn run_sweep(&self, requests: Vec<CampaignRequest>) -> Vec<CampaignResponse> {
+        let order: std::collections::HashMap<u64, usize> = requests
+            .iter()
+            .enumerate()
+            .map(|(pos, r)| (r.id, pos))
+            .collect();
+        assert_eq!(order.len(), requests.len(), "sweep request ids must be unique");
+        let expected = requests.len();
+        let mut responses: Vec<Option<CampaignResponse>> = (0..expected).map(|_| None).collect();
+        for response in self.submit_sweep(requests) {
+            let pos = order[&response.id];
+            responses[pos] = Some(response);
+        }
+        responses
+            .into_iter()
+            .map(|r| r.expect("every sweep request must produce a response"))
+            .collect()
+    }
+
+    /// Handle to the scenario-keyed market-pool tier.
+    pub fn pool_cache(&self) -> &PoolCache {
+        &self.pools
+    }
+
+    /// Handle to the cross-request curve-memo tier.
+    pub fn curve_cache(&self) -> &CurveCache {
+        &self.curves
+    }
+
+    /// Counters and shared-tier state.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            workers: self.workers.len(),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            pool_cache: self.pools.stats(),
+            curve_cache: self.curves.stats(),
+            resident_pools: self.pools.len(),
+            resident_curves: self.curves.len(),
+        }
+    }
+
+    /// Finishes in-flight campaigns, then stops and joins every worker.
+    pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        drop(self.req_tx.take());
+        for handle in self.workers.drain(..) {
+            // Propagate a worker panic — unless we are already unwinding
+            // (Drop during a client panic), where a second panic would
+            // abort the process and mask the original error.
+            if handle.join().is_err() && !std::thread::panicking() {
+                panic!("campaign worker panicked");
+            }
+        }
+    }
+}
+
+impl Drop for CampaignServer {
+    fn drop(&mut self) {
+        if self.req_tx.is_some() {
+            self.finish();
+        }
+    }
+}
+
+/// The resident worker body: pull a request, resolve its pool through the
+/// shared tier, run the campaign against the shared curve memo, stream the
+/// response back on the submission's reply lane.
+///
+/// Campaign panics (a malformed wire request — NaN θ, empty grid — hitting
+/// a validation assert) are confined to the request: the worker drops that
+/// response and lives on to serve the rest of the queue. Letting the
+/// worker die instead would strand every queued request holding a reply
+/// lane, hanging their clients forever.
+fn worker_loop(
+    rx: &Receiver<WorkItem>,
+    pools: &PoolCache,
+    curves: &CurveCache,
+    completed: &AtomicU64,
+) {
+    while let Ok(WorkItem { request, reply }) = rx.recv() {
+        let id = request.id;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let pool = pools.get(request.scenario);
+            request.campaign().run_with_cache(&pool, curves)
+        }));
+        match outcome {
+            Ok(report) => {
+                completed.fetch_add(1, Ordering::Relaxed);
+                // A client that dropped its receiver no longer wants the
+                // report; that is not a server error.
+                let _ = reply.send(CampaignResponse { id, report });
+            }
+            // The panic message has already been printed by the default
+            // hook; dropping `reply` shortens the sweep's stream by one,
+            // which streaming clients observe as a missing id and
+            // `run_sweep` reports by panicking.
+            Err(_) => eprintln!("campaign request {id} panicked; dropping its response"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spottune_core::{Approach, SingleSpotKind};
+    use spottune_market::MarketScenario;
+    use spottune_mlsim::{Algorithm, Workload};
+
+    fn tiny_workload() -> Workload {
+        let base = Workload::benchmark(Algorithm::LoR);
+        Workload::custom(Algorithm::LoR, 25, base.hp_grid()[..2].to_vec())
+    }
+
+    fn request(id: u64) -> CampaignRequest {
+        CampaignRequest {
+            id,
+            approach: Approach::SingleSpot(SingleSpotKind::Cheapest),
+            workload: tiny_workload(),
+            scenario: MarketScenario::from_days(1, 5),
+            seed: id,
+        }
+    }
+
+    #[test]
+    fn single_submission_round_trips() {
+        let server = CampaignServer::start(ServerConfig::with_workers(2));
+        let rx = server.submit(request(7));
+        let response = rx.recv().expect("one response");
+        assert_eq!(response.id, 7);
+        assert!(response.report.cost > 0.0);
+        // Stream disconnects after the single response.
+        assert!(rx.recv().is_err());
+        let stats = server.stats();
+        assert_eq!((stats.submitted, stats.completed), (1, 1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn sweep_streams_every_response_and_shares_pools() {
+        let server = CampaignServer::start(ServerConfig::with_workers(4));
+        let requests: Vec<CampaignRequest> = (0..12).map(request).collect();
+        let mut ids: Vec<u64> = server.submit_sweep(requests).iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..12).collect::<Vec<_>>());
+        let stats = server.stats();
+        // One scenario, twelve campaigns: eleven pool-tier hits.
+        assert_eq!(stats.resident_pools, 1);
+        assert_eq!(stats.pool_cache.hits, 11);
+        assert_eq!(stats.pool_cache.misses, 1);
+        assert_eq!(stats.workers, 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn run_sweep_restores_request_order() {
+        let server = CampaignServer::start(ServerConfig::with_workers(3));
+        // Scrambled, non-contiguous ids.
+        let requests: Vec<CampaignRequest> = [5u64, 1, 9, 3].into_iter().map(request).collect();
+        let responses = server.run_sweep(requests);
+        let ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![5, 1, 9, 3]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropped_client_does_not_wedge_the_server() {
+        let server = CampaignServer::start(ServerConfig::with_workers(1));
+        drop(server.submit(request(1)));
+        // The next submission still answers.
+        let response = server.submit(request(2)).recv().expect("second response");
+        assert_eq!(response.id, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "ids must be unique")]
+    fn duplicate_sweep_ids_rejected() {
+        let server = CampaignServer::start(ServerConfig::with_workers(1));
+        let _ = server.run_sweep(vec![request(1), request(1)]);
+    }
+
+    #[test]
+    fn panicking_campaign_does_not_strand_queued_requests() {
+        let server = CampaignServer::start(ServerConfig::with_workers(1));
+        // NaN θ fails SpotTuneConfig validation inside the campaign; with a
+        // single worker the two healthy requests sit queued behind it.
+        let mut poisoned = request(0);
+        poisoned.approach = Approach::SpotTune { theta: f64::NAN };
+        let mut ids: Vec<u64> = server
+            .submit_sweep(vec![poisoned, request(1), request(2)])
+            .iter()
+            .map(|r| r.id)
+            .collect();
+        ids.sort_unstable();
+        // The stream terminates (no hang), one response short.
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(server.stats().completed, 2);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,44 @@
+//! CI smoke: spawn the server, submit a 32-campaign sweep, assert every
+//! report arrives (the job `.github/workflows/ci.yml` runs by name).
+
+use spottune_core::prelude::*;
+use spottune_market::MarketScenario;
+use spottune_mlsim::prelude::*;
+use spottune_server::{CampaignServer, ServerConfig};
+
+#[test]
+fn smoke_32_campaign_sweep_all_reports_arrive() {
+    let base = Workload::benchmark(Algorithm::LoR);
+    let workload = Workload::custom(Algorithm::LoR, 20, base.hp_grid()[..2].to_vec());
+    let scenario = MarketScenario::from_days(1, 9);
+    let requests: Vec<CampaignRequest> = (0..32u64)
+        .map(|i| CampaignRequest {
+            id: i,
+            approach: if i % 4 == 0 {
+                Approach::SingleSpot(SingleSpotKind::Cheapest)
+            } else {
+                Approach::SpotTune { theta: 0.7 }
+            },
+            workload: workload.clone(),
+            scenario,
+            seed: i / 4,
+        })
+        .collect();
+
+    let server = CampaignServer::start(ServerConfig::with_workers(4));
+    let mut seen = [false; 32];
+    let mut count = 0usize;
+    for response in server.submit_sweep(requests) {
+        assert!(!seen[response.id as usize], "duplicate response {}", response.id);
+        seen[response.id as usize] = true;
+        count += 1;
+        assert!(response.report.cost > 0.0, "campaign {} reported no cost", response.id);
+        assert_eq!(response.report.predicted_finals.len(), 2);
+    }
+    assert_eq!(count, 32, "all 32 reports must arrive");
+    assert!(seen.iter().all(|&s| s));
+    let stats = server.stats();
+    assert_eq!((stats.submitted, stats.completed), (32, 32));
+    assert!(stats.curve_cache.hit_rate() > 0.0, "{:?}", stats.curve_cache);
+    server.shutdown();
+}

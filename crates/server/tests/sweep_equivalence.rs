@@ -1,0 +1,86 @@
+//! The server's core guarantee (ISSUE 2 acceptance): a 1 000-campaign
+//! sweep through the sharded worker pool produces **bit-identical**
+//! [`HptReport`]s to running every campaign serially at the same seeds —
+//! shared tiers and completion-order scheduling change wall-clock, never
+//! results — and the cross-request curve-memo tier actually gets hits.
+
+use spottune_core::prelude::*;
+use spottune_market::MarketScenario;
+use spottune_mlsim::prelude::*;
+use spottune_server::{CampaignServer, ServerConfig};
+
+fn tiny(algorithm: Algorithm, steps: u64) -> Workload {
+    let base = Workload::benchmark(algorithm);
+    Workload::custom(algorithm, steps, base.hp_grid()[..2].to_vec())
+}
+
+/// workload × approach × market scenario × seed, 1 000 points total.
+fn sweep_requests() -> Vec<CampaignRequest> {
+    let workloads = [tiny(Algorithm::LoR, 15), tiny(Algorithm::Gbtr, 12)];
+    let approaches = [
+        Approach::SpotTune { theta: 0.5 },
+        Approach::SpotTune { theta: 0.7 },
+        Approach::SpotTune { theta: 1.0 },
+        Approach::SingleSpot(SingleSpotKind::Cheapest),
+        Approach::SingleSpot(SingleSpotKind::Fastest),
+    ];
+    let scenarios = [MarketScenario::from_days(1, 42), MarketScenario::from_days(1, 77)];
+    let mut requests = Vec::new();
+    for seed in 0..50u64 {
+        for workload in &workloads {
+            for &approach in &approaches {
+                for &scenario in &scenarios {
+                    requests.push(CampaignRequest {
+                        id: requests.len() as u64,
+                        approach,
+                        workload: workload.clone(),
+                        scenario,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+    requests
+}
+
+#[test]
+fn sweep_1000_is_bit_identical_to_serial_with_memo_hits() {
+    let requests = sweep_requests();
+    assert_eq!(requests.len(), 1000);
+
+    let server = CampaignServer::start(ServerConfig::default());
+    let responses = server.run_sweep(requests.clone());
+    let stats = server.stats();
+    server.shutdown();
+
+    assert_eq!(stats.completed, 1000);
+    // Two scenarios serve a thousand campaigns.
+    assert_eq!(stats.resident_pools, 2);
+    assert_eq!(stats.pool_cache.misses, 2);
+    assert_eq!(stats.pool_cache.hits, 998);
+    // The three θ values per (workload, seed) share ground-truth curves:
+    // the cross-request memo tier must be doing real work.
+    assert!(
+        stats.curve_cache.hit_rate() > 0.0,
+        "curve-memo hit rate must be positive, got {:?}",
+        stats.curve_cache
+    );
+
+    // Serial reference: same campaigns, same seeds, fresh per-run state.
+    // Build each distinct scenario's pool once; the comparison is about
+    // campaign results, not pool construction.
+    let mut pools = std::collections::HashMap::new();
+    for (request, response) in requests.iter().zip(&responses) {
+        assert_eq!(request.id, response.id, "run_sweep must restore request order");
+        let pool = pools
+            .entry(request.scenario)
+            .or_insert_with(|| request.scenario.build());
+        let serial = request.campaign().run(pool);
+        assert_eq!(
+            serial, response.report,
+            "sharded and serial reports must be bit-identical (request {})",
+            request.id
+        );
+    }
+}

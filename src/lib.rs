@@ -16,7 +16,8 @@
 //! * [`mlsim`] — benchmark workloads, real trainers and the performance model;
 //! * [`earlycurve`] — staged curve fitting and the SLAQ baseline;
 //! * [`revpred`] — the RevPred revocation predictor and its baselines;
-//! * [`core`] — the SpotTune orchestrator, baselines and reports.
+//! * [`core`] — the SpotTune orchestrator, baselines, campaigns and reports;
+//! * [`server`] — the long-running sharded multi-campaign service.
 //!
 //! ## Example
 //!
@@ -39,6 +40,7 @@ pub use spottune_market as market;
 pub use spottune_mlsim as mlsim;
 pub use spottune_nn as nn;
 pub use spottune_revpred as revpred;
+pub use spottune_server as server;
 
 /// Everything needed for typical use, in one import.
 pub mod prelude {
