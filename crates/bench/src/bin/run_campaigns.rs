@@ -1,17 +1,25 @@
 //! Sweep client of the sharded campaign server: builds a
-//! workload × θ × seed × market-scenario request grid, submits it to a
-//! [`CampaignServer`] worker pool, streams reports back in completion
+//! workload × policy × θ × seed × market-scenario request grid, submits it
+//! to a [`CampaignServer`] worker pool, streams reports back in completion
 //! order and prints throughput plus shared-tier hit rates.
 //!
 //! Run with (all flags optional):
 //!
 //! ```sh
 //! cargo run --release -p spottune-bench --bin run_campaigns -- \
-//!     --workloads LoR,GBTR --thetas 0.5,0.7,1.0 --seeds 8 \
-//!     --scenario-seeds 2 --days 12 --workers 0 --baselines --quiet
+//!     --workloads LoR,GBTR --policy spottune,hybrid --thetas 0.5,0.7,1.0 \
+//!     --seeds 8 --scenario-seeds 2 --days 12 --workers 0 \
+//!     --curve-capacity 0 --quiet
 //! ```
 //!
-//! `--workers 0` (the default) sizes the pool to the machine.
+//! `--policy` names come from the policy registry
+//! ([`Approach::registered_policies`]); `all` expands to every registered
+//! policy, and unknown names abort with the registry listing. θ-independent
+//! policies (the baselines) run once regardless of `--thetas`. The legacy
+//! `--baselines` flag appends the two single-spot baselines for backwards
+//! compatibility. `--workers 0` (the default) sizes the pool to the
+//! machine; `--curve-capacity N` bounds the shared curve tier to `N`
+//! resident curves (LRU, `0` = unbounded) for many-seed sweeps.
 
 use spottune_bench::TRACE_DAYS;
 use spottune_core::prelude::*;
@@ -23,10 +31,12 @@ use std::time::Instant;
 struct Args {
     workers: usize,
     workloads: Vec<Algorithm>,
+    policies: Vec<String>,
     thetas: Vec<f64>,
     seeds: u64,
     scenario_seeds: u64,
     days: u64,
+    curve_capacity: usize,
     baselines: bool,
     quiet: bool,
 }
@@ -35,10 +45,12 @@ fn parse_args() -> Args {
     let mut args = Args {
         workers: 0,
         workloads: vec![Algorithm::LoR, Algorithm::ResNet],
+        policies: vec!["spottune".to_string()],
         thetas: vec![0.7, 1.0],
         seeds: 4,
         scenario_seeds: 1,
         days: TRACE_DAYS,
+        curve_capacity: 0,
         baselines: false,
         quiet: false,
     };
@@ -60,6 +72,14 @@ fn parse_args() -> Args {
                     })
                     .collect();
             }
+            "--policy" | "--policies" => {
+                let raw = value("--policy");
+                args.policies = if raw == "all" {
+                    Approach::registered_policies().iter().map(|s| s.to_string()).collect()
+                } else {
+                    raw.split(',').map(str::to_string).collect()
+                };
+            }
             "--thetas" => {
                 args.thetas = value("--thetas")
                     .split(',')
@@ -72,6 +92,10 @@ fn parse_args() -> Args {
                     value("--scenario-seeds").parse().expect("--scenario-seeds: u64");
             }
             "--days" => args.days = value("--days").parse().expect("--days: u64"),
+            "--curve-capacity" => {
+                args.curve_capacity =
+                    value("--curve-capacity").parse().expect("--curve-capacity: usize");
+            }
             "--baselines" => args.baselines = true,
             "--quiet" => args.quiet = true,
             other => panic!("unknown flag {other} (see the module docs for usage)"),
@@ -80,14 +104,45 @@ fn parse_args() -> Args {
     args
 }
 
+/// Expands the policy names into concrete approaches: θ-parameterized
+/// policies fan out over `--thetas`, the rest appear once. Unknown names
+/// abort with the registry listing.
+fn resolve_approaches(args: &Args) -> Vec<Approach> {
+    let mut approaches = Vec::new();
+    for name in &args.policies {
+        let probe = Approach::from_policy_name(name, args.thetas[0]).unwrap_or_else(|| {
+            panic!(
+                "unknown policy {name:?}; registered policies: {}",
+                Approach::registered_policies().join(", ")
+            )
+        });
+        if probe.is_theta_parameterized() {
+            for &theta in &args.thetas {
+                approaches.push(
+                    Approach::from_policy_name(name, theta).expect("name already resolved"),
+                );
+            }
+        } else {
+            approaches.push(probe);
+        }
+    }
+    if args.baselines {
+        // Legacy flag: append the single-spot baselines unless --policy
+        // already named them (no double-run of identical campaigns).
+        for kind in [SingleSpotKind::Cheapest, SingleSpotKind::Fastest] {
+            let baseline = Approach::SingleSpot(kind);
+            if !approaches.contains(&baseline) {
+                approaches.push(baseline);
+            }
+        }
+    }
+    approaches
+}
+
 fn main() {
     let args = parse_args();
-    let mut approaches: Vec<Approach> =
-        args.thetas.iter().map(|&theta| Approach::SpotTune { theta }).collect();
-    if args.baselines {
-        approaches.push(Approach::SingleSpot(SingleSpotKind::Cheapest));
-        approaches.push(Approach::SingleSpot(SingleSpotKind::Fastest));
-    }
+    assert!(!args.thetas.is_empty(), "--thetas must name at least one value");
+    let approaches = resolve_approaches(&args);
 
     // The full sweep grid: workload × approach × seed × market scenario.
     let mut requests = Vec::new();
@@ -108,14 +163,22 @@ fn main() {
         }
     }
     let total = requests.len();
+    assert!(total > 0, "empty sweep: no workload × policy combinations");
 
-    let server = CampaignServer::start(ServerConfig::with_workers(args.workers));
+    let server = CampaignServer::start(
+        ServerConfig::with_workers(args.workers).with_curve_capacity(args.curve_capacity),
+    );
     let workers = server.stats().workers;
     println!("submitting {total} campaigns to {workers} workers …");
     let t0 = Instant::now();
     let mut done = 0usize;
     for response in server.submit_sweep(requests) {
         done += 1;
+        assert!(
+            !response.report.predicted_finals.is_empty(),
+            "campaign {} produced an empty report",
+            response.id
+        );
         if !args.quiet {
             println!("[{done:>5}/{total}] #{:<5} {}", response.id, response.report.summary());
         }
@@ -136,10 +199,11 @@ fn main() {
         100.0 * stats.pool_cache.hit_rate(),
     );
     println!(
-        "curve tier   : {} resident, {} hits / {} lookups ({:.1}% hit rate)",
+        "curve tier   : {} resident, {} hits / {} lookups ({:.1}% hit rate, {} evictions)",
         stats.resident_curves,
         stats.curve_cache.hits,
         stats.curve_cache.lookups(),
         100.0 * stats.curve_cache.hit_rate(),
+        stats.curve_cache.evictions,
     );
 }

@@ -105,6 +105,27 @@ pub fn settle(
     }
 }
 
+/// Computes the finalized bill for an on-demand VM lifetime: per-second
+/// billing at the fixed hourly `rate`, no revocations, no refunds.
+pub fn settle_on_demand(
+    vm: VmId,
+    instance_name: &str,
+    rate: f64,
+    start: SimTime,
+    end: SimTime,
+) -> BillRecord {
+    let secs = end.since(start).as_secs();
+    BillRecord {
+        vm,
+        instance_name: instance_name.to_string(),
+        start,
+        end,
+        gross: rate * secs as f64 / HOUR as f64,
+        refunded: 0.0,
+        cause: EndCause::UserTerminated,
+    }
+}
+
 /// Accumulates finalized bills.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Ledger {
@@ -216,6 +237,16 @@ mod tests {
         assert!(
             (ledger.total_gross() - ledger.total_charged() - ledger.total_refunded()).abs() < 1e-12
         );
+    }
+
+    #[test]
+    fn on_demand_bills_flat_rate_without_refunds() {
+        // 90 minutes at $1.0/h = $1.5, regardless of any market trace.
+        let b = settle_on_demand(VmId::new(4), "od", 1.0, SimTime::ZERO, SimTime::from_mins(90));
+        assert!((b.gross - 1.5).abs() < 1e-12);
+        assert_eq!(b.refunded, 0.0);
+        assert!(!b.was_free());
+        assert_eq!(b.cause, EndCause::UserTerminated);
     }
 
     #[test]

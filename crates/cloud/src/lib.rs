@@ -27,12 +27,12 @@ pub mod vm;
 pub use billing::{BillRecord, EndCause, Ledger};
 pub use provider::{CloudEvent, CloudProvider, RequestSpotError};
 pub use storage::ObjectStore;
-pub use vm::{Vm, VmId, VmState};
+pub use vm::{Pricing, Vm, VmId, VmState};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::billing::{BillRecord, EndCause, Ledger};
     pub use crate::provider::{CloudEvent, CloudProvider, RequestSpotError};
     pub use crate::storage::ObjectStore;
-    pub use crate::vm::{Vm, VmId, VmState};
+    pub use crate::vm::{Pricing, Vm, VmId, VmState};
 }

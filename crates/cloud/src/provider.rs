@@ -7,8 +7,8 @@ use std::collections::{BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
 
-use crate::billing::{settle, BillRecord, EndCause, Ledger};
-use crate::vm::{Vm, VmId, VmState};
+use crate::billing::{settle, settle_on_demand, BillRecord, EndCause, Ledger};
+use crate::vm::{Pricing, Vm, VmId, VmState};
 
 /// Default lead time of the revocation notice: "termination notices ... are
 /// issued two minutes before the interruption" (§II.A).
@@ -169,6 +169,30 @@ impl CloudProvider {
         Ok(id)
     }
 
+    /// Requests an on-demand VM at time `t`: billed per-second at the
+    /// instance type's fixed on-demand price, never revoked, never refunded.
+    /// The VM becomes usable at `t + launch_delay`, exactly like a spot VM.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance type is not in the pool's catalog.
+    pub fn request_on_demand(
+        &mut self,
+        t: SimTime,
+        instance_name: &str,
+    ) -> Result<VmId, RequestSpotError> {
+        let market = self
+            .pool
+            .market(instance_name)
+            .ok_or_else(|| RequestSpotError::UnknownInstance(instance_name.to_string()))?;
+        let launched_at = t + self.launch_delay;
+        let id = VmId::new(self.next_id);
+        self.next_id += 1;
+        self.vms
+            .insert(id, Vm::new_on_demand(id, market.instance().clone(), launched_at));
+        Ok(id)
+    }
+
     /// Looks up a VM.
     pub fn vm(&self, id: VmId) -> Option<&Vm> {
         self.vms.get(&id)
@@ -303,11 +327,22 @@ impl CloudProvider {
 
     fn settle_vm(&self, id: VmId, end: SimTime, cause: EndCause) -> BillRecord {
         let vm = &self.vms[&id];
-        let market = self
-            .pool
-            .market(vm.instance().name())
-            .expect("vm market exists");
-        settle(id, vm.instance().name(), market.trace(), vm.launched_at(), end, cause)
+        match vm.pricing() {
+            Pricing::Spot => {
+                let market = self
+                    .pool
+                    .market(vm.instance().name())
+                    .expect("vm market exists");
+                settle(id, vm.instance().name(), market.trace(), vm.launched_at(), end, cause)
+            }
+            Pricing::OnDemand => settle_on_demand(
+                id,
+                vm.instance().name(),
+                vm.instance().on_demand_price(),
+                vm.launched_at(),
+                end,
+            ),
+        }
     }
 
     /// The billing ledger.
@@ -333,6 +368,25 @@ mod tests {
 
     fn provider() -> CloudProvider {
         CloudProvider::new(spike_pool()).with_launch_delay(SimDur::ZERO)
+    }
+
+    #[test]
+    fn on_demand_survives_spikes_and_bills_flat() {
+        let mut p = provider();
+        let vm = p.request_on_demand(SimTime::ZERO, "t.spike").unwrap();
+        // The minute-90 spike that would revoke any low-bid spot VM fires
+        // no events for on-demand capacity.
+        assert!(p.poll(SimTime::from_mins(120)).is_empty());
+        assert!(p.vm(vm).unwrap().is_alive());
+        assert_eq!(p.vm(vm).unwrap().pricing(), Pricing::OnDemand);
+        assert_eq!(p.next_event_at(), None);
+        // 30 minutes at the fixed $0.4/h on-demand rate = $0.2.
+        let rec = p.terminate(SimTime::from_mins(30), vm);
+        assert!((rec.gross - 0.2).abs() < 1e-12);
+        assert_eq!(rec.refunded, 0.0);
+        // Unknown instance types are still rejected.
+        let err = p.request_on_demand(SimTime::ZERO, "nope").unwrap_err();
+        assert!(matches!(err, RequestSpotError::UnknownInstance(_)));
     }
 
     #[test]

@@ -31,6 +31,18 @@ impl fmt::Display for VmId {
     }
 }
 
+/// How a VM is billed and reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pricing {
+    /// Transient capacity: billed per-second at the market price, revoked
+    /// when the market price exceeds the offered maximum, eligible for the
+    /// first-hour refund.
+    Spot,
+    /// Reserved capacity: billed per-second at the instance type's fixed
+    /// on-demand price, never revoked, never refunded.
+    OnDemand,
+}
+
 /// Lifecycle state of a spot VM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum VmState {
@@ -70,6 +82,7 @@ pub struct Vm {
     instance: InstanceType,
     launched_at: SimTime,
     max_price: f64,
+    pricing: Pricing,
     /// Precomputed provider-side revocation instant (from the price trace),
     /// if the trace ever exceeds `max_price` after launch.
     pub(crate) revoke_at: Option<SimTime>,
@@ -90,7 +103,22 @@ impl Vm {
             instance,
             launched_at,
             max_price,
+            pricing: Pricing::Spot,
             revoke_at,
+            state: VmState::Running,
+            notice_sent: false,
+        }
+    }
+
+    pub(crate) fn new_on_demand(id: VmId, instance: InstanceType, launched_at: SimTime) -> Self {
+        let max_price = instance.on_demand_price();
+        Vm {
+            id,
+            instance,
+            launched_at,
+            max_price,
+            pricing: Pricing::OnDemand,
+            revoke_at: None,
             state: VmState::Running,
             notice_sent: false,
         }
@@ -114,6 +142,16 @@ impl Vm {
     /// The user's maximum price for this VM.
     pub fn max_price(&self) -> f64 {
         self.max_price
+    }
+
+    /// How this VM is billed and reclaimed.
+    pub fn pricing(&self) -> Pricing {
+        self.pricing
+    }
+
+    /// Whether this VM is transient (revocable spot capacity).
+    pub fn is_spot(&self) -> bool {
+        self.pricing == Pricing::Spot
     }
 
     /// Current lifecycle state.
@@ -157,6 +195,19 @@ mod tests {
         assert_eq!(vm.instance().name(), "r4.large");
         assert_eq!(vm.max_price(), 0.05);
         assert!(vm.is_alive());
+        assert!(vm.is_spot());
+        assert_eq!(vm.pricing(), Pricing::Spot);
         assert_eq!(vm.ended_at(), None);
+    }
+
+    #[test]
+    fn on_demand_vm_is_unrevocable() {
+        let inst = instance::by_name("r4.large").unwrap();
+        let od = inst.on_demand_price();
+        let vm = Vm::new_on_demand(VmId::new(9), inst, SimTime::from_secs(30));
+        assert_eq!(vm.pricing(), Pricing::OnDemand);
+        assert!(!vm.is_spot());
+        assert_eq!(vm.revoke_at, None);
+        assert_eq!(vm.max_price(), od);
     }
 }

@@ -1,27 +1,31 @@
 //! One campaign as a first-class, schedulable unit of work.
 //!
-//! A *campaign* is a single HPT evaluation point: an approach (SpotTune at
-//! some θ, or a Single-Spot baseline) applied to one workload over one
-//! market pool with one seed. The figure binaries, the rayon fan-outs and
-//! the sharded campaign server all funnel through [`Campaign::run`], so a
-//! sweep scheduled any way — serially, across cores, across a worker pool —
-//! produces bit-identical [`HptReport`]s.
+//! A *campaign* is a single HPT evaluation point: an approach (a registered
+//! provisioning policy, possibly θ-parameterized) applied to one workload
+//! over one market pool with one seed. The figure binaries, the rayon
+//! fan-outs and the sharded campaign server all funnel through
+//! [`Campaign::run`], so a sweep scheduled any way — serially, across
+//! cores, across a worker pool — produces bit-identical [`HptReport`]s.
 //!
 //! [`CampaignRequest`]/[`CampaignResponse`] are the serializable wire
 //! types of the campaign server: requests name their market environment by
 //! [`MarketScenario`] (a key into the server's shared pool tier) instead
-//! of shipping price traces.
+//! of shipping price traces, and their approach by policy name
+//! ([`Approach::policy_name`]) — every registered policy runs through the
+//! same cached, sharded pipeline.
 
-use crate::baseline::{run_single_spot_with_cache, SingleSpotKind};
+use crate::baseline::SingleSpotKind;
 use crate::config::SpotTuneConfig;
-use crate::orchestrator::Orchestrator;
+use crate::engine::Engine;
+use crate::policy::{BidAware, HybridSpotOnDemand, OnDemand, ProvisionPolicy, SingleSpot, SpotTuneTheta};
 use crate::provision::OracleEstimator;
 use crate::report::HptReport;
 use serde::{Deserialize, Serialize};
-use spottune_market::{MarketPool, MarketScenario};
+use spottune_market::{MarketPool, MarketScenario, RevocationEstimator};
 use spottune_mlsim::{CurveCache, Workload};
 
-/// The approaches of paper Fig. 7 (SpotTune and the Single-Spot baselines).
+/// The provisioning strategies a campaign can evaluate: the paper's
+/// approaches (Fig. 7) plus the related-work policies of the policy layer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Approach {
     /// SpotTune with the given θ.
@@ -31,7 +35,27 @@ pub enum Approach {
     },
     /// Single-Spot Tune baselines.
     SingleSpot(SingleSpotKind),
+    /// On-demand baseline: fixed price, no revocations, no refunds.
+    OnDemand(SingleSpotKind),
+    /// DeepVM-style hybrid: SpotTune provisioning until a configuration
+    /// suffers `max_revocations` revocations, then pin it to on-demand.
+    Hybrid {
+        /// Early-shutdown rate.
+        theta: f64,
+        /// Revocations tolerated before the on-demand fallback.
+        max_revocations: u32,
+    },
+    /// Voorsluys-style bid-aware provisioning: deterministic bid-margin
+    /// ladder per market instead of one random delta.
+    BidAware {
+        /// Early-shutdown rate.
+        theta: f64,
+    },
 }
+
+/// Revocations tolerated by [`Approach::Hybrid`] before it pins a
+/// configuration to on-demand capacity, unless overridden.
+pub const DEFAULT_HYBRID_STRIKES: u32 = 3;
 
 impl Approach {
     /// The four bars of Fig. 7, in paper order.
@@ -43,6 +67,87 @@ impl Approach {
             Approach::SingleSpot(SingleSpotKind::Fastest),
         ]
     }
+
+    /// Every registered policy name, in registry order. These are the
+    /// stable identifiers accepted by [`Approach::from_policy_name`], the
+    /// `run_campaigns --policy` flag and the CI policy matrix.
+    pub fn registered_policies() -> [&'static str; 6] {
+        ["spottune", "single-spot-cheapest", "single-spot-fastest", "on-demand", "hybrid", "bid-aware"]
+    }
+
+    /// The registry name of this approach's policy.
+    pub fn policy_name(&self) -> &'static str {
+        match self {
+            Approach::SpotTune { .. } => "spottune",
+            Approach::SingleSpot(SingleSpotKind::Cheapest) => "single-spot-cheapest",
+            Approach::SingleSpot(SingleSpotKind::Fastest) => "single-spot-fastest",
+            Approach::OnDemand(_) => "on-demand",
+            Approach::Hybrid { .. } => "hybrid",
+            Approach::BidAware { .. } => "bid-aware",
+        }
+    }
+
+    /// Resolves a registry name to an approach, parameterizing the
+    /// θ-dependent policies with `theta`. Returns `None` for unknown names
+    /// (callers list [`Approach::registered_policies`] in their error).
+    pub fn from_policy_name(name: &str, theta: f64) -> Option<Approach> {
+        match name {
+            "spottune" => Some(Approach::SpotTune { theta }),
+            "single-spot-cheapest" => Some(Approach::SingleSpot(SingleSpotKind::Cheapest)),
+            "single-spot-fastest" => Some(Approach::SingleSpot(SingleSpotKind::Fastest)),
+            "on-demand" => Some(Approach::OnDemand(SingleSpotKind::Cheapest)),
+            "hybrid" => {
+                Some(Approach::Hybrid { theta, max_revocations: DEFAULT_HYBRID_STRIKES })
+            }
+            "bid-aware" => Some(Approach::BidAware { theta }),
+            _ => None,
+        }
+    }
+
+    /// Whether this approach's behaviour depends on θ (the others always
+    /// train full length).
+    pub fn is_theta_parameterized(&self) -> bool {
+        matches!(
+            self,
+            Approach::SpotTune { .. } | Approach::Hybrid { .. } | Approach::BidAware { .. }
+        )
+    }
+
+    /// The engine configuration this approach runs under.
+    pub(crate) fn config(&self, seed: u64) -> SpotTuneConfig {
+        let theta = match *self {
+            Approach::SpotTune { theta }
+            | Approach::Hybrid { theta, .. }
+            | Approach::BidAware { theta } => theta,
+            Approach::SingleSpot(_) | Approach::OnDemand(_) => 1.0,
+        };
+        SpotTuneConfig::new(theta, 3).with_seed(seed)
+    }
+
+    /// Builds this approach's policy over `estimator` (transient policies
+    /// consult it for revocation probabilities; dedicated ones ignore it).
+    pub fn build_policy<'a>(
+        &self,
+        estimator: &'a dyn RevocationEstimator,
+        config: &SpotTuneConfig,
+    ) -> Box<dyn ProvisionPolicy + 'a> {
+        match *self {
+            Approach::SpotTune { theta } => {
+                Box::new(SpotTuneTheta::new(estimator, config.delta_range, theta))
+            }
+            Approach::SingleSpot(kind) => Box::new(SingleSpot::new(kind)),
+            Approach::OnDemand(kind) => Box::new(OnDemand::new(kind)),
+            Approach::Hybrid { theta, max_revocations } => Box::new(HybridSpotOnDemand::new(
+                estimator,
+                config.delta_range,
+                theta,
+                max_revocations,
+            )),
+            Approach::BidAware { theta } => {
+                Box::new(BidAware::new(estimator, config.delta_range, theta))
+            }
+        }
+    }
 }
 
 /// One fully-specified campaign, minus the market pool it runs against.
@@ -52,7 +157,7 @@ pub struct Campaign {
     pub approach: Approach,
     /// The workload (algorithm + HP grid + step budget).
     pub workload: Workload,
-    /// Master seed: orchestrator RNG and training-run seeds derive from it.
+    /// Master seed: engine RNG and training-run seeds derive from it.
     pub seed: u64,
 }
 
@@ -72,25 +177,15 @@ impl Campaign {
     /// shared cross-request tier).
     ///
     /// Deterministic: the report is a pure function of `(self, pool)` — the
-    /// tier only changes what is recomputed versus replayed.
+    /// tier only changes what is recomputed versus replayed. Every approach
+    /// goes through the same [`Engine`]; only the policy differs.
     pub fn run_with_cache(&self, pool: &MarketPool, curve_cache: &CurveCache) -> HptReport {
-        match self.approach {
-            Approach::SpotTune { theta } => {
-                let oracle = OracleEstimator::new(pool.clone(), 0.9);
-                let cfg = SpotTuneConfig::new(theta, 3).with_seed(self.seed);
-                Orchestrator::new(cfg, self.workload.clone(), pool.clone(), &oracle)
-                    .with_curve_cache(curve_cache.clone())
-                    .run()
-            }
-            Approach::SingleSpot(kind) => run_single_spot_with_cache(
-                kind,
-                &self.workload,
-                pool,
-                SpotTuneConfig::default().start,
-                self.seed,
-                curve_cache,
-            ),
-        }
+        let cfg = self.approach.config(self.seed);
+        let oracle = OracleEstimator::new(pool.clone(), 0.9);
+        let mut policy = self.approach.build_policy(&oracle, &cfg);
+        Engine::new(cfg, self.workload.clone(), pool.clone())
+            .with_curve_cache(curve_cache.clone())
+            .run(policy.as_mut())
     }
 }
 
@@ -129,8 +224,8 @@ pub struct CampaignResponse {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spottune_mlsim::Algorithm;
     use spottune_market::SimDur;
+    use spottune_mlsim::Algorithm;
 
     fn tiny_workload() -> Workload {
         let base = Workload::benchmark(Algorithm::LoR);
@@ -169,5 +264,36 @@ mod tests {
         assert!(report.approach.contains("Cheapest"));
         let resp = CampaignResponse { id: req.id, report };
         assert_eq!(resp.id, 9);
+    }
+
+    #[test]
+    fn registry_round_trips_every_policy() {
+        for name in Approach::registered_policies() {
+            let approach = Approach::from_policy_name(name, 0.7)
+                .unwrap_or_else(|| panic!("registered policy {name} must resolve"));
+            assert_eq!(approach.policy_name(), name);
+        }
+        assert_eq!(Approach::from_policy_name("nope", 0.7), None);
+        // θ threads into the θ-parameterized policies only.
+        assert!(matches!(
+            Approach::from_policy_name("hybrid", 0.5),
+            Some(Approach::Hybrid { theta, max_revocations: DEFAULT_HYBRID_STRIKES })
+                if theta == 0.5
+        ));
+        assert!(!Approach::SingleSpot(SingleSpotKind::Cheapest).is_theta_parameterized());
+        assert!(Approach::BidAware { theta: 0.7 }.is_theta_parameterized());
+    }
+
+    #[test]
+    fn every_registered_policy_completes_a_campaign() {
+        let pool = MarketPool::standard(SimDur::from_days(2), 11);
+        for name in Approach::registered_policies() {
+            let approach = Approach::from_policy_name(name, 0.7).expect("registered");
+            let report = Campaign::new(approach, tiny_workload(), 5).run(&pool);
+            assert_eq!(report.predicted_finals.len(), 2, "{name}: prediction per config");
+            assert!(report.cost >= 0.0, "{name}: cost must be finite");
+            assert!(report.jct.as_secs() > 0, "{name}: non-zero JCT");
+            assert!(report.deployments >= 2, "{name}: every config deployed");
+        }
     }
 }

@@ -52,6 +52,10 @@ pub struct Job {
     pub recycle_tick: SimTime,
     /// See [`Self::ready_tick`].
     pub step_complete_tick: SimTime,
+    /// Whether the assigned VM is eligible for the one-hour proactive
+    /// recycle (spot placements are; on-demand placements never refund, so
+    /// the engine skips their recycle checks entirely). Set at deployment.
+    pub recyclable: bool,
     /// Execution halted by a revocation notice (checkpointed, waiting for
     /// the VM to disappear).
     pub halted: bool,
@@ -110,6 +114,7 @@ impl Job {
             ready_tick: SimTime::ZERO,
             recycle_tick: SimTime::ZERO,
             step_complete_tick: SimTime::ZERO,
+            recyclable: true,
             halted: false,
             steps_on_vm: 0,
             step_ticks: 0,

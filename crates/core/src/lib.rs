@@ -1,10 +1,17 @@
 //! # spottune-core
 //!
-//! The SpotTune orchestrator (paper Algorithm 1): fine-grained cost-aware
-//! provisioning over the spot markets (Eq. 1–2), the 10-second scheduling
-//! loop with checkpoint-on-notice, one-hour proactive recycling for refund
-//! harvesting, EarlyCurve-based early shutdown and top-`mcnt` continuation,
-//! plus the Single-Spot baselines and campaign reports.
+//! The SpotTune campaign engine and its pluggable policy layer. The
+//! [`engine::Engine`] owns the mechanics of paper Algorithm 1 — the
+//! 10-second scheduling loop (or its bit-identical next-event drive),
+//! checkpoint-on-notice, one-hour proactive recycling for refund
+//! harvesting, EarlyCurve-based early shutdown and top-`mcnt` continuation
+//! — and consults a [`policy::ProvisionPolicy`] at every decision point.
+//! The paper's approaches and related-work strategies are policy impls:
+//! [`policy::SpotTuneTheta`] (fine-grained cost-aware provisioning, Eq.
+//! 1–2), [`policy::SingleSpot`] / [`policy::OnDemand`] (the baselines),
+//! [`policy::HybridSpotOnDemand`] (DeepVM-style fallback) and
+//! [`policy::BidAware`] (Voorsluys-style bid ladders). See the
+//! [`policy`] module docs for how to write a new one.
 //!
 //! ```no_run
 //! use spottune_core::prelude::*;
@@ -22,28 +29,41 @@
 pub mod baseline;
 pub mod campaign;
 pub mod config;
+pub mod engine;
 pub mod job;
 pub mod orchestrator;
 pub mod perfmatrix;
+pub mod policy;
 pub mod provision;
 pub mod report;
+pub mod wire;
 
-pub use baseline::{run_single_spot, run_single_spot_with_cache, SingleSpotKind};
+pub use baseline::{
+    run_on_demand, run_on_demand_with_cache, run_single_spot, run_single_spot_with_cache,
+    SingleSpotKind,
+};
 pub use campaign::{Approach, Campaign, CampaignRequest, CampaignResponse};
 pub use config::{DriveMode, SpotTuneConfig};
+pub use engine::Engine;
 pub use orchestrator::{Orchestrator, TraceEvent};
 pub use perfmatrix::PerfMatrix;
+pub use policy::{DeployCtx, Placement, PolicyMode, ProvisionPolicy};
 pub use provision::{InstChoice, OracleEstimator, Provisioner};
 pub use report::HptReport;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::baseline::{run_single_spot, run_single_spot_with_cache, SingleSpotKind};
+    pub use crate::baseline::{
+        run_on_demand, run_on_demand_with_cache, run_single_spot, run_single_spot_with_cache,
+        SingleSpotKind,
+    };
     pub use crate::campaign::{Approach, Campaign, CampaignRequest, CampaignResponse};
     pub use crate::config::{DriveMode, SpotTuneConfig};
+    pub use crate::engine::Engine;
     pub use crate::job::{FinishReason, Job};
     pub use crate::orchestrator::{Orchestrator, TraceEvent};
     pub use crate::perfmatrix::PerfMatrix;
+    pub use crate::policy::{DeployCtx, Placement, PolicyMode, ProvisionPolicy};
     pub use crate::provision::{InstChoice, OracleEstimator, Provisioner};
     pub use crate::report::HptReport;
 }

@@ -1,94 +1,30 @@
-//! The SpotTune orchestrator — a faithful implementation of the paper's
-//! Algorithm 1 on top of the discrete-event cloud.
+//! The SpotTune orchestrator — the paper's Algorithm 1 as a thin facade.
 //!
-//! Phase 1 runs every configuration to `θ × max_trial_steps`, reacting to
-//! three events per poll (10 s): revocation notices (checkpoint → requeue),
-//! step-target completion (checkpoint → finish), and the one-hour proactive
-//! recycle (checkpoint → shutdown → requeue, harvesting the first-hour
-//! refund opportunity). EarlyCurve then predicts every configuration's
-//! final metric and the top-`mcnt` continue from their checkpoints to full
-//! training (Algorithm 1 lines 48–53).
-//!
-//! Time advances in one of two equivalent ways (see [`DriveMode`]): the
-//! paper's literal 10-second polling loop, or — the default — next-event
-//! jumps that visit only the grid ticks at which something can happen.
-//! Both run the same per-tick body at the same instants, so reports and
-//! trace-event sequences are bit-identical; the event drive is simply
-//! orders of magnitude cheaper on quiet stretches (a campaign simulating a
-//! day visits hundreds of ticks instead of 8 640 per job).
+//! Historically this module *was* the whole executor; the machinery now
+//! lives in [`crate::engine`] (time advance, billing, checkpoint
+//! accounting, selection) and the decision logic in
+//! [`crate::policy::SpotTuneTheta`] (fine-grained cost-aware provisioning,
+//! Eq. 1–2). `Orchestrator` simply binds the two: constructing one and
+//! calling [`Orchestrator::run`] is exactly the paper's SpotTune, and it is
+//! bit-identical to the pre-policy-layer implementation (locked by the
+//! `tick_event_equivalence` and `policy_equivalence` tests).
 
-use crate::config::{DriveMode, SpotTuneConfig};
-use crate::job::{FinishReason, Job};
-use crate::perfmatrix::PerfMatrix;
-use crate::provision::Provisioner;
+use crate::config::SpotTuneConfig;
+use crate::engine::Engine;
+use crate::policy::SpotTuneTheta;
 use crate::report::HptReport;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use spottune_cloud::{CloudEvent, CloudProvider, ObjectStore, VmId};
 use spottune_earlycurve::EarlyCurveConfig;
-use spottune_market::{MarketPool, RevocationEstimator, SimDur, SimTime};
-use spottune_mlsim::{CurveCache, PerfModel, Workload};
+use spottune_market::{MarketPool, RevocationEstimator};
+use spottune_mlsim::{CurveCache, Workload};
 
-/// One entry of the campaign timeline (the lifecycle of paper Fig. 4).
-#[derive(Debug, Clone, PartialEq)]
-pub enum TraceEvent {
-    /// A configuration was (re)deployed onto an instance.
-    Deployed {
-        /// Grid index.
-        job: usize,
-        /// Instance-type name.
-        instance: String,
-        /// Offered maximum price.
-        max_price: f64,
-        /// Event time.
-        at: SimTime,
-    },
-    /// Two-minute revocation notice received; checkpoint taken.
-    NoticeCheckpoint {
-        /// Grid index.
-        job: usize,
-        /// Event time.
-        at: SimTime,
-    },
-    /// The provider reclaimed the VM; steps settled (free if refunded).
-    Revoked {
-        /// Grid index.
-        job: usize,
-        /// Whether the first-hour refund applied.
-        free: bool,
-        /// Event time.
-        at: SimTime,
-    },
-    /// Proactive one-hour recycle (Algorithm 1 line 31).
-    Recycled {
-        /// Grid index.
-        job: usize,
-        /// Event time.
-        at: SimTime,
-    },
-    /// The job finished its phase.
-    Finished {
-        /// Grid index.
-        job: usize,
-        /// Why it stopped.
-        reason: FinishReason,
-        /// Steps completed.
-        steps: u64,
-        /// Event time.
-        at: SimTime,
-    },
-}
+pub use crate::engine::TraceEvent;
 
-/// Orchestrates one HPT campaign for one workload.
+/// Orchestrates one SpotTune HPT campaign for one workload: an [`Engine`]
+/// bound to the [`SpotTuneTheta`] policy.
 #[derive(Debug)]
 pub struct Orchestrator<'a> {
-    config: SpotTuneConfig,
-    workload: Workload,
-    pool: MarketPool,
+    engine: Engine,
     estimator: &'a dyn RevocationEstimator,
-    perf_model: PerfModel,
-    ec_config: EarlyCurveConfig,
-    curve_cache: CurveCache,
 }
 
 impl<'a> Orchestrator<'a> {
@@ -99,21 +35,12 @@ impl<'a> Orchestrator<'a> {
         pool: MarketPool,
         estimator: &'a dyn RevocationEstimator,
     ) -> Self {
-        config.validate();
-        Orchestrator {
-            config,
-            workload,
-            pool,
-            estimator,
-            perf_model: PerfModel::new(),
-            ec_config: EarlyCurveConfig::default(),
-            curve_cache: CurveCache::global(),
-        }
+        Orchestrator { engine: Engine::new(config, workload, pool), estimator }
     }
 
     /// Overrides the EarlyCurve configuration.
     pub fn with_earlycurve_config(mut self, ec: EarlyCurveConfig) -> Self {
-        self.ec_config = ec;
+        self.engine = self.engine.with_earlycurve_config(ec);
         self
     }
 
@@ -122,7 +49,7 @@ impl<'a> Orchestrator<'a> {
     /// Curves are pure functions of their key, so the tier choice affects
     /// wall-clock and counters, never results.
     pub fn with_curve_cache(mut self, cache: CurveCache) -> Self {
-        self.curve_cache = cache;
+        self.engine = self.engine.with_curve_cache(cache);
         self
     }
 
@@ -135,542 +62,17 @@ impl<'a> Orchestrator<'a> {
     /// (deployments, notices, revocations, recycles, finishes — the
     /// lifecycle of paper Fig. 4).
     pub fn run_traced(&self) -> (HptReport, Vec<TraceEvent>) {
-        let cfg = &self.config;
-        let max_steps = self.workload.max_trial_steps();
-        let target = cfg.target_steps(max_steps);
-
-        let mut provider = CloudProvider::new(self.pool.clone());
-        let mut store = ObjectStore::new();
-        let mut matrix = PerfMatrix::new(cfg.c0, cfg.ewma_alpha);
-        let provisioner = Provisioner::new(self.estimator, cfg.delta_range);
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ ORCH_SALT);
-        let mut jobs: Vec<Job> = (0..self.workload.hp_grid().len())
-            .map(|i| {
-                Job::new(&self.workload, i, target, self.ec_config, cfg.seed, &self.curve_cache)
-            })
-            .collect();
-        // True seconds-per-step means per (market, configuration): the
-        // model is deterministic, so derive it once instead of hashing
-        // names and re-reading string-keyed hyper-parameters on every
-        // sampled step.
-        let spe_means: Vec<(String, Vec<f64>)> = self
-            .pool
-            .iter()
-            .map(|m| {
-                let inst = m.instance();
-                let means = self
-                    .workload
-                    .hp_grid()
-                    .iter()
-                    .map(|hp| self.perf_model.true_spe(inst, &self.workload, hp))
-                    .collect();
-                (inst.name().to_string(), means)
-            })
-            .collect();
-
-        let mut events = Vec::new();
-        let mut t = cfg.start;
-        // ---- Phase 1: all configurations to θ·max_trial_steps. ----
-        t = self.drive(
-            &mut jobs, t, &mut provider, &mut store, &mut matrix, &provisioner, &mut rng,
-            &mut events, &spe_means,
-        );
-
-        // ---- Prediction & selection (Algorithm 1 lines 48–53). ----
-        let predicted: Vec<f64> = jobs
-            .iter()
-            .map(|j| {
-                let last = j.last_metric().unwrap_or(f64::INFINITY);
-                if cfg.theta >= 1.0 || j.finished == Some(FinishReason::ConvergedEarly) {
-                    last
-                } else {
-                    j.curve.predict_final(max_steps).unwrap_or(last)
-                }
-            })
-            .collect();
-        let mut ranking: Vec<usize> = (0..jobs.len()).collect();
-        ranking.sort_by(|&a, &b| predicted[a].partial_cmp(&predicted[b]).expect("finite"));
-        let selected: Vec<usize> = ranking.iter().take(cfg.mcnt).copied().collect();
-
-        // Paper-reported cost/JCT end at model selection (§IV.B.1).
-        let selection_cost = provider.ledger().total_charged();
-        let selection_refunded = provider.ledger().total_refunded();
-        let selection_gross = provider.ledger().total_gross();
-        let selection_jct = t - cfg.start;
-
-        // ---- Phase 2: continue the top-mcnt from checkpoints. ----
-        if cfg.theta < 1.0 {
-            for &i in &selected {
-                let job = &mut jobs[i];
-                if job.finished == Some(FinishReason::TargetReached) && job.steps_done < max_steps
-                {
-                    job.finished = None;
-                    job.target_steps = max_steps;
-                }
-            }
-            t = self.drive(
-                &mut jobs, t, &mut provider, &mut store, &mut matrix, &provisioner, &mut rng,
-                &mut events, &spe_means,
-            );
-        }
-
-        // ---- Report. ----
-        let true_finals = spottune_mlsim::runner::ground_truth_finals_with_cache(
-            &self.workload,
-            cfg.seed,
-            &self.curve_cache,
-        );
-        let ledger = provider.ledger();
-        let report = HptReport {
-            approach: format!("SpotTune(θ={})", cfg.theta),
-            workload: self.workload.algorithm().name().to_string(),
-            theta: cfg.theta,
-            cost: selection_cost,
-            refunded: selection_refunded,
-            gross: selection_gross,
-            jct: selection_jct,
-            cost_with_continuation: ledger.total_charged(),
-            jct_with_continuation: t - cfg.start,
-            train_time: sum_dur(jobs.iter().map(|j| j.train_time)),
-            overhead_time: sum_dur(jobs.iter().map(|j| j.overhead)),
-            free_steps: jobs.iter().map(|j| j.free_steps).sum(),
-            charged_steps: jobs.iter().map(|j| j.charged_steps).sum(),
-            predicted_finals: predicted,
-            true_finals,
-            selected,
-            deployments: jobs.iter().map(|j| j.deployments).sum(),
-            revocations: jobs.iter().map(|j| j.revocations).sum(),
-        };
-        (report, events)
-    }
-
-    /// The Algorithm-1 loop; returns the time when every job in the current
-    /// phase has finished. Dispatches on the configured [`DriveMode`]: both
-    /// strategies execute the identical per-tick body
-    /// ([`Self::process_tick`]) at the identical grid instants — the
-    /// event-driven drive merely skips the ticks at which nothing can
-    /// happen.
-    #[allow(clippy::too_many_arguments)]
-    fn drive(
-        &self,
-        jobs: &mut [Job],
-        t: SimTime,
-        provider: &mut CloudProvider,
-        store: &mut ObjectStore,
-        matrix: &mut PerfMatrix,
-        provisioner: &Provisioner<'_>,
-        rng: &mut StdRng,
-        events: &mut Vec<TraceEvent>,
-        spe_means: &[(String, Vec<f64>)],
-    ) -> SimTime {
-        match self.config.drive_mode {
-            DriveMode::Tick => {
-                self.drive_tick(jobs, t, provider, store, matrix, provisioner, rng, events, spe_means)
-            }
-            DriveMode::Event => {
-                self.drive_event(jobs, t, provider, store, matrix, provisioner, rng, events, spe_means)
-            }
-        }
-    }
-
-    /// Reference implementation: poll every `poll_interval` (Algorithm 1
-    /// line 45 — 10 seconds).
-    #[allow(clippy::too_many_arguments)]
-    fn drive_tick(
-        &self,
-        jobs: &mut [Job],
-        mut t: SimTime,
-        provider: &mut CloudProvider,
-        store: &mut ObjectStore,
-        matrix: &mut PerfMatrix,
-        provisioner: &Provisioner<'_>,
-        rng: &mut StdRng,
-        events: &mut Vec<TraceEvent>,
-        spe_means: &[(String, Vec<f64>)],
-    ) -> SimTime {
-        let poll = self.config.poll_interval;
-        // Hard stop: ten simulated weeks — catches scheduling deadlocks in
-        // tests rather than hanging.
-        let deadline = t + SimDur::from_hours(24 * 70);
-        while jobs.iter().any(Job::is_active) {
-            assert!(t < deadline, "orchestrator made no progress before deadline");
-            t += poll;
-            self.process_tick(jobs, t, provider, store, matrix, provisioner, rng, events, spe_means, false);
-        }
-        t
-    }
-
-    /// Next-event time advance: jump directly to the next grid tick at
-    /// which anything can change. Ticks in between only accumulate linear
-    /// progress on running jobs, which is applied in one whole-tick
-    /// addition (`step_ticks += n`) — integer arithmetic, so the fast path
-    /// is bit-identical to polling through the same ticks.
-    #[allow(clippy::too_many_arguments)]
-    fn drive_event(
-        &self,
-        jobs: &mut [Job],
-        mut t: SimTime,
-        provider: &mut CloudProvider,
-        store: &mut ObjectStore,
-        matrix: &mut PerfMatrix,
-        provisioner: &Provisioner<'_>,
-        rng: &mut StdRng,
-        events: &mut Vec<TraceEvent>,
-        spe_means: &[(String, Vec<f64>)],
-    ) -> SimTime {
-        let poll = self.config.poll_interval;
-        let deadline = t + SimDur::from_hours(24 * 70);
-        while jobs.iter().any(Job::is_active) {
-            assert!(t < deadline, "orchestrator made no progress before deadline");
-            let t_next = self.next_event_tick(jobs, t, provider);
-            // Quiet ticks in (t, t_next): every running job accumulates one
-            // poll interval per tick and nothing else can happen (each
-            // state change is a candidate in `next_event_tick`, so none
-            // falls strictly inside the span).
-            let quiet_end = t_next - poll;
-            if quiet_end > t {
-                for job in jobs.iter_mut() {
-                    if !job.is_active() || job.halted {
-                        continue;
-                    }
-                    let Some(vm_id) = job.assigned else { continue };
-                    // An assigned VM is always alive between event ticks:
-                    // revocations settle the job at their (visited) tick,
-                    // and no event fires inside a quiet span.
-                    debug_assert!(
-                        provider.vm(vm_id).is_some_and(spottune_cloud::Vm::is_alive),
-                        "assigned vm must be alive across a quiet span"
-                    );
-                    let first = job.ready_tick.max(t + poll);
-                    if first <= quiet_end {
-                        let n = (quiet_end.as_secs() - first.as_secs()) / poll.as_secs() + 1;
-                        job.step_ticks += n;
-                        job.train_time += SimDur::from_secs(poll.as_secs() * n);
-                    }
-                }
-            }
-            t = t_next;
-            self.process_tick(jobs, t, provider, store, matrix, provisioner, rng, events, spe_means, true);
-        }
-        t
-    }
-
-    /// Earliest grid tick strictly after `t` at which the tick body can do
-    /// anything beyond linear progress accumulation: a cloud notice or
-    /// revocation, a job's next step completing, a restore finishing (the
-    /// first tick a fresh VM executes — and samples its seconds-per-step),
-    /// the one-hour recycle deadline, or a deploy retry for a waiting job.
-    fn next_event_tick(&self, jobs: &[Job], t: SimTime, provider: &CloudProvider) -> SimTime {
-        let poll = self.config.poll_interval;
-        let floor = t + poll;
-        let mut next: Option<SimTime> = None;
-        let mut consider = |cand: SimTime| {
-            let c = cand.max(floor);
-            next = Some(next.map_or(c, |n| n.min(c)));
-        };
-        if let Some(at) = provider.next_event_at() {
-            consider(self.tick_at_or_after(at));
-        }
-        for job in jobs {
-            if !job.is_active() {
-                continue;
-            }
-            if job.assigned.is_none() {
-                // Waiting for a VM: the deploy stage retries every tick.
-                consider(floor);
-                continue;
-            }
-            if job.halted {
-                // Checkpointed, waiting for the pending revocation — the
-                // provider agenda already carries that instant.
-                continue;
-            }
-            // Candidates are maintained incrementally: `recycle_tick` and
-            // `ready_tick` at deployment, `step_complete_tick` whenever a
-            // step time is sampled — so the scan is a handful of compares
-            // per job.
-            consider(job.recycle_tick);
-            match job.current_spe {
-                None => consider(job.ready_tick),
-                Some(_) => consider(job.step_complete_tick),
-            }
-        }
-        next.unwrap_or(floor)
-    }
-
-    /// Grid tick at which the in-flight step of `job` completes, given the
-    /// job accumulates one poll interval per tick from `t` on: the smallest
-    /// `n ≥ 1` with `carry + (ticks + n)·poll ≥ spe`. The f64 estimate is
-    /// corrected against the exact tick-loop predicate (monotone in `n`)
-    /// to rule out rounding disagreements with the reference drive.
-    fn step_completion_tick(&self, job: &Job, spe: f64, t: SimTime) -> SimTime {
-        let poll = self.config.poll_interval;
-        let poll_secs = poll.as_secs_f64();
-        let progress = |n: u64| job.step_carry + (job.step_ticks + n) as f64 * poll_secs;
-        let done = (job.step_ticks as f64).mul_add(poll_secs, job.step_carry);
-        let mut n = (((spe - done) / poll_secs).ceil()).max(1.0) as u64;
-        while progress(n) < spe {
-            n += 1;
-        }
-        while n > 1 && progress(n - 1) >= spe {
-            n -= 1;
-        }
-        SimTime::from_secs(t.as_secs() + n * poll.as_secs())
-    }
-
-    /// First grid tick at or after `x` (grid: `start + k·poll_interval`).
-    fn tick_at_or_after(&self, x: SimTime) -> SimTime {
-        let s = self.config.start.as_secs();
-        let p = self.config.poll_interval.as_secs();
-        let rel = x.as_secs().saturating_sub(s);
-        SimTime::from_secs(s + rel.div_ceil(p) * p)
-    }
-
-    /// First grid tick strictly after `x`.
-    fn tick_after(&self, x: SimTime) -> SimTime {
-        let s = self.config.start.as_secs();
-        let p = self.config.poll_interval.as_secs();
-        let rel = x.as_secs().saturating_sub(s);
-        SimTime::from_secs(s + (rel / p + 1) * p)
-    }
-
-    /// One full iteration of the Algorithm-1 loop body at tick `t`: cloud
-    /// events, job progress, proactive recycling, (re)deployment. Shared
-    /// between the tick-driven and event-driven drives.
-    ///
-    /// With `short_circuit` set (the event drive), a running job whose
-    /// in-flight step cannot complete at this tick is advanced without
-    /// touching its VM's instance or entering the step loop — a pure
-    /// skip of work that would change no state, so both settings evolve
-    /// the simulation identically. The reference tick drive passes `false`
-    /// and pays the seed implementation's full per-tick cost, which is
-    /// exactly the baseline the event drive is benchmarked against.
-    #[allow(clippy::too_many_arguments)]
-    fn process_tick(
-        &self,
-        jobs: &mut [Job],
-        t: SimTime,
-        provider: &mut CloudProvider,
-        store: &mut ObjectStore,
-        matrix: &mut PerfMatrix,
-        provisioner: &Provisioner<'_>,
-        rng: &mut StdRng,
-        events: &mut Vec<TraceEvent>,
-        spe_means: &[(String, Vec<f64>)],
-        short_circuit: bool,
-    ) {
-        let poll = self.config.poll_interval;
-        let poll_secs = poll.as_secs_f64();
-        {
-            // (1) Cloud events: notices and revocations. The reference
-            // drive polls the way the original implementation did — a scan
-            // over every VM — while the event drive reads the agenda; both
-            // return identical event sequences.
-            let cloud_events = if short_circuit {
-                provider.poll(t)
-            } else {
-                provider.poll_scan(t)
-            };
-            for event in cloud_events {
-                match event {
-                    CloudEvent::RevocationNotice { vm, .. } => {
-                        if let Some(job) = job_on_vm(jobs, vm) {
-                            // Checkpoint within the two-minute window
-                            // (§IV.F guarantees our model sizes fit).
-                            if !job.halted {
-                                job.halted = true;
-                                let inst = provider.vm(vm).expect("vm exists").instance().clone();
-                                let size = job.model_size_mb;
-                                let dur = store.put(&job.ckpt_key, size, &inst);
-                                debug_assert!(dur.as_secs() <= 120, "checkpoint must fit the notice window");
-                                job.overhead += dur;
-                                events.push(TraceEvent::NoticeCheckpoint { job: job.hp_index, at: t });
-                            }
-                        }
-                    }
-                    CloudEvent::Revoked { vm, .. } => {
-                        if let Some(job) = job_on_vm(jobs, vm) {
-                            job.revocations += 1;
-                            let was_free = provider
-                                .ledger()
-                                .records()
-                                .iter()
-                                .rev()
-                                .find(|r| r.vm == vm)
-                                .map(|r| r.was_free())
-                                .unwrap_or(false);
-                            job.settle_vm_steps(was_free);
-                            events.push(TraceEvent::Revoked { job: job.hp_index, free: was_free, at: t });
-                        }
-                    }
-                }
-            }
-
-            // (2) Advance running jobs by one poll interval.
-            for job in jobs.iter_mut() {
-                if !job.is_active() || job.halted {
-                    continue;
-                }
-                let Some(vm_id) = job.assigned else { continue };
-                let vm = if short_circuit {
-                    // Event drive: gate on the cached grid candidates (an
-                    // assigned VM is always alive at a visited tick after
-                    // stage 1, and `t < ready_tick ⟺ t < exec_ready_at`
-                    // on the grid), and short-circuit entirely — without
-                    // touching the VM — when the in-flight step cannot
-                    // complete this tick. Pure skips of no-op work, so both
-                    // settings evolve the simulation identically.
-                    if t < job.ready_tick {
-                        continue;
-                    }
-                    job.step_ticks += 1;
-                    job.train_time += poll;
-                    if let Some(spe) = job.current_spe {
-                        if job.step_carry + job.step_ticks as f64 * poll_secs < spe {
-                            continue;
-                        }
-                    }
-                    provider.vm(vm_id).expect("assigned vm exists")
-                } else {
-                    // Reference drive: the original per-tick body.
-                    let vm = provider.vm(vm_id).expect("assigned vm exists");
-                    if !vm.is_alive() || t < job.exec_ready_at {
-                        continue;
-                    }
-                    job.step_ticks += 1;
-                    job.train_time += poll;
-                    vm
-                };
-                let inst = vm.instance().clone();
-                loop {
-                    let spe = *job.current_spe.get_or_insert_with(|| {
-                        let mean = spe_means
-                            .iter()
-                            .find(|(name, _)| name == inst.name())
-                            .map(|(_, means)| means[job.hp_index])
-                            .unwrap_or_else(|| {
-                                self.perf_model.true_spe(&inst, &self.workload, &job.hp)
-                            });
-                        PerfModel::sample_with_mean(mean, rng)
-                    });
-                    let progress = job.step_carry + job.step_ticks as f64 * poll_secs;
-                    if progress < spe {
-                        break;
-                    }
-                    job.step_carry = progress - spe;
-                    job.step_ticks = 0;
-                    job.current_spe = None;
-                    job.steps_done += 1;
-                    job.steps_on_vm += 1;
-                    let metric = job.run.metric_at(job.steps_done);
-                    job.curve.push(job.steps_done, metric);
-                    matrix.observe(&inst, job.hp_index, spe);
-                    // Finish conditions: target reached, or plateau.
-                    if job.steps_done >= job.target_steps {
-                        job.finished = Some(FinishReason::TargetReached);
-                    } else if job.curve.converged() {
-                        job.finished = Some(FinishReason::ConvergedEarly);
-                    }
-                    if let Some(reason) = job.finished {
-                        let size = job.model_size_mb;
-                        let dur = store.put(&job.ckpt_key, size, &inst);
-                        job.overhead += dur;
-                        let record = provider.terminate(t, vm_id);
-                        job.settle_vm_steps(record.was_free());
-                        events.push(TraceEvent::Finished {
-                            job: job.hp_index,
-                            reason,
-                            steps: job.steps_done,
-                            at: t,
-                        });
-                        break;
-                    }
-                }
-                // Maintain the cached step-completion candidate (only the
-                // event drive reads it; the reference drive stays cost-
-                // faithful to the original loop and skips the upkeep).
-                if short_circuit && job.finished.is_none() {
-                    if let Some(spe) = job.current_spe {
-                        job.step_complete_tick = self.step_completion_tick(job, spe, t);
-                    }
-                }
-            }
-
-            // (3) One-hour proactive recycle (Algorithm 1 line 31).
-            for job in jobs.iter_mut() {
-                if !job.is_active() || job.halted {
-                    continue;
-                }
-                let Some(vm_id) = job.assigned else { continue };
-                // Event drive: `t < recycle_tick ⟺ the strict one-hour
-                // comparison below is false`, so skip without the lookup.
-                if short_circuit && t < job.recycle_tick {
-                    continue;
-                }
-                let vm = provider.vm(vm_id).expect("assigned vm exists");
-                if !vm.is_alive() {
-                    continue;
-                }
-                if t.since(vm.launched_at()) > self.config.reschedule_after {
-                    let inst = vm.instance().clone();
-                    let size = job.model_size_mb;
-                    let dur = store.put(&job.ckpt_key, size, &inst);
-                    job.overhead += dur;
-                    let record = provider.terminate(t, vm_id);
-                    job.settle_vm_steps(record.was_free());
-                    events.push(TraceEvent::Recycled { job: job.hp_index, at: t });
-                }
-            }
-
-            // (4) (Re)deploy waiting jobs (Algorithm 1 lines 38–44).
-            for job in jobs.iter_mut() {
-                if !job.is_waiting() {
-                    continue;
-                }
-                let choice = provisioner.get_best_inst(&self.pool, t, job.hp_index, matrix, rng);
-                let Ok(vm_id) = provider.request_spot(t, &choice.instance, choice.max_price)
-                else {
-                    continue; // price moved above the offer; retry next poll
-                };
-                let vm = provider.vm(vm_id).expect("vm exists");
-                let inst = vm.instance().clone();
-                let mut restore = SimDur::from_secs(self.workload.restore_warmup_secs());
-                if let Some((_, dur)) = store.get(&job.ckpt_key, &inst) {
-                    restore += dur;
-                }
-                job.exec_ready_at = vm.launched_at() + restore;
-                job.ready_tick = self.tick_at_or_after(job.exec_ready_at);
-                job.recycle_tick =
-                    self.tick_after(vm.launched_at() + self.config.reschedule_after);
-                job.overhead += restore;
-                job.assigned = Some(vm_id);
-                job.deployments += 1;
-                events.push(TraceEvent::Deployed {
-                    job: job.hp_index,
-                    instance: choice.instance.clone(),
-                    max_price: choice.max_price,
-                    at: t,
-                });
-            }
-        }
+        let cfg = self.engine.config();
+        let mut policy = SpotTuneTheta::new(self.estimator, cfg.delta_range, cfg.theta);
+        self.engine.run_traced(&mut policy)
     }
 }
-
-fn job_on_vm(jobs: &mut [Job], vm: VmId) -> Option<&mut Job> {
-    jobs.iter_mut().find(|j| j.assigned == Some(vm))
-}
-
-fn sum_dur(durs: impl Iterator<Item = SimDur>) -> SimDur {
-    durs.fold(SimDur::ZERO, |acc, d| acc + d)
-}
-
-/// Seed salt for the orchestrator's RNG stream.
-const ORCH_SALT: u64 = 0x0c_5a17;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::provision::OracleEstimator;
+    use spottune_market::SimDur;
     use spottune_mlsim::Algorithm;
 
     fn small_workload() -> Workload {
@@ -737,5 +139,14 @@ mod tests {
         let low_steps = low.free_steps + low.charged_steps;
         let high_steps = high.free_steps + high.charged_steps;
         assert!(low_steps < high_steps, "steps {low_steps} vs {high_steps}");
+    }
+
+    #[test]
+    fn orchestrator_label_comes_from_the_policy() {
+        let pool = pool();
+        let oracle = OracleEstimator::new(pool.clone(), 0.9);
+        let cfg = SpotTuneConfig::new(0.7, 1).with_seed(3);
+        let report = Orchestrator::new(cfg, small_workload(), pool, &oracle).run();
+        assert_eq!(report.approach, "SpotTune(θ=0.7)");
     }
 }

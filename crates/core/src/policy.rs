@@ -1,0 +1,389 @@
+//! The pluggable provisioning-policy layer: one [`Engine`], many
+//! strategies.
+//!
+//! SpotTune's contribution is a *policy* — fine-grained θ-split
+//! exploration/exploitation over transient instances — and this module
+//! separates that policy from the machinery it runs on. The
+//! [`Engine`](crate::engine::Engine) owns everything mechanical (time
+//! advance, cloud events, billing, checkpoint accounting, EarlyCurve
+//! selection) and consults a [`ProvisionPolicy`] at its decision points;
+//! each strategy from the paper or from related work is a small impl of
+//! that trait instead of a parallel code path.
+//!
+//! # Writing a new policy
+//!
+//! A policy answers four questions: *where should this configuration run*
+//! ([`ProvisionPolicy::choose_instance`]), *what do I learn from a
+//! revocation* ([`ProvisionPolicy::on_revocation`]), *what do I learn from
+//! training progress* ([`ProvisionPolicy::on_progress`]), and *is a
+//! proactive checkpoint-and-recycle worth it*
+//! ([`ProvisionPolicy::should_checkpoint`]). Everything else — notices,
+//! refunds, restores, prediction, phase 2 — is engine business. A minimal
+//! "always the cheapest spot instance, bid double the going rate" policy:
+//!
+//! ```
+//! use spottune_core::engine::Engine;
+//! use spottune_core::policy::{DeployCtx, Placement, ProvisionPolicy};
+//! use spottune_core::provision::InstChoice;
+//! use spottune_core::SpotTuneConfig;
+//! use rand::rngs::StdRng;
+//!
+//! #[derive(Debug)]
+//! struct CheapestDoubleBid;
+//!
+//! impl ProvisionPolicy for CheapestDoubleBid {
+//!     fn name(&self) -> String {
+//!         "CheapestDoubleBid".to_string()
+//!     }
+//!
+//!     fn choose_instance(&mut self, ctx: &DeployCtx<'_>, _rng: &mut StdRng) -> Placement {
+//!         let market = ctx
+//!             .pool
+//!             .iter()
+//!             .min_by(|a, b| {
+//!                 a.price_at(ctx.t).partial_cmp(&b.price_at(ctx.t)).expect("finite")
+//!             })
+//!             .expect("non-empty pool");
+//!         Placement::Spot(InstChoice {
+//!             instance: market.instance().name().to_string(),
+//!             max_price: 2.0 * market.price_at(ctx.t),
+//!             p_revoke: 0.0,
+//!             avg_price: market.avg_price_last_hour(ctx.t),
+//!             expected_step_cost: 0.0,
+//!         })
+//!     }
+//! }
+//!
+//! # use spottune_market::{MarketPool, SimDur};
+//! # use spottune_mlsim::{Algorithm, Workload};
+//! let pool = MarketPool::standard(SimDur::from_days(1), 42);
+//! let base = Workload::benchmark(Algorithm::LoR);
+//! let workload = Workload::custom(Algorithm::LoR, 20, base.hp_grid()[..2].to_vec());
+//! let engine = Engine::new(SpotTuneConfig::new(1.0, 1), workload, pool);
+//! let report = engine.run(&mut CheapestDoubleBid);
+//! assert_eq!(report.approach, "CheapestDoubleBid");
+//! ```
+
+use crate::baseline::SingleSpotKind;
+use crate::perfmatrix::PerfMatrix;
+use crate::provision::{InstChoice, Provisioner};
+use rand::rngs::StdRng;
+use spottune_market::{MarketPool, RevocationEstimator, SimDur, SimTime};
+use std::collections::HashMap;
+
+/// How the engine drives a policy's jobs through time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyMode {
+    /// Transient capacity: the full Algorithm-1 event loop — revocation
+    /// notices, checkpoint/restore, proactive recycling, θ-split phases.
+    Transient,
+    /// Dedicated capacity: one never-revoked VM per configuration, trained
+    /// start-to-finish (the baselines' execution model — no notices, no
+    /// checkpoints, no early shutdown).
+    Dedicated,
+}
+
+/// A policy's answer to "where should this configuration run next".
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// Request a spot VM with the chosen instance type and maximum price.
+    Spot(InstChoice),
+    /// Request an on-demand VM: fixed price, no revocations, no refunds.
+    OnDemand {
+        /// Catalog instance-type name.
+        instance: String,
+    },
+}
+
+/// Everything the engine exposes at a deployment decision point.
+/// Event history (revocations, progress) reaches policies through the
+/// [`ProvisionPolicy::on_revocation`]/[`ProvisionPolicy::on_progress`]
+/// hooks rather than being replayed here.
+#[derive(Debug)]
+pub struct DeployCtx<'a> {
+    /// Current simulation time.
+    pub t: SimTime,
+    /// Grid index of the configuration being placed.
+    pub hp_index: usize,
+    /// The market pool (price traces + instance catalog).
+    pub pool: &'a MarketPool,
+    /// The online performance profile `M` (paper §III.A).
+    pub matrix: &'a PerfMatrix,
+}
+
+/// A provisioning strategy, consulted by the [`Engine`](crate::engine::Engine)
+/// at its decision points. See the [module docs](self) for a walkthrough of
+/// writing one.
+pub trait ProvisionPolicy: std::fmt::Debug {
+    /// Human-readable label, used as [`HptReport::approach`]
+    /// (e.g. `"SpotTune(θ=0.7)"`).
+    ///
+    /// [`HptReport::approach`]: crate::report::HptReport::approach
+    fn name(&self) -> String;
+
+    /// Which engine drive this policy runs on (transient by default).
+    fn mode(&self) -> PolicyMode {
+        PolicyMode::Transient
+    }
+
+    /// Picks the placement for a waiting configuration. Called whenever a
+    /// job needs a VM: first deployment, after a revocation, after a
+    /// recycle. `rng` is the campaign's deterministic decision stream;
+    /// policies may draw from it (SpotTune's random bid delta) or ignore it
+    /// (deterministic bid ladders) — either way campaigns stay reproducible.
+    fn choose_instance(&mut self, ctx: &DeployCtx<'_>, rng: &mut StdRng) -> Placement;
+
+    /// Notification that the provider reclaimed the VM `hp_index` was
+    /// running on (after the engine settled its steps). Policies use this
+    /// to adapt — e.g. [`HybridSpotOnDemand`] counts strikes before falling
+    /// back to on-demand capacity.
+    fn on_revocation(&mut self, _hp_index: usize, _at: SimTime) {}
+
+    /// Notification that `hp_index` completed a training step (after the
+    /// engine recorded the metric and profiled the instance).
+    fn on_progress(&mut self, _hp_index: usize, _steps_done: u64, _at: SimTime) {}
+
+    /// Whether to take the proactive checkpoint-and-recycle once a spot
+    /// VM's age exceeds the one-hour refund boundary (Algorithm 1 line 31).
+    /// The engine asks only for spot VMs past the threshold; returning
+    /// `false` keeps the VM running. Defaults to `true` — the paper's
+    /// refund-harvesting behaviour.
+    fn should_checkpoint(&self, _hp_index: usize, _vm_age: SimDur) -> bool {
+        true
+    }
+}
+
+/// The paper's policy: fine-grained cost-aware provisioning (Eq. 1–2) with
+/// a random bid delta per market, run on the transient drive with the
+/// θ-split exploration/exploitation phases.
+///
+/// This is the exact decision logic the pre-policy-layer `Orchestrator`
+/// hard-wired; [`Orchestrator`](crate::orchestrator::Orchestrator) now
+/// wraps an engine around this policy, bit-identically.
+#[derive(Debug)]
+pub struct SpotTuneTheta<'a> {
+    estimator: &'a dyn RevocationEstimator,
+    delta_range: (f64, f64),
+    theta: f64,
+}
+
+impl<'a> SpotTuneTheta<'a> {
+    /// Creates the paper policy. `theta` only labels the report — the
+    /// engine owns the phase split via its config.
+    pub fn new(
+        estimator: &'a dyn RevocationEstimator,
+        delta_range: (f64, f64),
+        theta: f64,
+    ) -> Self {
+        SpotTuneTheta { estimator, delta_range, theta }
+    }
+}
+
+impl ProvisionPolicy for SpotTuneTheta<'_> {
+    fn name(&self) -> String {
+        format!("SpotTune(θ={})", self.theta)
+    }
+
+    fn choose_instance(&mut self, ctx: &DeployCtx<'_>, rng: &mut StdRng) -> Placement {
+        let provisioner = Provisioner::new(self.estimator, self.delta_range);
+        Placement::Spot(provisioner.get_best_inst(ctx.pool, ctx.t, ctx.hp_index, ctx.matrix, rng))
+    }
+}
+
+/// The paper's Single-Spot Tune baseline as a policy: every configuration
+/// on one fixed instance type, bid far above the trace cap so it is never
+/// revoked, run on the dedicated drive (θ = 1, no checkpoints).
+#[derive(Debug, Clone, Copy)]
+pub struct SingleSpot {
+    kind: SingleSpotKind,
+}
+
+impl SingleSpot {
+    /// Creates the baseline policy for one instance kind.
+    pub fn new(kind: SingleSpotKind) -> Self {
+        SingleSpot { kind }
+    }
+}
+
+impl ProvisionPolicy for SingleSpot {
+    fn name(&self) -> String {
+        self.kind.label().to_string()
+    }
+
+    fn mode(&self) -> PolicyMode {
+        PolicyMode::Dedicated
+    }
+
+    fn choose_instance(&mut self, ctx: &DeployCtx<'_>, _rng: &mut StdRng) -> Placement {
+        let inst_name = self.kind.instance_name();
+        let market = ctx
+            .pool
+            .market(inst_name)
+            .unwrap_or_else(|| panic!("pool lacks baseline instance {inst_name}"));
+        // The "never revoked" assumption: offer far above the trace cap.
+        let never = market.instance().on_demand_price() * 100.0;
+        Placement::Spot(InstChoice {
+            instance: inst_name.to_string(),
+            max_price: never,
+            p_revoke: 0.0,
+            avg_price: market.avg_price_last_hour(ctx.t),
+            expected_step_cost: 0.0,
+        })
+    }
+}
+
+/// The on-demand baseline as a policy: every configuration on one fixed
+/// instance type at its published on-demand price — reliable, refund-free,
+/// and usually the cost ceiling SpotTune is measured against.
+#[derive(Debug, Clone, Copy)]
+pub struct OnDemand {
+    kind: SingleSpotKind,
+}
+
+impl OnDemand {
+    /// Creates the on-demand baseline for one instance kind.
+    pub fn new(kind: SingleSpotKind) -> Self {
+        OnDemand { kind }
+    }
+}
+
+impl ProvisionPolicy for OnDemand {
+    fn name(&self) -> String {
+        self.kind.on_demand_label().to_string()
+    }
+
+    fn mode(&self) -> PolicyMode {
+        PolicyMode::Dedicated
+    }
+
+    fn choose_instance(&mut self, _ctx: &DeployCtx<'_>, _rng: &mut StdRng) -> Placement {
+        Placement::OnDemand { instance: self.kind.instance_name().to_string() }
+    }
+}
+
+/// DeepVM-style hybrid: explore on spot capacity exactly like
+/// [`SpotTuneTheta`], but once a configuration has been revoked
+/// `max_revocations` times, stop gambling and pin it to the on-demand
+/// instance with the lowest expected per-step cost under the current
+/// profile `M`. Bounds worst-case churn on hostile markets while keeping
+/// the refund upside everywhere else.
+#[derive(Debug)]
+pub struct HybridSpotOnDemand<'a> {
+    estimator: &'a dyn RevocationEstimator,
+    delta_range: (f64, f64),
+    theta: f64,
+    max_revocations: u32,
+    strikes: HashMap<usize, u32>,
+}
+
+impl<'a> HybridSpotOnDemand<'a> {
+    /// Creates the hybrid policy; configurations fall back to on-demand
+    /// after `max_revocations` provider revocations.
+    pub fn new(
+        estimator: &'a dyn RevocationEstimator,
+        delta_range: (f64, f64),
+        theta: f64,
+        max_revocations: u32,
+    ) -> Self {
+        assert!(max_revocations >= 1, "hybrid fallback needs at least one strike");
+        HybridSpotOnDemand {
+            estimator,
+            delta_range,
+            theta,
+            max_revocations,
+            strikes: HashMap::new(),
+        }
+    }
+}
+
+impl ProvisionPolicy for HybridSpotOnDemand<'_> {
+    fn name(&self) -> String {
+        format!("Hybrid(θ={}, k={})", self.theta, self.max_revocations)
+    }
+
+    fn choose_instance(&mut self, ctx: &DeployCtx<'_>, rng: &mut StdRng) -> Placement {
+        if self.strikes.get(&ctx.hp_index).copied().unwrap_or(0) >= self.max_revocations {
+            // Struck out: cheapest expected $/step at fixed on-demand rates.
+            let market = ctx
+                .pool
+                .iter()
+                .min_by(|a, b| {
+                    let cost = |m: &spottune_market::SpotMarket| {
+                        ctx.matrix.estimate(m.instance(), ctx.hp_index)
+                            * m.instance().on_demand_price()
+                    };
+                    cost(a).partial_cmp(&cost(b)).expect("finite step costs")
+                })
+                .expect("non-empty pool");
+            return Placement::OnDemand { instance: market.instance().name().to_string() };
+        }
+        let provisioner = Provisioner::new(self.estimator, self.delta_range);
+        Placement::Spot(provisioner.get_best_inst(ctx.pool, ctx.t, ctx.hp_index, ctx.matrix, rng))
+    }
+
+    fn on_revocation(&mut self, hp_index: usize, _at: SimTime) {
+        *self.strikes.entry(hp_index).or_insert(0) += 1;
+    }
+
+    fn should_checkpoint(&self, _hp_index: usize, _vm_age: SimDur) -> bool {
+        // Spot VMs keep harvesting refunds; the engine never asks for
+        // on-demand VMs (nothing to refund there).
+        true
+    }
+}
+
+/// Voorsluys-style bid-aware provisioning: a deterministic ladder of bid
+/// margins per market ([`Provisioner::best_with_deltas`]) instead of
+/// SpotTune's single random delta, trading refund-chasing low bids against
+/// stability-chasing high ones by expected effective step cost.
+#[derive(Debug)]
+pub struct BidAware<'a> {
+    estimator: &'a dyn RevocationEstimator,
+    /// Carried into [`Provisioner::new`] only to satisfy its validation —
+    /// the deterministic ladder never draws a random delta from it.
+    delta_range: (f64, f64),
+    theta: f64,
+    delta_fracs: Vec<f64>,
+}
+
+impl<'a> BidAware<'a> {
+    /// Creates the bid-aware policy with the default margin ladder
+    /// (0.1 %, 5 % and 25 % of each instance's on-demand price).
+    pub fn new(
+        estimator: &'a dyn RevocationEstimator,
+        delta_range: (f64, f64),
+        theta: f64,
+    ) -> Self {
+        BidAware::with_ladder(estimator, delta_range, theta, vec![0.001, 0.05, 0.25])
+    }
+
+    /// Creates the bid-aware policy with an explicit margin ladder
+    /// (fractions of the on-demand price).
+    pub fn with_ladder(
+        estimator: &'a dyn RevocationEstimator,
+        delta_range: (f64, f64),
+        theta: f64,
+        delta_fracs: Vec<f64>,
+    ) -> Self {
+        assert!(!delta_fracs.is_empty(), "bid ladder must not be empty");
+        BidAware { estimator, delta_range, theta, delta_fracs }
+    }
+}
+
+impl ProvisionPolicy for BidAware<'_> {
+    fn name(&self) -> String {
+        format!("BidAware(θ={})", self.theta)
+    }
+
+    fn choose_instance(&mut self, ctx: &DeployCtx<'_>, _rng: &mut StdRng) -> Placement {
+        // The ladder scan is deterministic; the decision stream is untouched.
+        let provisioner = Provisioner::new(self.estimator, self.delta_range);
+        Placement::Spot(provisioner.best_with_deltas(
+            ctx.pool,
+            ctx.t,
+            ctx.hp_index,
+            ctx.matrix,
+            &self.delta_fracs,
+        ))
+    }
+}

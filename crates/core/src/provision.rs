@@ -91,11 +91,70 @@ impl<'a> Provisioner<'a> {
         }
     }
 
+    /// Voorsluys-style bid-aware selection: instead of one random delta per
+    /// market (Algorithm 1 line 4), scan a deterministic ladder of bid
+    /// margins — fractions of each instance's on-demand price — and return
+    /// the (market, bid) pair minimizing the expected *effective* step cost
+    ///
+    /// `E[sCost] = M[inst][hp] · (1 − p) · price + p · T_rework · price`
+    ///
+    /// — Eq. 2's refund term (steps on a VM revoked within its first hour
+    /// are free) plus an expected-rework penalty of [`REWORK_SECS`] per
+    /// revocation (the checkpoint window plus restore). Low bids chase
+    /// refunds, high bids chase stability; the ladder lets every market
+    /// pick its own side of that trade, and the whole scan consumes no
+    /// randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool or the ladder is empty.
+    pub fn best_with_deltas(
+        &self,
+        pool: &MarketPool,
+        t: SimTime,
+        hp_index: usize,
+        m: &PerfMatrix,
+        delta_fracs: &[f64],
+    ) -> InstChoice {
+        assert!(!delta_fracs.is_empty(), "bid ladder must not be empty");
+        let mut best: Option<(usize, f64, f64, f64, f64)> = None;
+        for (i, market) in pool.iter().enumerate() {
+            let inst = market.instance();
+            let avg_price = market.avg_price_last_hour(t);
+            let spe = m.estimate(inst, hp_index);
+            for &frac in delta_fracs {
+                let max_price = market.price_at(t) + frac * inst.on_demand_price();
+                let p = self
+                    .estimator
+                    .revocation_probability(inst.name(), t, max_price)
+                    .clamp(0.0, 1.0);
+                let expected_step_cost =
+                    spe * (1.0 - p) * avg_price + p * REWORK_SECS * avg_price;
+                if best.is_none_or(|(_, _, _, _, c)| expected_step_cost < c) {
+                    best = Some((i, max_price, p, avg_price, expected_step_cost));
+                }
+            }
+        }
+        let (i, max_price, p_revoke, avg_price, expected_step_cost) =
+            best.expect("market pool must not be empty");
+        InstChoice {
+            instance: pool.markets()[i].instance().name().to_string(),
+            max_price,
+            p_revoke,
+            avg_price,
+            expected_step_cost,
+        }
+    }
+
     /// The wrapped estimator's name (for reports).
     pub fn estimator_name(&self) -> &str {
         self.estimator.name()
     }
 }
+
+/// Expected rework per revocation charged by [`Provisioner::best_with_deltas`]:
+/// the two-minute notice window burned on checkpointing plus a restore.
+pub const REWORK_SECS: f64 = 150.0;
 
 /// Ground-truth estimator that inspects the price traces directly.
 ///
@@ -237,6 +296,82 @@ mod tests {
         assert!((m.estimate(&cheap, 0) - 40.0).abs() < 1e-9);
         // A different configuration still uses the uninformed prior.
         assert!((m.estimate(&cheap, 1) - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bid_ladder_is_deterministic_and_picks_refunds_when_cheap() {
+        // One market that always revokes low bids within the hour: the
+        // ladder must prefer the low bid (refunded steps are free) over the
+        // high bid that pays full freight, and consume no randomness.
+        let mut prices = vec![0.1; 240];
+        for p in prices.iter_mut().skip(30) {
+            *p = 0.35; // every sub-0.35 bid placed at t<30min is revoked
+        }
+        let market = SpotMarket::new(
+            InstanceType::new("flappy", 2, 8.0, 1.0),
+            PriceTrace::from_minutes(prices),
+        );
+        let pool = MarketPool::new(vec![market]);
+        let oracle = crate::provision::OracleEstimator::new(pool.clone(), 0.9);
+        let prov = Provisioner::new(&oracle, (0.00001, 0.2));
+        let m = PerfMatrix::new(1200.0, 0.3);
+        let choice = prov.best_with_deltas(
+            &pool,
+            SimTime::from_mins(10),
+            0,
+            &m,
+            &[0.001, 0.5],
+        );
+        // spe = 600 s: low bid scores 600·0.1·avg + 0.9·150·avg = 195·avg,
+        // the safe bid 600·0.9·avg + 0.1·150·avg = 555·avg → low bid wins.
+        assert!((choice.max_price - (0.1 + 0.001)).abs() < 1e-12, "{}", choice.max_price);
+        assert_eq!(choice.p_revoke, 0.9);
+        // Determinism: the same call yields the same choice.
+        assert_eq!(
+            choice,
+            prov.best_with_deltas(&pool, SimTime::from_mins(10), 0, &m, &[0.001, 0.5])
+        );
+    }
+
+    #[test]
+    fn bid_ladder_trades_refunds_against_rework_by_step_cost() {
+        // score = spe·(1−p)·price + p·150·price. A revoked VM's steps are
+        // free, so the refund upside scales with spe while the rework
+        // penalty is fixed: cheap steps buy stability (high bid), expensive
+        // steps chase refunds (low bid). Crossover at spe = 150 s here.
+        let mut prices = vec![0.1; 240];
+        for p in prices.iter_mut().skip(30) {
+            *p = 0.35;
+        }
+        let market = SpotMarket::new(
+            InstanceType::new("flappy", 2, 8.0, 1.0),
+            PriceTrace::from_minutes(prices),
+        );
+        let pool = MarketPool::new(vec![market]);
+        #[derive(Debug)]
+        struct BidSensitive;
+        impl RevocationEstimator for BidSensitive {
+            fn revocation_probability(&self, _: &str, _: SimTime, max_price: f64) -> f64 {
+                if max_price < 0.35 {
+                    0.9
+                } else {
+                    0.1
+                }
+            }
+            fn name(&self) -> &str {
+                "bid-sensitive"
+            }
+        }
+        let est = BidSensitive;
+        let prov = Provisioner::new(&est, (0.00001, 0.2));
+        let mut m = PerfMatrix::new(1200.0, 1.0);
+        let inst = pool.market("flappy").unwrap().instance().clone();
+        m.observe(&inst, 0, 20.0); // cheap steps → stability wins
+        let cheap = prov.best_with_deltas(&pool, SimTime::from_mins(10), 0, &m, &[0.001, 0.5]);
+        assert!(cheap.max_price > 0.35, "cheap steps buy stability: {}", cheap.max_price);
+        m.observe(&inst, 1, 5000.0); // expensive steps → refund chasing wins
+        let dear = prov.best_with_deltas(&pool, SimTime::from_mins(10), 1, &m, &[0.001, 0.5]);
+        assert!(dear.max_price < 0.35, "expensive steps chase refunds: {}", dear.max_price);
     }
 
     #[test]

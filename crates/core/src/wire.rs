@@ -1,0 +1,839 @@
+//! Wire format for the campaign server: hand-rolled JSON for
+//! [`CampaignRequest`]/[`CampaignResponse`].
+//!
+//! The workspace's `serde` is an offline no-op stand-in (no registry
+//! access), so the request/response types carry their derives as
+//! documentation only. This module provides the actual transport encoding
+//! the server's persistence/IPC follow-on needs: a small JSON value model,
+//! a recursive-descent parser, and explicit encoders/decoders for the two
+//! wire types.
+//!
+//! Design rules:
+//!
+//! * **Policy by name** — approaches serialize as
+//!   `{"policy": "<registry name>", ...}` using the same identifiers as
+//!   [`Approach::registered_policies`], so wire clients, the
+//!   `run_campaigns --policy` flag and the CI policy matrix all speak one
+//!   vocabulary.
+//! * **Forward compatibility** — decoders read the fields they know and
+//!   *tolerate unknown fields*, so a newer client can attach metadata
+//!   without breaking an older server.
+//! * **Exactness** — `u64` fields round-trip as JSON integers (never
+//!   through `f64`), and finite `f64` fields print their shortest
+//!   round-trip representation, so `decode(encode(x)) == x` bit-for-bit.
+//!   JSON has no NaN/∞: non-finite floats (never produced by valid
+//!   campaigns) encode as `null`, keeping the output parseable and making
+//!   the decode fail loudly on the offending field.
+
+use crate::baseline::SingleSpotKind;
+use crate::campaign::{Approach, CampaignRequest, CampaignResponse, DEFAULT_HYBRID_STRIKES};
+use crate::report::HptReport;
+use spottune_market::{MarketScenario, SimDur};
+use spottune_mlsim::{Algorithm, HpSetting, HpValue, Workload};
+use std::fmt;
+
+/// Error produced by the wire decoders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(String);
+
+impl WireError {
+    fn new(msg: impl Into<String>) -> Self {
+        WireError(msg.into())
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+type Result<T> = std::result::Result<T, WireError>;
+
+// ---------------------------------------------------------------------------
+// JSON value model
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Integers keep their exact width instead of passing
+/// through `f64` (u64 seeds/ids would lose precision past 2⁵³).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::UInt(_) | Json::Int(_) | Json::Float(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Member lookup; unknown keys in the object are simply never asked for,
+    /// which is what makes the decoders forward-compatible.
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn require<'a>(&'a self, key: &str) -> Result<&'a Json> {
+        self.get(key)
+            .ok_or_else(|| WireError::new(format!("missing field {key:?}")))
+    }
+
+    fn as_u64(&self) -> Result<u64> {
+        match *self {
+            Json::UInt(v) => Ok(v),
+            Json::Int(v) if v >= 0 => Ok(v as u64),
+            _ => Err(WireError::new(format!("expected unsigned integer, got {}", self.type_name()))),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64> {
+        match *self {
+            Json::Float(v) => Ok(v),
+            Json::UInt(v) => Ok(v as f64),
+            Json::Int(v) => Ok(v as f64),
+            _ => Err(WireError::new(format!("expected number, got {}", self.type_name()))),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(WireError::new(format!("expected string, got {}", self.type_name()))),
+        }
+    }
+
+    fn as_arr(&self) -> Result<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err(WireError::new(format!("expected array, got {}", self.type_name()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json(out: &mut String, v: &Json) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::UInt(n) => out.push_str(&n.to_string()),
+        Json::Int(n) => out.push_str(&n.to_string()),
+        // {:?} prints the shortest representation that round-trips. JSON
+        // has no NaN/inf; encode them as null so the output stays valid
+        // JSON and decoders fail loudly ("expected number, got null")
+        // instead of choking on malformed text.
+        Json::Float(x) if !x.is_finite() => out.push_str("null"),
+        Json::Float(x) => out.push_str(&format!("{x:?}")),
+        Json::Str(s) => write_escaped(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_json(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn to_string(v: &Json) -> String {
+    let mut out = String::new();
+    write_json(&mut out, v);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> WireError {
+        WireError::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word}")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ascii");
+        if float {
+            // `"1e999".parse::<f64>()` yields Ok(inf); reject it here so
+            // the no-non-finite contract holds on the decode side too.
+            match text.parse::<f64>() {
+                Ok(x) if x.is_finite() => Ok(Json::Float(x)),
+                Ok(_) => Err(self.err("number overflows f64")),
+                Err(_) => Err(self.err("malformed number")),
+            }
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.err("malformed integer"))
+        } else {
+            text.parse::<u64>()
+                .map(Json::UInt)
+                .map_err(|_| self.err("malformed integer"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&code) {
+                                // RFC 8259 surrogate pair: a high surrogate
+                                // must be followed by an escaped low one.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00)
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full sequence.
+                    let len = utf8_len(b);
+                    let end = self.pos - 1 + len;
+                    let chunk = self
+                        .bytes
+                        .get(self.pos - 1..end)
+                        .ok_or_else(|| self.err("truncated utf-8"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| self.err("malformed utf-8"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("non-ascii \\u escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.err("malformed \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_array(&mut self) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse(text: &str) -> Result<Json> {
+    let mut p = Parser::new(text);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Domain encoders/decoders
+// ---------------------------------------------------------------------------
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn kind_name(kind: SingleSpotKind) -> &'static str {
+    match kind {
+        SingleSpotKind::Cheapest => "cheapest",
+        SingleSpotKind::Fastest => "fastest",
+    }
+}
+
+fn kind_from_name(name: &str) -> Result<SingleSpotKind> {
+    match name {
+        "cheapest" => Ok(SingleSpotKind::Cheapest),
+        "fastest" => Ok(SingleSpotKind::Fastest),
+        other => Err(WireError::new(format!("unknown instance kind {other:?}"))),
+    }
+}
+
+fn approach_to_json(a: &Approach) -> Json {
+    let mut members = vec![("policy", Json::Str(a.policy_name().to_string()))];
+    match *a {
+        Approach::SpotTune { theta } => members.push(("theta", Json::Float(theta))),
+        Approach::SingleSpot(_) => {}
+        Approach::OnDemand(kind) => {
+            members.push(("kind", Json::Str(kind_name(kind).to_string())));
+        }
+        Approach::Hybrid { theta, max_revocations } => {
+            members.push(("theta", Json::Float(theta)));
+            members.push(("max_revocations", Json::UInt(u64::from(max_revocations))));
+        }
+        Approach::BidAware { theta } => members.push(("theta", Json::Float(theta))),
+    }
+    obj(members)
+}
+
+fn approach_from_json(v: &Json) -> Result<Approach> {
+    let policy = v.require("policy")?.as_str()?;
+    let theta = || -> Result<f64> { v.require("theta")?.as_f64() };
+    match policy {
+        "spottune" => Ok(Approach::SpotTune { theta: theta()? }),
+        "single-spot-cheapest" => Ok(Approach::SingleSpot(SingleSpotKind::Cheapest)),
+        "single-spot-fastest" => Ok(Approach::SingleSpot(SingleSpotKind::Fastest)),
+        "on-demand" => {
+            let kind = match v.get("kind") {
+                Some(k) => kind_from_name(k.as_str()?)?,
+                None => SingleSpotKind::Cheapest,
+            };
+            Ok(Approach::OnDemand(kind))
+        }
+        "hybrid" => {
+            let max_revocations = match v.get("max_revocations") {
+                Some(n) => u32::try_from(n.as_u64()?)
+                    .map_err(|_| WireError::new("max_revocations out of range"))?,
+                None => DEFAULT_HYBRID_STRIKES,
+            };
+            Ok(Approach::Hybrid { theta: theta()?, max_revocations })
+        }
+        "bid-aware" => Ok(Approach::BidAware { theta: theta()? }),
+        other => Err(WireError::new(format!(
+            "unknown policy {other:?} (registered: {})",
+            Approach::registered_policies().join(", ")
+        ))),
+    }
+}
+
+fn hp_value_to_json(v: &HpValue) -> Json {
+    match v {
+        HpValue::Int(i) => obj(vec![("int", Json::Int(*i))]),
+        HpValue::Float(f) => obj(vec![("float", Json::Float(*f))]),
+        HpValue::Text(s) => obj(vec![("text", Json::Str(s.clone()))]),
+    }
+}
+
+fn hp_value_from_json(v: &Json) -> Result<HpValue> {
+    if let Some(i) = v.get("int") {
+        let raw = match *i {
+            Json::Int(x) => x,
+            Json::UInt(x) => i64::try_from(x).map_err(|_| WireError::new("int out of range"))?,
+            _ => return Err(WireError::new("hp int must be an integer")),
+        };
+        return Ok(HpValue::Int(raw));
+    }
+    if let Some(f) = v.get("float") {
+        return Ok(HpValue::Float(f.as_f64()?));
+    }
+    if let Some(s) = v.get("text") {
+        return Ok(HpValue::Text(s.as_str()?.to_string()));
+    }
+    Err(WireError::new("hp value needs one of int/float/text"))
+}
+
+fn hp_setting_to_json(hp: &HpSetting) -> Json {
+    Json::Arr(
+        hp.entries()
+            .iter()
+            .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), hp_value_to_json(v)]))
+            .collect(),
+    )
+}
+
+fn hp_setting_from_json(v: &Json) -> Result<HpSetting> {
+    let mut hp = HpSetting::new();
+    for entry in v.as_arr()? {
+        let pair = entry.as_arr()?;
+        if pair.len() != 2 {
+            return Err(WireError::new("hp entry must be a [key, value] pair"));
+        }
+        hp = hp.with(pair[0].as_str()?, hp_value_from_json(&pair[1])?);
+    }
+    Ok(hp)
+}
+
+fn workload_to_json(w: &Workload) -> Json {
+    obj(vec![
+        ("algorithm", Json::Str(w.algorithm().name().to_string())),
+        ("max_trial_steps", Json::UInt(w.max_trial_steps())),
+        ("grid", Json::Arr(w.hp_grid().iter().map(hp_setting_to_json).collect())),
+    ])
+}
+
+fn workload_from_json(v: &Json) -> Result<Workload> {
+    let name = v.require("algorithm")?.as_str()?;
+    let algorithm = Algorithm::all()
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| WireError::new(format!("unknown algorithm {name:?}")))?;
+    let max_trial_steps = v.require("max_trial_steps")?.as_u64()?;
+    let grid = v
+        .require("grid")?
+        .as_arr()?
+        .iter()
+        .map(hp_setting_from_json)
+        .collect::<Result<Vec<_>>>()?;
+    if grid.is_empty() {
+        return Err(WireError::new("workload grid must not be empty"));
+    }
+    Ok(Workload::custom(algorithm, max_trial_steps, grid))
+}
+
+fn scenario_to_json(s: &MarketScenario) -> Json {
+    obj(vec![("trace_mins", Json::UInt(s.trace_mins)), ("seed", Json::UInt(s.seed))])
+}
+
+fn scenario_from_json(v: &Json) -> Result<MarketScenario> {
+    Ok(MarketScenario {
+        trace_mins: v.require("trace_mins")?.as_u64()?,
+        seed: v.require("seed")?.as_u64()?,
+    })
+}
+
+fn f64_arr(xs: &[f64]) -> Json {
+    Json::Arr(xs.iter().map(|&x| Json::Float(x)).collect())
+}
+
+fn report_to_json(r: &HptReport) -> Json {
+    obj(vec![
+        ("approach", Json::Str(r.approach.clone())),
+        ("workload", Json::Str(r.workload.clone())),
+        ("theta", Json::Float(r.theta)),
+        ("cost", Json::Float(r.cost)),
+        ("refunded", Json::Float(r.refunded)),
+        ("gross", Json::Float(r.gross)),
+        ("jct_secs", Json::UInt(r.jct.as_secs())),
+        ("cost_with_continuation", Json::Float(r.cost_with_continuation)),
+        ("jct_with_continuation_secs", Json::UInt(r.jct_with_continuation.as_secs())),
+        ("train_time_secs", Json::UInt(r.train_time.as_secs())),
+        ("overhead_time_secs", Json::UInt(r.overhead_time.as_secs())),
+        ("free_steps", Json::UInt(r.free_steps)),
+        ("charged_steps", Json::UInt(r.charged_steps)),
+        ("predicted_finals", f64_arr(&r.predicted_finals)),
+        ("true_finals", f64_arr(&r.true_finals)),
+        (
+            "selected",
+            Json::Arr(r.selected.iter().map(|&i| Json::UInt(i as u64)).collect()),
+        ),
+        ("deployments", Json::UInt(r.deployments)),
+        ("revocations", Json::UInt(r.revocations)),
+    ])
+}
+
+fn report_from_json(v: &Json) -> Result<HptReport> {
+    let floats = |key: &str| -> Result<Vec<f64>> {
+        v.require(key)?.as_arr()?.iter().map(Json::as_f64).collect()
+    };
+    Ok(HptReport {
+        approach: v.require("approach")?.as_str()?.to_string(),
+        workload: v.require("workload")?.as_str()?.to_string(),
+        theta: v.require("theta")?.as_f64()?,
+        cost: v.require("cost")?.as_f64()?,
+        refunded: v.require("refunded")?.as_f64()?,
+        gross: v.require("gross")?.as_f64()?,
+        jct: SimDur::from_secs(v.require("jct_secs")?.as_u64()?),
+        cost_with_continuation: v.require("cost_with_continuation")?.as_f64()?,
+        jct_with_continuation: SimDur::from_secs(
+            v.require("jct_with_continuation_secs")?.as_u64()?,
+        ),
+        train_time: SimDur::from_secs(v.require("train_time_secs")?.as_u64()?),
+        overhead_time: SimDur::from_secs(v.require("overhead_time_secs")?.as_u64()?),
+        free_steps: v.require("free_steps")?.as_u64()?,
+        charged_steps: v.require("charged_steps")?.as_u64()?,
+        predicted_finals: floats("predicted_finals")?,
+        true_finals: floats("true_finals")?,
+        selected: v
+            .require("selected")?
+            .as_arr()?
+            .iter()
+            .map(|i| i.as_u64().map(|n| n as usize))
+            .collect::<Result<Vec<_>>>()?,
+        deployments: v.require("deployments")?.as_u64()?,
+        revocations: v.require("revocations")?.as_u64()?,
+    })
+}
+
+/// Encodes a [`CampaignRequest`] as one JSON object.
+pub fn encode_request(request: &CampaignRequest) -> String {
+    to_string(&obj(vec![
+        ("id", Json::UInt(request.id)),
+        ("approach", approach_to_json(&request.approach)),
+        ("workload", workload_to_json(&request.workload)),
+        ("scenario", scenario_to_json(&request.scenario)),
+        ("seed", Json::UInt(request.seed)),
+    ]))
+}
+
+/// Decodes a [`CampaignRequest`], tolerating unknown fields at every level.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed JSON, missing required fields, or an
+/// unregistered policy name.
+pub fn decode_request(text: &str) -> Result<CampaignRequest> {
+    let v = parse(text)?;
+    Ok(CampaignRequest {
+        id: v.require("id")?.as_u64()?,
+        approach: approach_from_json(v.require("approach")?)?,
+        workload: workload_from_json(v.require("workload")?)?,
+        scenario: scenario_from_json(v.require("scenario")?)?,
+        seed: v.require("seed")?.as_u64()?,
+    })
+}
+
+/// Encodes a [`CampaignResponse`] as one JSON object.
+pub fn encode_response(response: &CampaignResponse) -> String {
+    to_string(&obj(vec![
+        ("id", Json::UInt(response.id)),
+        ("report", report_to_json(&response.report)),
+    ]))
+}
+
+/// Decodes a [`CampaignResponse`], tolerating unknown fields.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed JSON or missing required fields.
+pub fn decode_response(text: &str) -> Result<CampaignResponse> {
+    let v = parse(text)?;
+    Ok(CampaignResponse {
+        id: v.require("id")?.as_u64()?,
+        report: report_from_json(v.require("report")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spottune_mlsim::Algorithm;
+
+    fn tiny_workload() -> Workload {
+        let base = Workload::benchmark(Algorithm::Svm); // exercises text HPs
+        Workload::custom(Algorithm::Svm, 25, base.hp_grid()[..3].to_vec())
+    }
+
+    fn request(approach: Approach) -> CampaignRequest {
+        CampaignRequest {
+            id: 7,
+            approach,
+            workload: tiny_workload(),
+            scenario: MarketScenario::from_days(2, 13),
+            seed: u64::MAX - 5, // exercises exact u64 round-tripping
+        }
+    }
+
+    #[test]
+    fn request_round_trips_every_registered_policy() {
+        for name in Approach::registered_policies() {
+            let approach = Approach::from_policy_name(name, 0.65).expect("registered");
+            let req = request(approach);
+            let text = encode_request(&req);
+            assert!(text.contains(&format!("\"policy\":\"{name}\"")), "policy name on the wire");
+            let back = decode_request(&text).expect("round trip");
+            assert_eq!(back, req, "{name}: decode(encode(x)) must equal x");
+        }
+    }
+
+    #[test]
+    fn response_round_trips_bit_identically() {
+        let req = request(Approach::Hybrid { theta: 0.7, max_revocations: 5 });
+        let pool = req.scenario.build();
+        let report = req.campaign().run(&pool);
+        let resp = CampaignResponse { id: req.id, report };
+        let back = decode_response(&encode_response(&resp)).expect("round trip");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated() {
+        let req = request(Approach::BidAware { theta: 0.8 });
+        let text = encode_request(&req);
+        // A newer client appends metadata at the top level and inside
+        // nested objects; an older decoder must ignore all of it.
+        let padded = text
+            .replacen('{', "{\"client_version\":\"2.3\",\"priority\":9,", 1)
+            .replacen(
+                "\"policy\"",
+                "\"comment\":\"from the fleet scheduler\",\"policy\"",
+                1,
+            );
+        let back = decode_request(&padded).expect("unknown fields tolerated");
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn unknown_policy_is_rejected_with_a_listing() {
+        let text = encode_request(&request(Approach::SpotTune { theta: 0.7 }))
+            .replace("\"policy\":\"spottune\"", "\"policy\":\"warp-drive\"");
+        let err = decode_request(&text).expect_err("unknown policy");
+        let msg = err.to_string();
+        assert!(msg.contains("warp-drive"), "{msg}");
+        assert!(msg.contains("bid-aware"), "listing of registered policies: {msg}");
+    }
+
+    #[test]
+    fn non_finite_floats_stay_valid_json_and_fail_decode_loudly() {
+        let req = request(Approach::SpotTune { theta: f64::INFINITY });
+        let text = encode_request(&req);
+        assert!(text.contains("\"theta\":null"), "{text}");
+        // The output is still parseable JSON; the decode fails on the
+        // field, not with a parser error.
+        let err = decode_request(&text).expect_err("non-finite theta");
+        assert!(err.to_string().contains("expected number"), "{err}");
+        // Overflowing literals are rejected at parse time instead of
+        // smuggling Infinity past the contract.
+        let overflow = encode_request(&request(Approach::SpotTune { theta: 0.7 }))
+            .replace("\"theta\":0.7", "\"theta\":1e999");
+        let err = decode_request(&overflow).expect_err("overflowing literal");
+        assert!(err.to_string().contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_and_garbage_fail_cleanly() {
+        assert!(decode_request("{}").is_err());
+        assert!(decode_request("not json").is_err());
+        assert!(decode_request("{\"id\":1}  x").is_err());
+        let req = request(Approach::SpotTune { theta: 0.7 });
+        let text = encode_request(&req).replace("\"seed\"", "\"sead\"");
+        let err = decode_request(&text).expect_err("missing seed");
+        assert!(err.to_string().contains("seed"));
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode() {
+        // Standard encoders (e.g. Python's json with ensure_ascii) write
+        // astral-plane characters as RFC 8259 surrogate pairs.
+        let req = request(Approach::SpotTune { theta: 0.7 });
+        let text = encode_request(&req)
+            .replace("\"policy\":\"spottune\"", "\"note\":\"\\ud83d\\ude80\",\"policy\":\"spottune\"");
+        let back = decode_request(&text).expect("surrogate pairs decode");
+        assert_eq!(back, req);
+        // Lone or malformed surrogates fail cleanly instead of corrupting.
+        for bad in ["\"\\ud83d\"", "\"\\ud83dx\"", "\"\\ud83d\\u0041\""] {
+            assert!(super::parse(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn string_escapes_survive() {
+        let mut req = request(Approach::SpotTune { theta: 0.7 });
+        // Workload names come from the algorithm, so exercise escapes via
+        // the report side, which carries free-form labels.
+        let pool = MarketScenario::from_days(1, 3).build();
+        let mut report = req.campaign().run(&pool);
+        report.approach = "weird \"label\"\\with\nescapes\tand π".to_string();
+        req.id = 1;
+        let resp = CampaignResponse { id: 1, report };
+        let back = decode_response(&encode_response(&resp)).expect("round trip");
+        assert_eq!(back, resp);
+    }
+}

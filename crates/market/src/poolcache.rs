@@ -59,6 +59,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to build/compute the entry.
     pub misses: u64,
+    /// Entries dropped to respect a capacity bound (0 for unbounded tiers).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -145,6 +147,7 @@ impl PoolCache {
         CacheStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
+            evictions: 0,
         }
     }
 }
@@ -161,7 +164,7 @@ mod tests {
         let b = cache.get(scenario);
         // Same Arc-backed pool, not a rebuilt equal one.
         assert!(std::ptr::eq(a.markets(), b.markets()));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
         assert_eq!(cache.len(), 1);
     }
 
@@ -186,7 +189,7 @@ mod tests {
 
     #[test]
     fn hit_rate_reports_fraction() {
-        let stats = CacheStats { hits: 3, misses: 1 };
+        let stats = CacheStats { hits: 3, misses: 1, evictions: 0 };
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
         assert_eq!(stats.lookups(), 4);

@@ -67,6 +67,12 @@ type CurveKey = (&'static str, u64, u64, String);
 /// (and report its hit rate), while [`CurveCache::global`] serves the
 /// single-process default. Curves are deterministic in their key, so
 /// concurrent publishers always agree on the entry's contents.
+///
+/// An optional capacity bound ([`CurveCache::with_capacity`]) turns the
+/// tier into an LRU: many-seed sweeps touch a distinct curve set per master
+/// seed, so an unbounded memo grows linearly with the sweep — a 10⁶-campaign
+/// sweep over 10⁴ seeds would otherwise retain every curve it ever
+/// completed. Evictions are counted in [`CacheStats::evictions`].
 #[derive(Debug, Clone, Default)]
 pub struct CurveCache {
     inner: Arc<CurveCacheInner>,
@@ -74,15 +80,56 @@ pub struct CurveCache {
 
 #[derive(Debug, Default)]
 struct CurveCacheInner {
-    curves: Mutex<HashMap<CurveKey, Arc<[f64]>>>,
+    curves: Mutex<CurveStore>,
+    /// Maximum resident curves; 0 means unbounded.
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Resident curves plus the logical clock backing LRU ordering.
+#[derive(Debug, Default)]
+struct CurveStore {
+    entries: HashMap<CurveKey, CurveEntry>,
+    /// Monotone lookup/publish counter; entries stamp their last touch.
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct CurveEntry {
+    curve: Arc<[f64]>,
+    last_used: u64,
+}
+
+impl CurveStore {
+    fn touch(&mut self, key: &CurveKey) -> Option<Arc<[f64]>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.curve)
+        })
+    }
 }
 
 impl CurveCache {
-    /// Creates an empty tier.
+    /// Creates an empty, unbounded tier.
     pub fn new() -> Self {
         CurveCache::default()
+    }
+
+    /// Creates an empty tier retaining at most `capacity` curves, evicting
+    /// the least-recently-used entry on overflow (`0` means unbounded).
+    ///
+    /// Eviction scans the resident entries for the oldest stamp — O(capacity)
+    /// on each overflowing publish. The bound exists to cap *memory* on
+    /// many-seed sweeps whose working set exceeds it; workloads that fit
+    /// in `capacity` never pay the scan.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CurveCache {
+            inner: Arc::new(CurveCacheInner { capacity, ..CurveCacheInner::default() }),
+        }
     }
 
     /// A handle to the process-wide default tier (what
@@ -92,9 +139,15 @@ impl CurveCache {
         GLOBAL.get_or_init(CurveCache::new).clone()
     }
 
-    /// Completed curve for `key`, counting the lookup as a hit or miss.
+    /// The capacity bound (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Completed curve for `key`, counting the lookup as a hit or miss and
+    /// refreshing the entry's recency.
     fn lookup(&self, key: &CurveKey) -> Option<Arc<[f64]>> {
-        let found = self.inner.curves.lock().expect("curve cache lock").get(key).cloned();
+        let found = self.inner.curves.lock().expect("curve cache lock").touch(key);
         match found {
             Some(curve) => {
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
@@ -109,21 +162,35 @@ impl CurveCache {
 
     /// Publishes a completed curve, returning the canonical shared copy
     /// (the first publisher wins; later ones — deterministic duplicates —
-    /// adopt it).
+    /// adopt it). Evicts the least-recently-used entry when a capacity
+    /// bound would be exceeded.
     fn publish(&self, key: CurveKey, curve: &[f64]) -> Arc<[f64]> {
-        Arc::clone(
-            self.inner
-                .curves
-                .lock()
-                .expect("curve cache lock")
-                .entry(key)
-                .or_insert_with(|| Arc::from(curve)),
-        )
+        let mut store = self.inner.curves.lock().expect("curve cache lock");
+        if let Some(existing) = store.touch(&key) {
+            return existing;
+        }
+        let capacity = self.inner.capacity;
+        if capacity > 0 && store.entries.len() >= capacity {
+            let victim = store
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty store at capacity");
+            store.entries.remove(&victim);
+            self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let tick = store.tick;
+        let shared: Arc<[f64]> = Arc::from(curve);
+        store
+            .entries
+            .insert(key, CurveEntry { curve: Arc::clone(&shared), last_used: tick });
+        shared
     }
 
     /// Number of memoized curves.
     pub fn len(&self) -> usize {
-        self.inner.curves.lock().expect("curve cache lock").len()
+        self.inner.curves.lock().expect("curve cache lock").entries.len()
     }
 
     /// Whether no curve has completed yet.
@@ -134,14 +201,15 @@ impl CurveCache {
     /// Drops every memoized curve (for memory-sensitive sweeps and tests);
     /// counters are retained.
     pub fn clear(&self) {
-        self.inner.curves.lock().expect("curve cache lock").clear();
+        self.inner.curves.lock().expect("curve cache lock").entries.clear();
     }
 
-    /// Hit/miss counters since construction.
+    /// Hit/miss/eviction counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -419,12 +487,12 @@ mod tests {
         let tier = CurveCache::new();
         let mut first = TrainingRun::with_cache(&w, &hp, 4321, &tier);
         let a = first.final_metric();
-        assert_eq!(tier.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(tier.stats(), CacheStats { hits: 0, misses: 1, evictions: 0 });
         assert_eq!(tier.len(), 1);
         let mut second = TrainingRun::with_cache(&w, &hp, 4321, &tier);
         assert!(format!("{second:?}").contains("Cached"));
         assert_eq!(second.final_metric(), a);
-        assert_eq!(tier.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(tier.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
         assert!((tier.stats().hit_rate() - 0.5).abs() < 1e-12);
         // A fresh tier knows nothing about the other tier's curves.
         let other = CurveCache::new();
@@ -435,6 +503,34 @@ mod tests {
         assert_eq!(tier.clone().len(), 1);
         tier.clear();
         assert!(tier.is_empty());
+    }
+
+    #[test]
+    fn bounded_tier_evicts_least_recently_used() {
+        let w = Workload::benchmark(Algorithm::LiR);
+        let grid = w.hp_grid();
+        let tier = CurveCache::with_capacity(2);
+        assert_eq!(tier.capacity(), 2);
+        // Complete three distinct runs; the third insert overflows.
+        for hp in grid.iter().take(3) {
+            TrainingRun::with_cache(&w, hp, 7, &tier).final_metric();
+        }
+        assert_eq!(tier.len(), 2);
+        assert_eq!(tier.stats().evictions, 1);
+        // The first-completed (least recently used) curve was the victim:
+        // replaying it misses, while the last two still hit.
+        let miss0 = TrainingRun::with_cache(&w, &grid[0], 7, &tier);
+        assert!(!format!("{miss0:?}").contains("Cached"));
+        let hit2 = TrainingRun::with_cache(&w, &grid[2], 7, &tier);
+        assert!(format!("{hit2:?}").contains("Cached"));
+        // A recency refresh protects an old entry: touch curve 2, publish a
+        // new one, and curve 2 must survive the eviction.
+        drop(hit2);
+        TrainingRun::with_cache(&w, &grid[3], 7, &tier).final_metric();
+        let hit2_again = TrainingRun::with_cache(&w, &grid[2], 7, &tier);
+        assert!(format!("{hit2_again:?}").contains("Cached"));
+        // Unbounded tiers never evict.
+        assert_eq!(CurveCache::new().capacity(), 0);
     }
 
     #[test]

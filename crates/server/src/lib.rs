@@ -2,8 +2,10 @@
 //!
 //! A long-running, sharded multi-campaign service: the scaling layer that
 //! turns the per-process campaign fan-out into a reusable subsystem able to
-//! sweep 10⁵–10⁶ campaigns (workload × θ × seed × market scenario) in one
-//! process.
+//! sweep 10⁵–10⁶ campaigns (workload × policy × θ × seed × market scenario)
+//! in one process. Every registered provisioning policy — SpotTune, the
+//! baselines, hybrid and bid-aware — runs through the same engine and the
+//! same cached pipeline; a request's `approach` is part of its identity.
 //!
 //! ## Architecture
 //!
@@ -64,12 +66,24 @@ pub struct ServerConfig {
     /// core. Campaigns are single-threaded and CPU-bound, so more workers
     /// than cores only adds contention on the shared tiers.
     pub workers: usize,
+    /// Capacity bound of the curve tier; `0` (the default) is unbounded.
+    /// Many-seed sweeps touch a distinct curve set per master seed, so a
+    /// 10⁶-campaign sweep needs a bound to keep the memo from growing with
+    /// the sweep; evictions are LRU and counted in the tier's
+    /// [`CacheStats`].
+    pub curve_capacity: usize,
 }
 
 impl ServerConfig {
     /// Config with an explicit worker count.
     pub fn with_workers(workers: usize) -> Self {
-        ServerConfig { workers }
+        ServerConfig { workers, ..ServerConfig::default() }
+    }
+
+    /// Builder-style curve-tier capacity override (`0` = unbounded).
+    pub fn with_curve_capacity(mut self, curve_capacity: usize) -> Self {
+        self.curve_capacity = curve_capacity;
+        self
     }
 
     fn resolved_workers(&self) -> usize {
@@ -120,9 +134,14 @@ pub struct CampaignServer {
 }
 
 impl CampaignServer {
-    /// Spawns the worker pool with fresh, server-private cache tiers.
+    /// Spawns the worker pool with fresh, server-private cache tiers (the
+    /// curve tier honours [`ServerConfig::curve_capacity`]).
     pub fn start(config: ServerConfig) -> Self {
-        CampaignServer::start_with_tiers(config, PoolCache::new(), CurveCache::new())
+        CampaignServer::start_with_tiers(
+            config,
+            PoolCache::new(),
+            CurveCache::with_capacity(config.curve_capacity),
+        )
     }
 
     /// Spawns the worker pool against caller-provided tiers — e.g.

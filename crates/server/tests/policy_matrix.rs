@@ -1,0 +1,111 @@
+//! Every registered policy runs through the sharded server (ISSUE 4
+//! acceptance): the new `hybrid` and `bid-aware` strategies ride the same
+//! cached pipeline as the paper's approaches, with curve-tier hits, and a
+//! bounded curve tier evicts instead of growing with a many-seed sweep.
+
+use spottune_core::prelude::*;
+use spottune_market::MarketScenario;
+use spottune_mlsim::prelude::*;
+use spottune_server::{CampaignServer, ServerConfig};
+
+fn tiny_workload() -> Workload {
+    let base = Workload::benchmark(Algorithm::LoR);
+    Workload::custom(Algorithm::LoR, 15, base.hp_grid()[..2].to_vec())
+}
+
+#[test]
+fn every_registered_policy_sweeps_through_the_server() {
+    let workload = tiny_workload();
+    let scenario = MarketScenario::from_days(1, 21);
+    // Every policy × 3 seeds: same (workload, seed) points across policies,
+    // so the curve memo must serve cross-policy hits.
+    let mut requests = Vec::new();
+    for name in Approach::registered_policies() {
+        let approach = Approach::from_policy_name(name, 0.7).expect("registered");
+        for seed in 0..3u64 {
+            requests.push(CampaignRequest {
+                id: requests.len() as u64,
+                approach,
+                workload: workload.clone(),
+                scenario,
+                seed,
+            });
+        }
+    }
+    let total = requests.len();
+    assert_eq!(total, 6 * 3);
+
+    let server = CampaignServer::start(ServerConfig::with_workers(4));
+    let responses = server.run_sweep(requests);
+    assert_eq!(responses.len(), total);
+    for response in &responses {
+        let report = &response.report;
+        assert!(!report.approach.is_empty(), "empty report for id {}", response.id);
+        assert_eq!(report.predicted_finals.len(), 2, "{}", report.approach);
+        assert!(report.jct.as_secs() > 0, "{}", report.approach);
+        assert!(
+            (report.gross - report.cost - report.refunded).abs() < 1e-9,
+            "{}: billing identity",
+            report.approach
+        );
+    }
+    // The new policies produced distinctly-labelled reports.
+    for label in ["Hybrid(θ=0.7, k=3)", "BidAware(θ=0.7)", "On-Demand Tune(Cheapest)"] {
+        assert!(
+            responses.iter().any(|r| r.report.approach == label),
+            "no report labelled {label:?}"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, total as u64);
+    assert_eq!(stats.resident_pools, 1);
+    assert!(
+        stats.curve_cache.hit_rate() > 0.0,
+        "cross-policy sweeps must share curves: {:?}",
+        stats.curve_cache
+    );
+    server.shutdown();
+}
+
+#[test]
+fn bounded_curve_tier_evicts_under_many_seeds() {
+    let workload = tiny_workload();
+    let scenario = MarketScenario::from_days(1, 21);
+    // 12 seeds × 2 curves per campaign, but the tier only keeps 4 curves.
+    let requests: Vec<CampaignRequest> = (0..12u64)
+        .map(|seed| CampaignRequest {
+            id: seed,
+            approach: Approach::SpotTune { theta: 1.0 },
+            workload: workload.clone(),
+            scenario,
+            seed,
+        })
+        .collect();
+    let server =
+        CampaignServer::start(ServerConfig::with_workers(2).with_curve_capacity(4));
+    let responses = server.run_sweep(requests);
+    assert_eq!(responses.len(), 12);
+    let stats = server.stats();
+    assert!(stats.resident_curves <= 4, "capacity respected: {}", stats.resident_curves);
+    assert!(stats.curve_cache.evictions > 0, "many-seed sweep must evict: {:?}", stats.curve_cache);
+    // Determinism: a bounded tier recomputes, never corrupts — the same
+    // sweep through an unbounded server is bit-identical.
+    let unbounded = CampaignServer::start(ServerConfig::with_workers(2));
+    let again = unbounded.run_sweep(
+        (0..12u64)
+            .map(|seed| CampaignRequest {
+                id: seed,
+                approach: Approach::SpotTune { theta: 1.0 },
+                workload: workload.clone(),
+                scenario,
+                seed,
+            })
+            .collect(),
+    );
+    assert_eq!(unbounded.stats().curve_cache.evictions, 0);
+    for (a, b) in responses.iter().zip(&again) {
+        assert_eq!(a, b, "curve eviction changed a report");
+    }
+    unbounded.shutdown();
+    server.shutdown();
+}
