@@ -14,13 +14,13 @@ use spottune_revpred::prelude::*;
 
 fn main() {
     let pool = standard_pool(MASTER_SEED);
-    // Paper split: trained on 04/26–05/04, evaluated on 05/05–05/07.
-    let train_from = SimTime::from_hours(2);
-    let train_to = SimTime::from_days(9);
+    // Paper split: trained on 04/26–05/04, evaluated on 05/05–05/07. The
+    // training half is the shared `train_for_pool` entry point (first 3/4
+    // of the 12-day trace = exactly the paper's nine days), so this binary
+    // trains byte-identical models to the server's predictor tier.
     let eval_from = SimTime::from_days(9);
     let eval_to = SimTime::from_days(12) - SimDur::from_hours(2);
 
-    let cfg = TrainConfig { seed: MASTER_SEED, ..TrainConfig::default() };
     let kinds = [PredictorKind::RevPred, PredictorKind::Tributary, PredictorKind::Logistic];
 
     // Train the three predictor families in parallel.
@@ -30,14 +30,7 @@ fn main() {
             let pool = pool.clone();
             let sets = &sets;
             scope.spawn(move |_| {
-                let set = MarketPredictorSet::train(
-                    *kind,
-                    &pool,
-                    train_from,
-                    train_to,
-                    SimDur::from_mins(20),
-                    &cfg,
-                );
+                let set = train_for_pool(*kind, &pool, MASTER_SEED);
                 sets.lock().push((i, set));
             });
         }

@@ -8,18 +8,24 @@
 //! ```sh
 //! cargo run --release -p spottune-bench --bin run_campaigns -- \
 //!     --workloads LoR,GBTR --policy spottune,hybrid --thetas 0.5,0.7,1.0 \
-//!     --seeds 8 --scenario-seeds 2 --days 12 --workers 0 \
-//!     --curve-capacity 0 --quiet
+//!     --estimator revpred --seeds 8 --scenario-seeds 2 --days 12 \
+//!     --workers 0 --curve-capacity 0 --quiet
 //! ```
 //!
 //! `--policy` names come from the policy registry
 //! ([`Approach::registered_policies`]); `all` expands to every registered
 //! policy, and unknown names abort with the registry listing. θ-independent
-//! policies (the baselines) run once regardless of `--thetas`. The legacy
-//! `--baselines` flag appends the two single-spot baselines for backwards
-//! compatibility. `--workers 0` (the default) sizes the pool to the
-//! machine; `--curve-capacity N` bounds the shared curve tier to `N`
-//! resident curves (LRU, `0` = unbounded) for many-seed sweeps.
+//! policies (the baselines) run once regardless of `--thetas`.
+//! `--estimator` names come from the estimator registry
+//! ([`EstimatorSpec::registered_estimators`]): `oracle`/`oracle(0.8)`,
+//! `constant(0.25)`, or a learned family (`revpred`, `tributary`,
+//! `logistic`) trained at most once per market scenario through the
+//! server's predictor tier; unknown or malformed specs abort with the
+//! registry listing. The legacy `--baselines` flag appends the two
+//! single-spot baselines for backwards compatibility. `--workers 0` (the
+//! default) sizes the pool to the machine; `--curve-capacity N` bounds the
+//! shared curve tier to `N` resident curves (LRU, `0` = unbounded) for
+//! many-seed sweeps.
 
 use spottune_bench::TRACE_DAYS;
 use spottune_core::prelude::*;
@@ -33,6 +39,7 @@ struct Args {
     workloads: Vec<Algorithm>,
     policies: Vec<String>,
     thetas: Vec<f64>,
+    estimator: EstimatorSpec,
     seeds: u64,
     scenario_seeds: u64,
     days: u64,
@@ -47,6 +54,7 @@ fn parse_args() -> Args {
         workloads: vec![Algorithm::LoR, Algorithm::ResNet],
         policies: vec!["spottune".to_string()],
         thetas: vec![0.7, 1.0],
+        estimator: EstimatorSpec::default(),
         seeds: 4,
         scenario_seeds: 1,
         days: TRACE_DAYS,
@@ -85,6 +93,15 @@ fn parse_args() -> Args {
                     .split(',')
                     .map(|t| t.parse().expect("--thetas: f64 list"))
                     .collect();
+            }
+            "--estimator" => {
+                let raw = value("--estimator");
+                args.estimator = EstimatorSpec::parse(&raw).unwrap_or_else(|| {
+                    panic!(
+                        "unknown or malformed estimator {raw:?}; registered estimators: {}",
+                        EstimatorSpec::registered_estimators().join(", ")
+                    )
+                });
             }
             "--seeds" => args.seeds = value("--seeds").parse().expect("--seeds: u64"),
             "--scenario-seeds" => {
@@ -157,6 +174,7 @@ fn main() {
                         workload: workload.clone(),
                         scenario: MarketScenario::from_days(args.days, 42 + scenario_seed),
                         seed: 42 + seed,
+                        estimator: args.estimator,
                     });
                 }
             }
@@ -169,7 +187,10 @@ fn main() {
         ServerConfig::with_workers(args.workers).with_curve_capacity(args.curve_capacity),
     );
     let workers = server.stats().workers;
-    println!("submitting {total} campaigns to {workers} workers …");
+    println!(
+        "submitting {total} campaigns (estimator {}) to {workers} workers …",
+        args.estimator
+    );
     let t0 = Instant::now();
     let mut done = 0usize;
     for response in server.submit_sweep(requests) {
@@ -205,5 +226,15 @@ fn main() {
         stats.curve_cache.lookups(),
         100.0 * stats.curve_cache.hit_rate(),
         stats.curve_cache.evictions,
+    );
+    // Each predictor-tier miss is one full training run; the hit rate is
+    // the amortization a learned-estimator sweep lives or dies by.
+    println!(
+        "predict tier : {} resident, {} hits / {} lookups ({:.1}% hit rate, {} trainings)",
+        stats.resident_predictors,
+        stats.predictor_cache.hits,
+        stats.predictor_cache.lookups(),
+        100.0 * stats.predictor_cache.hit_rate(),
+        stats.predictor_cache.misses,
     );
 }

@@ -9,6 +9,7 @@
 use spottune_core::prelude::*;
 use spottune_market::prelude::*;
 use spottune_mlsim::prelude::*;
+use spottune_revpred::PredictorCache;
 use spottune_server::{CampaignServer, ServerConfig};
 
 // Re-exported so existing figure binaries keep importing the approach enum
@@ -32,7 +33,8 @@ pub fn standard_scenario(seed: u64) -> MarketScenario {
     MarketScenario::from_days(TRACE_DAYS, seed)
 }
 
-/// Runs one approach on one workload with the oracle revocation estimator.
+/// Runs one approach on one workload with the default (`oracle(0.9)`)
+/// revocation estimator.
 pub fn run_approach(
     approach: Approach,
     workload: &Workload,
@@ -42,15 +44,27 @@ pub fn run_approach(
     Campaign::new(approach, workload.clone(), seed).run(pool)
 }
 
-/// Runs a set of (approach, workload) campaigns through a sharded
-/// [`CampaignServer`] worker pool (one worker per core), preserving input
-/// order in the output. The server shares the scenario's market pool and
-/// the training-curve memo across all campaigns, and its reports are
-/// bit-identical to running each campaign serially.
+/// [`run_campaigns_with_estimator`] with the default `oracle(0.9)` spec —
+/// the figure binaries' thin-client path.
 pub fn run_campaigns(
     tasks: Vec<(Approach, Workload)>,
     scenario: MarketScenario,
     seed: u64,
+) -> Vec<HptReport> {
+    run_campaigns_with_estimator(tasks, scenario, seed, EstimatorSpec::default())
+}
+
+/// Runs a set of (approach, workload) campaigns through a sharded
+/// [`CampaignServer`] worker pool (one worker per core), preserving input
+/// order in the output. The server shares the scenario's market pool, the
+/// training-curve memo and — for learned estimator specs — the trained
+/// predictor set across all campaigns, and its reports are bit-identical
+/// to running each campaign serially.
+pub fn run_campaigns_with_estimator(
+    tasks: Vec<(Approach, Workload)>,
+    scenario: MarketScenario,
+    seed: u64,
+    estimator: EstimatorSpec,
 ) -> Vec<HptReport> {
     let requests: Vec<CampaignRequest> = tasks
         .into_iter()
@@ -61,15 +75,19 @@ pub fn run_campaigns(
             workload,
             scenario,
             seed,
+            estimator,
         })
         .collect();
-    // Share the process-wide curve memo: figure binaries interleave
-    // server sweeps with direct TrainingRun evaluation (e.g. fig08's
-    // accuracy grid), and both sides replay each other's curves.
+    // Share the process-wide curve memo and predictor tier: figure
+    // binaries interleave server sweeps with direct TrainingRun
+    // evaluation (e.g. fig08's accuracy grid) and call this client once
+    // per batch, so both sides replay each other's curves and a learned
+    // predictor trains once per process, not once per call.
     let server = CampaignServer::start_with_tiers(
         ServerConfig::default(),
         PoolCache::new(),
         CurveCache::global(),
+        PredictorCache::global(),
     );
     let responses = server.run_sweep(requests);
     server.shutdown();
@@ -108,5 +126,18 @@ mod tests {
         assert_eq!(reports.len(), 2);
         assert!(reports[0].approach.contains("Cheapest"));
         assert!(reports[1].approach.contains("Fastest"));
+    }
+
+    #[test]
+    fn learned_estimator_campaigns_run_through_the_thin_client() {
+        let base = Workload::benchmark(Algorithm::LoR);
+        let small = Workload::custom(Algorithm::LoR, 15, base.hp_grid()[..2].to_vec());
+        let tasks = vec![(Approach::SpotTune { theta: 0.7 }, small)];
+        // A short scenario keeps the per-market training sets tiny.
+        let scenario = MarketScenario::new(SimDur::from_hours(6), 5);
+        let reports =
+            run_campaigns_with_estimator(tasks, scenario, 3, EstimatorSpec::Logistic);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].predicted_finals.len(), 2);
     }
 }

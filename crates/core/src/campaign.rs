@@ -9,10 +9,12 @@
 //!
 //! [`CampaignRequest`]/[`CampaignResponse`] are the serializable wire
 //! types of the campaign server: requests name their market environment by
-//! [`MarketScenario`] (a key into the server's shared pool tier) instead
-//! of shipping price traces, and their approach by policy name
-//! ([`Approach::policy_name`]) — every registered policy runs through the
-//! same cached, sharded pipeline.
+//! [`MarketScenario`] (a key into the server's shared pool tier), their
+//! approach by policy name ([`Approach::policy_name`]) and their
+//! revocation predictor by [`EstimatorSpec`] (a key into the estimator
+//! registry, and — for the learned families — into the server's shared
+//! trained-predictor tier) — every registered policy × estimator
+//! combination runs through the same cached, sharded pipeline.
 
 use crate::baseline::SingleSpotKind;
 use crate::config::SpotTuneConfig;
@@ -21,8 +23,11 @@ use crate::policy::{BidAware, HybridSpotOnDemand, OnDemand, ProvisionPolicy, Sin
 use crate::provision::OracleEstimator;
 use crate::report::HptReport;
 use serde::{Deserialize, Serialize};
-use spottune_market::{MarketPool, MarketScenario, RevocationEstimator};
+use spottune_market::{
+    ConstantEstimator, EstimatorSpec, MarketPool, MarketScenario, RevocationEstimator,
+};
 use spottune_mlsim::{CurveCache, Workload};
+use spottune_revpred::{train_for_scenario, PredictorKind};
 
 /// The provisioning strategies a campaign can evaluate: the paper's
 /// approaches (Fig. 7) plus the related-work policies of the policy layer.
@@ -159,30 +164,82 @@ pub struct Campaign {
     pub workload: Workload,
     /// Master seed: engine RNG and training-run seeds derive from it.
     pub seed: u64,
+    /// The revocation estimator the policy provisions with. Defaults to
+    /// [`EstimatorSpec::default`] (`oracle(0.9)`), which is bit-identical
+    /// to the pre-registry behaviour.
+    pub estimator: EstimatorSpec,
 }
 
 impl Campaign {
-    /// Creates a campaign.
+    /// Creates a campaign with the default `oracle(0.9)` estimator.
     pub fn new(approach: Approach, workload: Workload, seed: u64) -> Self {
-        Campaign { approach, workload, seed }
+        Campaign { approach, workload, seed, estimator: EstimatorSpec::default() }
     }
 
-    /// Runs the campaign over `pool` with the oracle revocation estimator,
-    /// memoizing curves through the process-wide tier.
+    /// Builder-style estimator-spec override.
+    pub fn with_estimator(mut self, estimator: EstimatorSpec) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Runs the campaign over `pool`, memoizing curves through the
+    /// process-wide tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec names a learned predictor family (see
+    /// [`Campaign::run_with_cache`]).
     pub fn run(&self, pool: &MarketPool) -> HptReport {
         self.run_with_cache(pool, &CurveCache::global())
     }
 
     /// Runs the campaign with an explicit curve-memo tier (the server's
-    /// shared cross-request tier).
+    /// shared cross-request tier), building the spec'd estimator from the
+    /// pool.
     ///
     /// Deterministic: the report is a pure function of `(self, pool)` — the
     /// tier only changes what is recomputed versus replayed. Every approach
-    /// goes through the same [`Engine`]; only the policy differs.
+    /// goes through the same [`Engine`]; only the policy and the estimator
+    /// differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec names a learned predictor family: a trained
+    /// predictor is keyed by *market scenario* (its training seed), which a
+    /// bare pool cannot name. Run through the campaign server (whose
+    /// predictor tier amortizes training), call
+    /// [`CampaignRequest::run_serial`], or train a set yourself and use
+    /// [`Campaign::run_with_estimator`].
     pub fn run_with_cache(&self, pool: &MarketPool, curve_cache: &CurveCache) -> HptReport {
+        match self.estimator {
+            EstimatorSpec::Oracle { confidence } => {
+                let oracle = OracleEstimator::new(pool.clone(), confidence);
+                self.run_with_estimator(pool, curve_cache, &oracle)
+            }
+            EstimatorSpec::Constant { p } => {
+                let constant = ConstantEstimator::new(p);
+                self.run_with_estimator(pool, curve_cache, &constant)
+            }
+            spec => panic!(
+                "estimator spec {spec} needs a predictor trained for its market scenario; \
+                 submit a CampaignRequest (the server's predictor tier trains once per \
+                 scenario × kind), use CampaignRequest::run_serial, or pass a trained \
+                 MarketPredictorSet to Campaign::run_with_estimator"
+            ),
+        }
+    }
+
+    /// Runs the campaign against an explicit, already-built estimator —
+    /// the common trunk of every campaign path, and the entry point for
+    /// callers holding a trained predictor set.
+    pub fn run_with_estimator(
+        &self,
+        pool: &MarketPool,
+        curve_cache: &CurveCache,
+        estimator: &dyn RevocationEstimator,
+    ) -> HptReport {
         let cfg = self.approach.config(self.seed);
-        let oracle = OracleEstimator::new(pool.clone(), 0.9);
-        let mut policy = self.approach.build_policy(&oracle, &cfg);
+        let mut policy = self.approach.build_policy(estimator, &cfg);
         Engine::new(cfg, self.workload.clone(), pool.clone())
             .with_curve_cache(curve_cache.clone())
             .run(policy.as_mut())
@@ -203,12 +260,34 @@ pub struct CampaignRequest {
     pub scenario: MarketScenario,
     /// Master seed for the campaign.
     pub seed: u64,
+    /// Revocation estimator the policy provisions with; learned specs are
+    /// trained per `(scenario, kind)` through the server's predictor tier.
+    pub estimator: EstimatorSpec,
 }
 
 impl CampaignRequest {
     /// The campaign this request describes (everything but the pool).
     pub fn campaign(&self) -> Campaign {
         Campaign::new(self.approach, self.workload.clone(), self.seed)
+            .with_estimator(self.estimator)
+    }
+
+    /// Runs this request outside the server, resolving the estimator
+    /// exactly as a server worker does: ground-truth specs are built from
+    /// the pool, learned specs are trained deterministically for the
+    /// request's scenario (uncached here — the server's predictor tier is
+    /// what amortizes this). The report is therefore bit-identical to the
+    /// server's answer for the same request, making this the serial
+    /// reference path of the equivalence suites.
+    pub fn run_serial(&self, pool: &MarketPool, curve_cache: &CurveCache) -> HptReport {
+        let campaign = self.campaign();
+        match PredictorKind::from_spec(&self.estimator) {
+            Some(kind) => {
+                let trained = train_for_scenario(kind, self.scenario, pool);
+                campaign.run_with_estimator(pool, curve_cache, &trained)
+            }
+            None => campaign.run_with_cache(pool, curve_cache),
+        }
     }
 }
 
@@ -256,10 +335,12 @@ mod tests {
             workload: tiny_workload(),
             scenario: MarketScenario::from_days(2, 3),
             seed: 21,
+            estimator: EstimatorSpec::default(),
         };
         let campaign = req.campaign();
         assert_eq!(campaign.approach, req.approach);
         assert_eq!(campaign.seed, 21);
+        assert_eq!(campaign.estimator, EstimatorSpec::default());
         let report = campaign.run(&req.scenario.build());
         assert!(report.approach.contains("Cheapest"));
         let resp = CampaignResponse { id: req.id, report };
@@ -282,6 +363,56 @@ mod tests {
         ));
         assert!(!Approach::SingleSpot(SingleSpotKind::Cheapest).is_theta_parameterized());
         assert!(Approach::BidAware { theta: 0.7 }.is_theta_parameterized());
+    }
+
+    #[test]
+    fn default_estimator_spec_matches_explicit_oracle() {
+        // The spec plumbing must be a pure refactor: the default spec and a
+        // hand-built oracle(0.9) produce the same bits (the 100-campaign ×
+        // six-policy version lives in tests/estimator_equivalence.rs).
+        let pool = MarketPool::standard(SimDur::from_days(2), 11);
+        let campaign = Campaign::new(Approach::SpotTune { theta: 0.7 }, tiny_workload(), 5);
+        let via_spec = campaign.run(&pool);
+        let oracle = OracleEstimator::new(pool.clone(), 0.9);
+        let explicit = campaign.run_with_estimator(&pool, &CurveCache::global(), &oracle);
+        assert_eq!(via_spec, explicit);
+    }
+
+    #[test]
+    fn constant_spec_runs_and_differs_from_the_oracle() {
+        let pool = MarketPool::standard(SimDur::from_days(2), 11);
+        let campaign = Campaign::new(Approach::SpotTune { theta: 0.7 }, tiny_workload(), 5)
+            .with_estimator(EstimatorSpec::Constant { p: 0.0 });
+        let report = campaign.run(&pool);
+        assert_eq!(report.predicted_finals.len(), 2);
+        assert!(report.cost >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trained")]
+    fn learned_spec_refuses_the_scenarioless_path() {
+        let pool = MarketPool::standard(SimDur::from_days(2), 11);
+        let campaign = Campaign::new(Approach::SpotTune { theta: 0.7 }, tiny_workload(), 5)
+            .with_estimator(EstimatorSpec::RevPred);
+        let _ = campaign.run(&pool);
+    }
+
+    #[test]
+    fn run_serial_resolves_learned_specs_deterministically() {
+        let scenario = MarketScenario::from_days(1, 13);
+        let pool = scenario.build();
+        let req = CampaignRequest {
+            id: 0,
+            approach: Approach::SpotTune { theta: 0.7 },
+            workload: tiny_workload(),
+            scenario,
+            seed: 4,
+            estimator: EstimatorSpec::Logistic,
+        };
+        let a = req.run_serial(&pool, &CurveCache::new());
+        let b = req.run_serial(&pool, &CurveCache::new());
+        assert_eq!(a, b, "learned-spec campaigns must be deterministic");
+        assert_eq!(a.predicted_finals.len(), 2);
     }
 
     #[test]

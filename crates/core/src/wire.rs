@@ -15,6 +15,11 @@
 //!   [`Approach::registered_policies`], so wire clients, the
 //!   `run_campaigns --policy` flag and the CI policy matrix all speak one
 //!   vocabulary.
+//! * **Estimator by name** — revocation estimators serialize as
+//!   `{"kind": "<registry name>", ...}` using the identifiers of
+//!   [`EstimatorSpec::registered_estimators`]; a request with no
+//!   `estimator` field decodes to the default `oracle(0.9)` spec, so
+//!   pre-registry encodings replay bit-identically.
 //! * **Forward compatibility** — decoders read the fields they know and
 //!   *tolerate unknown fields*, so a newer client can attach metadata
 //!   without breaking an older server.
@@ -28,7 +33,7 @@
 use crate::baseline::SingleSpotKind;
 use crate::campaign::{Approach, CampaignRequest, CampaignResponse, DEFAULT_HYBRID_STRIKES};
 use crate::report::HptReport;
-use spottune_market::{MarketScenario, SimDur};
+use spottune_market::{EstimatorSpec, MarketScenario, SimDur};
 use spottune_mlsim::{Algorithm, HpSetting, HpValue, Workload};
 use std::fmt;
 
@@ -514,6 +519,42 @@ fn approach_from_json(v: &Json) -> Result<Approach> {
     }
 }
 
+fn estimator_to_json(spec: &EstimatorSpec) -> Json {
+    let mut members = vec![("kind", Json::Str(spec.kind_name().to_string()))];
+    match *spec {
+        EstimatorSpec::Oracle { confidence } => {
+            members.push(("confidence", Json::Float(confidence)));
+        }
+        EstimatorSpec::Constant { p } => members.push(("p", Json::Float(p))),
+        EstimatorSpec::RevPred | EstimatorSpec::Tributary | EstimatorSpec::Logistic => {}
+    }
+    obj(members)
+}
+
+fn estimator_from_json(v: &Json) -> Result<EstimatorSpec> {
+    let kind = v.require("kind")?.as_str()?;
+    let spec = match kind {
+        // A bare `{"kind":"oracle"}` means the default confidence, mirroring
+        // the textual registry grammar (`oracle` vs `oracle(0.8)`).
+        "oracle" => match v.get("confidence") {
+            Some(c) => EstimatorSpec::Oracle { confidence: c.as_f64()? },
+            None => EstimatorSpec::default(),
+        },
+        "constant" => EstimatorSpec::Constant { p: v.require("p")?.as_f64()? },
+        "revpred" => EstimatorSpec::RevPred,
+        "tributary" => EstimatorSpec::Tributary,
+        "logistic" => EstimatorSpec::Logistic,
+        other => {
+            return Err(WireError::new(format!(
+                "unknown estimator {other:?} (registered: {})",
+                EstimatorSpec::registered_estimators().join(", ")
+            )))
+        }
+    };
+    spec.validate().map_err(WireError::new)?;
+    Ok(spec)
+}
+
 fn hp_value_to_json(v: &HpValue) -> Json {
     match v {
         HpValue::Int(i) => obj(vec![("int", Json::Int(*i))]),
@@ -670,6 +711,7 @@ pub fn encode_request(request: &CampaignRequest) -> String {
         ("workload", workload_to_json(&request.workload)),
         ("scenario", scenario_to_json(&request.scenario)),
         ("seed", Json::UInt(request.seed)),
+        ("estimator", estimator_to_json(&request.estimator)),
     ]))
 }
 
@@ -687,6 +729,12 @@ pub fn decode_request(text: &str) -> Result<CampaignRequest> {
         workload: workload_from_json(v.require("workload")?)?,
         scenario: scenario_from_json(v.require("scenario")?)?,
         seed: v.require("seed")?.as_u64()?,
+        // Requests encoded before the estimator registry carry no spec;
+        // the default reproduces their behaviour bit-identically.
+        estimator: match v.get("estimator") {
+            Some(spec) => estimator_from_json(spec)?,
+            None => EstimatorSpec::default(),
+        },
     })
 }
 
@@ -728,6 +776,7 @@ mod tests {
             workload: tiny_workload(),
             scenario: MarketScenario::from_days(2, 13),
             seed: u64::MAX - 5, // exercises exact u64 round-tripping
+            estimator: EstimatorSpec::default(),
         }
     }
 
@@ -768,6 +817,89 @@ mod tests {
             );
         let back = decode_request(&padded).expect("unknown fields tolerated");
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn estimator_specs_round_trip_exactly() {
+        // Every registered kind, including floats whose shortest decimal
+        // form must survive bit-for-bit, and a u64-exact seed alongside.
+        let specs = [
+            EstimatorSpec::default(),
+            EstimatorSpec::Oracle { confidence: 0.8250000000000001 },
+            EstimatorSpec::Constant { p: 0.1 + 0.2 }, // 0.30000000000000004
+            EstimatorSpec::Constant { p: 0.0 },
+            EstimatorSpec::RevPred,
+            EstimatorSpec::Tributary,
+            EstimatorSpec::Logistic,
+        ];
+        for spec in specs {
+            let mut req = request(Approach::SpotTune { theta: 0.7 });
+            req.estimator = spec;
+            let text = encode_request(&req);
+            assert!(
+                text.contains(&format!("\"kind\":\"{}\"", spec.kind_name())),
+                "estimator kind on the wire: {text}"
+            );
+            let back = decode_request(&text).expect("round trip");
+            assert_eq!(back, req, "{spec}: decode(encode(x)) must equal x");
+            assert_eq!(back.seed, u64::MAX - 5, "u64 exactness unaffected");
+        }
+    }
+
+    #[test]
+    fn missing_estimator_field_decodes_to_the_default_spec() {
+        // A pre-registry client omits the field entirely.
+        let req = request(Approach::SpotTune { theta: 0.7 });
+        let text = encode_request(&req);
+        let start = text.find(",\"estimator\"").expect("estimator on the wire");
+        let legacy = format!("{}{}", &text[..start], "}");
+        let back = decode_request(&legacy).expect("legacy request decodes");
+        assert_eq!(back.estimator, EstimatorSpec::default());
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn estimator_tolerates_unknown_fields_and_bare_oracle() {
+        let req = request(Approach::SpotTune { theta: 0.7 });
+        let text = encode_request(&req).replace(
+            "{\"kind\":\"oracle\"",
+            "{\"trained_at\":\"2026-07-29\",\"kind\":\"oracle\"",
+        );
+        assert_eq!(decode_request(&text).expect("unknown fields tolerated"), req);
+        // `{"kind":"oracle"}` with no confidence means the default, like
+        // the bare `oracle` registry string.
+        let bare = encode_request(&req).replace(
+            "{\"kind\":\"oracle\",\"confidence\":0.9}",
+            "{\"kind\":\"oracle\"}",
+        );
+        assert_eq!(decode_request(&bare).expect("bare oracle"), req);
+    }
+
+    #[test]
+    fn malformed_estimator_specs_are_rejected() {
+        let text = encode_request(&request(Approach::SpotTune { theta: 0.7 }));
+        // Unknown kind: rejected with the registry listing.
+        let unknown = text.replace("\"kind\":\"oracle\"", "\"kind\":\"psychic\"");
+        let err = decode_request(&unknown).expect_err("unknown estimator");
+        let msg = err.to_string();
+        assert!(msg.contains("psychic"), "{msg}");
+        assert!(msg.contains("tributary"), "listing of registered estimators: {msg}");
+        // Out-of-range arguments: rejected at the boundary, not mid-campaign.
+        for (from, to, needle) in [
+            ("\"confidence\":0.9", "\"confidence\":1.5", "confidence"),
+            ("\"confidence\":0.9", "\"confidence\":0.2", "confidence"),
+            ("\"kind\":\"oracle\",\"confidence\":0.9", "\"kind\":\"constant\",\"p\":-0.1", "probability"),
+        ] {
+            let bad = text.replace(from, to);
+            assert_ne!(bad, text, "replacement must apply");
+            let err = decode_request(&bad).expect_err("malformed spec");
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+        // A constant spec needs its argument.
+        let missing =
+            text.replace("\"kind\":\"oracle\",\"confidence\":0.9", "\"kind\":\"constant\"");
+        let err = decode_request(&missing).expect_err("constant without p");
+        assert!(err.to_string().contains("p"), "{err}");
     }
 
     #[test]

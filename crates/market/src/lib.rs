@@ -33,7 +33,9 @@ pub mod stats;
 pub mod synth;
 pub mod time;
 
-pub use estimator::{ConstantEstimator, RevocationEstimator};
+pub use estimator::{
+    ConstantEstimator, EstimatorSpec, RevocationEstimator, DEFAULT_ORACLE_CONFIDENCE,
+};
 pub use instance::InstanceType;
 pub use market::{MarketPool, SpotMarket};
 pub use poolcache::{CacheStats, MarketScenario, PoolCache};
@@ -42,7 +44,9 @@ pub use time::{SimDur, SimTime};
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::estimator::{ConstantEstimator, RevocationEstimator};
+    pub use crate::estimator::{
+        ConstantEstimator, EstimatorSpec, RevocationEstimator, DEFAULT_ORACLE_CONFIDENCE,
+    };
     pub use crate::instance::{self, InstanceType};
     pub use crate::market::{MarketPool, SpotMarket};
     pub use crate::poolcache::{CacheStats, MarketScenario, PoolCache};

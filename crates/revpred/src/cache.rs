@@ -1,0 +1,217 @@
+//! Cross-request trained-predictor tier: `(scenario × predictor kind)`-keyed,
+//! `Arc`-backed sharing of trained [`MarketPredictorSet`]s.
+//!
+//! Training a learned revocation predictor is the most expensive thing a
+//! campaign can ask for — a RevPred set is six three-tier LSTMs trained
+//! over thousands of samples — and a sweep evaluates thousands of
+//! campaigns against the *same* few scenarios. Like the market-pool tier
+//! ([`spottune_market::PoolCache`]), a long-running server must train each
+//! `(scenario, kind)` pair once and hand out reference-counted clones;
+//! [`train_for_scenario`] makes the trained set a pure function of the
+//! key, so a cache hit can never change a report, only wall-clock.
+
+use crate::estimator::{train_for_scenario, MarketPredictorSet, PredictorKind};
+use spottune_market::{CacheStats, MarketPool, MarketScenario};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A shared, thread-safe trained-predictor tier keyed by
+/// `(MarketScenario, PredictorKind)`.
+///
+/// Cloning the cache clones a handle to the same tier (the server hands
+/// one to every worker). The map mutex guards only the entry lookup; the
+/// expensive training runs inside a per-key `OnceLock`, so distinct cold
+/// keys train in parallel, hits never wait behind a training run, and two
+/// workers racing on the *same* cold key still pay the training cost once.
+#[derive(Debug, Clone, Default)]
+pub struct PredictorCache {
+    inner: Arc<PredictorCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct PredictorCacheInner {
+    sets: Mutex<PredictorMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+type PredictorMap =
+    HashMap<(MarketScenario, PredictorKind), Arc<OnceLock<Arc<MarketPredictorSet>>>>;
+
+impl PredictorCache {
+    /// Creates an empty tier.
+    pub fn new() -> Self {
+        PredictorCache::default()
+    }
+
+    /// The process-wide shared tier, mirroring the curve memo's
+    /// `CurveCache::global`: thin clients that spin up a short-lived
+    /// server per sweep (the figure binaries) route through this so a
+    /// `(scenario, kind)` pair trains once per *process*, not once per
+    /// call.
+    pub fn global() -> PredictorCache {
+        static GLOBAL: OnceLock<PredictorCache> = OnceLock::new();
+        GLOBAL.get_or_init(PredictorCache::new).clone()
+    }
+
+    /// The trained set for `(scenario, kind)`: a shared clone on a hit,
+    /// trained (and retained) on a miss. `pool` must be the pool `scenario`
+    /// describes — the server resolves it through its pool tier first, so
+    /// the trace data is never built twice.
+    pub fn get(
+        &self,
+        kind: PredictorKind,
+        scenario: MarketScenario,
+        pool: &MarketPool,
+    ) -> Arc<MarketPredictorSet> {
+        let key = (scenario, kind);
+        let cell = {
+            let mut sets = self.inner.sets.lock().expect("predictor cache lock");
+            match sets.get(&key) {
+                Some(cell) => {
+                    self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(cell)
+                }
+                None => {
+                    self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                    let cell = Arc::new(OnceLock::new());
+                    sets.insert(key, Arc::clone(&cell));
+                    cell
+                }
+            }
+        };
+        let trained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Arc::clone(cell.get_or_init(|| Arc::new(train_for_scenario(kind, scenario, pool))))
+        }));
+        match trained {
+            Ok(set) => set,
+            Err(payload) => {
+                // Training panicked (e.g. a trace shorter than the warm-up
+                // window). Drop the still-empty entry so the next request
+                // for this key counts a fresh miss instead of a hit that
+                // silently re-runs the failing training — keeping the
+                // "every miss is one training attempt" counter semantic.
+                {
+                    let mut sets = self.inner.sets.lock().expect("predictor cache lock");
+                    if let Some(existing) = sets.get(&key) {
+                        if Arc::ptr_eq(existing, &cell) && cell.get().is_none() {
+                            sets.remove(&key);
+                        }
+                    }
+                    // Guard dropped here: resuming the unwind while holding
+                    // the lock would poison the whole tier.
+                }
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+
+    /// Number of distinct `(scenario, kind)` pairs currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.sets.lock().expect("predictor cache lock").len()
+    }
+
+    /// Whether no predictor has been trained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every resident predictor set (counters are retained).
+    pub fn clear(&self) {
+        self.inner.sets.lock().expect("predictor cache lock").clear();
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            evictions: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spottune_market::{RevocationEstimator, SimTime};
+
+    #[test]
+    fn hits_share_the_same_trained_set() {
+        let cache = PredictorCache::new();
+        let scenario = MarketScenario::from_days(1, 7);
+        let pool = scenario.build();
+        let a = cache.get(PredictorKind::Logistic, scenario, &pool);
+        let b = cache.get(PredictorKind::Logistic, scenario, &pool);
+        // Same Arc-backed set, not a retrained equal one.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_train_distinct_sets() {
+        let cache = PredictorCache::new();
+        let near = MarketScenario::from_days(1, 7);
+        let far = MarketScenario::from_days(1, 8);
+        let a = cache.get(PredictorKind::Logistic, near, &near.build());
+        let b = cache.get(PredictorKind::Logistic, far, &far.build());
+        // Distinct scenarios are distinct entries…
+        assert!(!Arc::ptr_eq(&a, &b));
+        // …and so are distinct kinds over one scenario.
+        let c = cache.get(PredictorKind::Tributary, near, &near.build());
+        assert_eq!(c.name(), "Tributary");
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.len(), 3);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_set_answers_like_a_fresh_training_run() {
+        let cache = PredictorCache::new();
+        let scenario = MarketScenario::from_days(1, 3);
+        let pool = scenario.build();
+        let cached = cache.get(PredictorKind::Logistic, scenario, &pool);
+        let fresh = train_for_scenario(PredictorKind::Logistic, scenario, &pool);
+        let t = SimTime::from_hours(20);
+        for market in pool.iter() {
+            let name = market.instance().name();
+            let bid = market.price_at(t) + 0.02;
+            assert_eq!(
+                cached.revocation_probability(name, t, bid),
+                fresh.revocation_probability(name, t, bid),
+                "{name}: tier must be a pure memo of train_for_scenario"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_training_does_not_poison_the_entry() {
+        let cache = PredictorCache::new();
+        // A trace entirely inside the warm-up window makes training panic.
+        let scenario = MarketScenario::new(spottune_market::SimDur::from_hours(2), 1);
+        let pool = scenario.build();
+        for _ in 0..2 {
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cache.get(PredictorKind::Logistic, scenario, &pool)
+            }));
+            assert!(attempt.is_err(), "short trace must fail to train");
+        }
+        // Both attempts count as misses (each ran a training attempt) and
+        // nothing poisoned stays resident.
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2, evictions: 0 });
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_handles_see_each_other() {
+        let cache = PredictorCache::new();
+        let clone = cache.clone();
+        let scenario = MarketScenario::from_days(1, 4);
+        clone.get(PredictorKind::Logistic, scenario, &scenario.build());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -5,9 +5,14 @@
 //! RevPred dual-path network (three-tier LSTM over 59 history records ⊕
 //! three dense layers over the present record), the Eq. 3 calibration, and
 //! the two baselines of Fig. 10 (a re-implementation of Tributary's
-//! predictor and a logistic regression), plus the evaluation metrics and the
-//! bridge to the orchestrator's `RevocationEstimator` interface.
+//! predictor and a logistic regression), plus the evaluation metrics, the
+//! bridge to the orchestrator's `RevocationEstimator` interface, the
+//! deterministic per-scenario training entry point
+//! ([`estimator::train_for_scenario`]) and the shared trained-predictor
+//! tier ([`cache::PredictorCache`]) the campaign server amortizes
+//! training through.
 
+pub mod cache;
 pub mod dataset;
 pub mod estimator;
 pub mod eval;
@@ -16,8 +21,9 @@ pub mod logistic;
 pub mod model;
 pub mod tributary;
 
+pub use cache::PredictorCache;
 pub use dataset::{build_dataset, build_input, build_sample, DeltaPolicy, Sample};
-pub use estimator::{MarketPredictorSet, PredictorKind};
+pub use estimator::{train_for_pool, train_for_scenario, MarketPredictorSet, PredictorKind};
 pub use eval::BinaryEval;
 pub use logistic::LogisticModel;
 pub use model::{ProbModel, RevPredNet, TrainConfig, TrainStats};
@@ -29,7 +35,10 @@ pub mod prelude {
         algorithm2_delta, build_dataset, build_input, build_sample, positive_fraction,
         DeltaPolicy, Sample, HISTORY_LEN, PRESENT_FEATURES,
     };
-    pub use crate::estimator::{MarketPredictorSet, PredictorKind};
+    pub use crate::cache::PredictorCache;
+    pub use crate::estimator::{
+        train_for_pool, train_for_scenario, MarketPredictorSet, PredictorKind,
+    };
     pub use crate::eval::BinaryEval;
     pub use crate::features::{features_at, raw_features, RECORD_FEATURES};
     pub use crate::logistic::LogisticModel;

@@ -20,16 +20,22 @@
 //!   can reorder. The reply receiver disconnects exactly when the last
 //!   response of the submission has been delivered.
 //! * **Shared tiers** — workers resolve the market environment through a
-//!   scenario-keyed [`PoolCache`] and memoize training curves through a
-//!   cross-request [`CurveCache`], both `Arc`-backed with hit/miss
-//!   counters ([`CampaignServer::stats`]). Campaign results are pure
-//!   functions of `(request, scenario)`, so shared tiers change wall-clock
-//!   and counters, never reports: a sweep through the server is
-//!   bit-identical to running each campaign serially.
+//!   scenario-keyed [`PoolCache`], memoize training curves through a
+//!   cross-request [`CurveCache`], and resolve learned revocation
+//!   predictors through a `(scenario × kind)`-keyed [`PredictorCache`] —
+//!   all `Arc`-backed with hit/miss counters ([`CampaignServer::stats`]).
+//!   The predictor tier is what makes learned-estimator sweeps viable:
+//!   training a RevPred set is minutes of LSTM work, so it happens at most
+//!   once per `(scenario, kind)` no matter how many thousand campaigns
+//!   request it. Campaign results are pure functions of
+//!   `(request, scenario)`, so shared tiers change wall-clock and
+//!   counters, never reports: a sweep through the server is bit-identical
+//!   to running each campaign serially
+//!   ([`CampaignRequest::run_serial`]).
 //!
 //! ```no_run
 //! use spottune_core::prelude::*;
-//! use spottune_market::MarketScenario;
+//! use spottune_market::{EstimatorSpec, MarketScenario};
 //! use spottune_mlsim::prelude::*;
 //! use spottune_server::{CampaignServer, ServerConfig};
 //!
@@ -42,12 +48,16 @@
 //!         workload: Workload::benchmark(Algorithm::ResNet),
 //!         scenario,
 //!         seed: i,
+//!         // The learned predictor trains once; 999 campaigns reuse it.
+//!         estimator: EstimatorSpec::RevPred,
 //!     })
 //!     .collect();
 //! for response in server.submit_sweep(requests) {
 //!     println!("{}", response.report.summary());
 //! }
-//! println!("curve memo hit rate: {:.1}%", 100.0 * server.stats().curve_cache.hit_rate());
+//! let stats = server.stats();
+//! println!("curve memo hit rate: {:.1}%", 100.0 * stats.curve_cache.hit_rate());
+//! println!("predictor tier: {} trainings", stats.predictor_cache.misses);
 //! ```
 
 use crossbeam::channel::{self, Receiver, Sender};
@@ -55,6 +65,7 @@ use serde::{Deserialize, Serialize};
 use spottune_core::{CampaignRequest, CampaignResponse};
 use spottune_market::{CacheStats, PoolCache};
 use spottune_mlsim::CurveCache;
+use spottune_revpred::{PredictorCache, PredictorKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -107,10 +118,15 @@ pub struct ServerStats {
     pub pool_cache: CacheStats,
     /// Hit/miss counters of the cross-request training-curve tier.
     pub curve_cache: CacheStats,
+    /// Hit/miss counters of the `(scenario × kind)`-keyed trained-predictor
+    /// tier (every miss is one full training run).
+    pub predictor_cache: CacheStats,
     /// Distinct market scenarios currently resident.
     pub resident_pools: usize,
     /// Completed training curves currently resident.
     pub resident_curves: usize,
+    /// Trained predictor sets currently resident.
+    pub resident_predictors: usize,
 }
 
 /// One queued unit of work: the request plus the submission's reply lane.
@@ -129,6 +145,7 @@ pub struct CampaignServer {
     workers: Vec<JoinHandle<()>>,
     pools: PoolCache,
     curves: CurveCache,
+    predictors: PredictorCache,
     submitted: AtomicU64,
     completed: Arc<AtomicU64>,
 }
@@ -141,14 +158,21 @@ impl CampaignServer {
             config,
             PoolCache::new(),
             CurveCache::with_capacity(config.curve_capacity),
+            PredictorCache::new(),
         )
     }
 
     /// Spawns the worker pool against caller-provided tiers — e.g.
     /// [`CurveCache::global`] to share curves with non-server work in the
     /// same process, or tiers handed from a previous server instance to
-    /// carry warm state across restarts.
-    pub fn start_with_tiers(config: ServerConfig, pools: PoolCache, curves: CurveCache) -> Self {
+    /// carry warm state (resident pools, curves and trained predictors)
+    /// across restarts.
+    pub fn start_with_tiers(
+        config: ServerConfig,
+        pools: PoolCache,
+        curves: CurveCache,
+        predictors: PredictorCache,
+    ) -> Self {
         let workers = config.resolved_workers();
         let (req_tx, req_rx) = channel::unbounded::<WorkItem>();
         let completed = Arc::new(AtomicU64::new(0));
@@ -157,10 +181,11 @@ impl CampaignServer {
                 let rx = req_rx.clone();
                 let pools = pools.clone();
                 let curves = curves.clone();
+                let predictors = predictors.clone();
                 let completed = Arc::clone(&completed);
                 std::thread::Builder::new()
                     .name(format!("campaign-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &pools, &curves, &completed))
+                    .spawn(move || worker_loop(&rx, &pools, &curves, &predictors, &completed))
                     .expect("spawn campaign worker")
             })
             .collect();
@@ -169,6 +194,7 @@ impl CampaignServer {
             workers: handles,
             pools,
             curves,
+            predictors,
             submitted: AtomicU64::new(0),
             completed,
         }
@@ -237,6 +263,11 @@ impl CampaignServer {
         &self.curves
     }
 
+    /// Handle to the `(scenario × kind)`-keyed trained-predictor tier.
+    pub fn predictor_cache(&self) -> &PredictorCache {
+        &self.predictors
+    }
+
     /// Counters and shared-tier state.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
@@ -245,8 +276,10 @@ impl CampaignServer {
             completed: self.completed.load(Ordering::Relaxed),
             pool_cache: self.pools.stats(),
             curve_cache: self.curves.stats(),
+            predictor_cache: self.predictors.stats(),
             resident_pools: self.pools.len(),
             resident_curves: self.curves.len(),
+            resident_predictors: self.predictors.len(),
         }
     }
 
@@ -277,7 +310,9 @@ impl Drop for CampaignServer {
 }
 
 /// The resident worker body: pull a request, resolve its pool through the
-/// shared tier, run the campaign against the shared curve memo, stream the
+/// shared tier, resolve its estimator (learned specs go through the
+/// trained-predictor tier, so each `(scenario, kind)` trains at most
+/// once), run the campaign against the shared curve memo, stream the
 /// response back on the submission's reply lane.
 ///
 /// Campaign panics (a malformed wire request — NaN θ, empty grid — hitting
@@ -289,13 +324,21 @@ fn worker_loop(
     rx: &Receiver<WorkItem>,
     pools: &PoolCache,
     curves: &CurveCache,
+    predictors: &PredictorCache,
     completed: &AtomicU64,
 ) {
     while let Ok(WorkItem { request, reply }) = rx.recv() {
         let id = request.id;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let pool = pools.get(request.scenario);
-            request.campaign().run_with_cache(&pool, curves)
+            let campaign = request.campaign();
+            match PredictorKind::from_spec(&request.estimator) {
+                Some(kind) => {
+                    let trained = predictors.get(kind, request.scenario, &pool);
+                    campaign.run_with_estimator(&pool, curves, trained.as_ref())
+                }
+                None => campaign.run_with_cache(&pool, curves),
+            }
         }));
         match outcome {
             Ok(report) => {
@@ -317,7 +360,7 @@ fn worker_loop(
 mod tests {
     use super::*;
     use spottune_core::{Approach, SingleSpotKind};
-    use spottune_market::MarketScenario;
+    use spottune_market::{EstimatorSpec, MarketScenario};
     use spottune_mlsim::{Algorithm, Workload};
 
     fn tiny_workload() -> Workload {
@@ -332,6 +375,7 @@ mod tests {
             workload: tiny_workload(),
             scenario: MarketScenario::from_days(1, 5),
             seed: id,
+            estimator: EstimatorSpec::default(),
         }
     }
 
@@ -391,6 +435,29 @@ mod tests {
     fn duplicate_sweep_ids_rejected() {
         let server = CampaignServer::start(ServerConfig::with_workers(1));
         let _ = server.run_sweep(vec![request(1), request(1)]);
+    }
+
+    #[test]
+    fn predictor_tier_trains_once_for_a_shared_scenario() {
+        let server = CampaignServer::start(ServerConfig::with_workers(2));
+        // Two learned-spec requests over the same scenario: one training,
+        // one tier hit. (Logistic is the cheap family; the LSTM kinds go
+        // through exactly the same tier path.)
+        let mut requests: Vec<CampaignRequest> = (0..2).map(request).collect();
+        for req in &mut requests {
+            req.approach = Approach::SpotTune { theta: 0.7 };
+            req.estimator = EstimatorSpec::Logistic;
+        }
+        let responses = server.run_sweep(requests);
+        assert_eq!(responses.len(), 2);
+        let stats = server.stats();
+        assert_eq!(stats.predictor_cache.misses, 1, "{:?}", stats.predictor_cache);
+        assert!(stats.predictor_cache.hits > 0, "{:?}", stats.predictor_cache);
+        assert_eq!(stats.resident_predictors, 1);
+        // Oracle campaigns never touch the tier.
+        server.run_sweep(vec![request(9)]);
+        assert_eq!(server.stats().predictor_cache.lookups(), 2);
+        server.shutdown();
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //! acceptance): the new `hybrid` and `bid-aware` strategies ride the same
 //! cached pipeline as the paper's approaches, with curve-tier hits, and a
 //! bounded curve tier evicts instead of growing with a many-seed sweep.
+//! ISSUE 5 widens the matrix to policy × estimator: every registered
+//! policy also sweeps under a learned revocation predictor, with the
+//! trained-predictor tier amortizing training across the whole matrix.
 
 use spottune_core::prelude::*;
-use spottune_market::MarketScenario;
+use spottune_market::{EstimatorSpec, MarketScenario, SimDur};
 use spottune_mlsim::prelude::*;
 use spottune_server::{CampaignServer, ServerConfig};
 
@@ -29,6 +32,7 @@ fn every_registered_policy_sweeps_through_the_server() {
                 workload: workload.clone(),
                 scenario,
                 seed,
+                estimator: EstimatorSpec::default(),
             });
         }
     }
@@ -68,6 +72,59 @@ fn every_registered_policy_sweeps_through_the_server() {
 }
 
 #[test]
+fn every_policy_sweeps_under_a_learned_predictor() {
+    let workload = tiny_workload();
+    // Short traces keep the LSTM training windows tiny (a handful of
+    // samples per market); two scenarios × one kind must train exactly
+    // twice no matter how many campaigns ask for the predictor.
+    let scenarios = [
+        MarketScenario::new(SimDur::from_hours(5), 31),
+        MarketScenario::new(SimDur::from_hours(5), 32),
+    ];
+    let mut requests = Vec::new();
+    for name in Approach::registered_policies() {
+        let approach = Approach::from_policy_name(name, 0.7).expect("registered");
+        for &scenario in &scenarios {
+            requests.push(CampaignRequest {
+                id: requests.len() as u64,
+                approach,
+                workload: workload.clone(),
+                scenario,
+                seed: 3,
+                estimator: EstimatorSpec::RevPred,
+            });
+        }
+    }
+    let total = requests.len();
+    assert_eq!(total, 6 * 2);
+
+    let server = CampaignServer::start(ServerConfig::with_workers(4));
+    let responses = server.run_sweep(requests.clone());
+    assert_eq!(responses.len(), total);
+    for response in &responses {
+        let report = &response.report;
+        assert_eq!(report.predicted_finals.len(), 2, "{}", report.approach);
+        assert!(report.cost >= 0.0 && report.jct.as_secs() > 0, "{}", report.approach);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, total as u64);
+    assert_eq!(
+        stats.predictor_cache.misses, 2,
+        "training must happen at most once per scenario × kind: {:?}",
+        stats.predictor_cache
+    );
+    assert_eq!(stats.predictor_cache.hits, total as u64 - 2);
+    assert_eq!(stats.resident_predictors, 2);
+
+    // The learned-predictor path through the server is bit-identical to
+    // the serial reference resolution.
+    let request = &requests[0];
+    let serial = request.run_serial(&request.scenario.build(), &CurveCache::new());
+    assert_eq!(serial, responses[0].report, "server vs serial learned-spec report");
+    server.shutdown();
+}
+
+#[test]
 fn bounded_curve_tier_evicts_under_many_seeds() {
     let workload = tiny_workload();
     let scenario = MarketScenario::from_days(1, 21);
@@ -79,6 +136,7 @@ fn bounded_curve_tier_evicts_under_many_seeds() {
             workload: workload.clone(),
             scenario,
             seed,
+            estimator: EstimatorSpec::default(),
         })
         .collect();
     let server =
@@ -99,6 +157,7 @@ fn bounded_curve_tier_evicts_under_many_seeds() {
                 workload: workload.clone(),
                 scenario,
                 seed,
+                estimator: EstimatorSpec::default(),
             })
             .collect(),
     );

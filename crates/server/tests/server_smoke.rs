@@ -2,7 +2,7 @@
 //! report arrives (the job `.github/workflows/ci.yml` runs by name).
 
 use spottune_core::prelude::*;
-use spottune_market::MarketScenario;
+use spottune_market::{EstimatorSpec, MarketScenario};
 use spottune_mlsim::prelude::*;
 use spottune_server::{CampaignServer, ServerConfig};
 
@@ -22,6 +22,7 @@ fn smoke_32_campaign_sweep_all_reports_arrive() {
             workload: workload.clone(),
             scenario,
             seed: i / 4,
+            estimator: EstimatorSpec::default(),
         })
         .collect();
 

@@ -5,7 +5,7 @@
 //! results — and the cross-request curve-memo tier actually gets hits.
 
 use spottune_core::prelude::*;
-use spottune_market::MarketScenario;
+use spottune_market::{EstimatorSpec, MarketScenario};
 use spottune_mlsim::prelude::*;
 use spottune_server::{CampaignServer, ServerConfig};
 
@@ -36,6 +36,7 @@ fn sweep_requests() -> Vec<CampaignRequest> {
                         workload: workload.clone(),
                         scenario,
                         seed,
+                        estimator: EstimatorSpec::default(),
                     });
                 }
             }
@@ -76,7 +77,7 @@ fn sweep_1000_is_bit_identical_to_serial_with_memo_hits() {
         let pool = pools
             .entry(request.scenario)
             .or_insert_with(|| request.scenario.build());
-        let serial = request.campaign().run(pool);
+        let serial = request.run_serial(pool, &CurveCache::global());
         assert_eq!(
             serial, response.report,
             "sharded and serial reports must be bit-identical (request {})",
