@@ -25,7 +25,8 @@
 //! single-spot baselines for backwards compatibility. `--workers 0` (the
 //! default) sizes the pool to the machine; `--curve-capacity N` bounds the
 //! shared curve tier to `N` resident curves (LRU, `0` = unbounded) for
-//! many-seed sweeps.
+//! many-seed sweeps, and `--predictor-capacity N` bounds the trained-
+//! predictor tier the same way for scenario-heavy learned sweeps.
 
 use spottune_bench::TRACE_DAYS;
 use spottune_core::prelude::*;
@@ -44,6 +45,7 @@ struct Args {
     scenario_seeds: u64,
     days: u64,
     curve_capacity: usize,
+    predictor_capacity: usize,
     baselines: bool,
     quiet: bool,
 }
@@ -59,6 +61,7 @@ fn parse_args() -> Args {
         scenario_seeds: 1,
         days: TRACE_DAYS,
         curve_capacity: 0,
+        predictor_capacity: 0,
         baselines: false,
         quiet: false,
     };
@@ -112,6 +115,10 @@ fn parse_args() -> Args {
             "--curve-capacity" => {
                 args.curve_capacity =
                     value("--curve-capacity").parse().expect("--curve-capacity: usize");
+            }
+            "--predictor-capacity" => {
+                args.predictor_capacity =
+                    value("--predictor-capacity").parse().expect("--predictor-capacity: usize");
             }
             "--baselines" => args.baselines = true,
             "--quiet" => args.quiet = true,
@@ -184,7 +191,9 @@ fn main() {
     assert!(total > 0, "empty sweep: no workload × policy combinations");
 
     let server = CampaignServer::start(
-        ServerConfig::with_workers(args.workers).with_curve_capacity(args.curve_capacity),
+        ServerConfig::with_workers(args.workers)
+            .with_curve_capacity(args.curve_capacity)
+            .with_predictor_capacity(args.predictor_capacity),
     );
     let workers = server.stats().workers;
     println!(

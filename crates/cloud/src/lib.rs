@@ -20,11 +20,13 @@
 //! ```
 
 pub mod billing;
+pub mod fault;
 pub mod provider;
 pub mod storage;
 pub mod vm;
 
 pub use billing::{BillRecord, EndCause, Ledger};
+pub use fault::{FaultPlan, Storm};
 pub use provider::{CloudEvent, CloudProvider, RequestSpotError};
 pub use storage::ObjectStore;
 pub use vm::{Pricing, Vm, VmId, VmState};
@@ -32,6 +34,7 @@ pub use vm::{Pricing, Vm, VmId, VmState};
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::billing::{BillRecord, EndCause, Ledger};
+    pub use crate::fault::{FaultPlan, Storm};
     pub use crate::provider::{CloudEvent, CloudProvider, RequestSpotError};
     pub use crate::storage::ObjectStore;
     pub use crate::vm::{Pricing, Vm, VmId, VmState};

@@ -8,6 +8,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::billing::{settle, settle_on_demand, BillRecord, EndCause, Ledger};
+use crate::fault::FaultPlan;
 use crate::vm::{Pricing, Vm, VmId, VmState};
 
 /// Default lead time of the revocation notice: "termination notices ... are
@@ -20,12 +21,17 @@ pub const DEFAULT_LAUNCH_DELAY: SimDur = SimDur::from_secs(30);
 /// Event surfaced by [`CloudProvider::poll`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CloudEvent {
-    /// The two-minute revocation warning for a VM.
+    /// The revocation warning for a VM, normally two minutes ahead.
     RevocationNotice {
         /// VM being reclaimed.
         vm: VmId,
         /// Instant the VM disappears.
         revoke_at: SimTime,
+        /// Time left between *delivery* of this notice and `revoke_at` —
+        /// the window in which a checkpoint can still be transferred out.
+        /// Zero when the notice is delivered late (same poll as the
+        /// revocation, or a fault-delayed lead already elapsed).
+        grace: SimDur,
     },
     /// A VM has been reclaimed by the provider.
     Revoked {
@@ -95,6 +101,9 @@ pub struct CloudProvider {
     next_id: u64,
     launch_delay: SimDur,
     notice_lead: SimDur,
+    /// Optional injected-fault schedule. `None` (the default) leaves every
+    /// code path bit-identical to a fault-free provider.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl CloudProvider {
@@ -108,6 +117,7 @@ impl CloudProvider {
             next_id: 0,
             launch_delay: DEFAULT_LAUNCH_DELAY,
             notice_lead: NOTICE_LEAD,
+            fault_plan: None,
         }
     }
 
@@ -115,6 +125,17 @@ impl CloudProvider {
     pub fn with_launch_delay(mut self, delay: SimDur) -> Self {
         self.launch_delay = delay;
         self
+    }
+
+    /// Installs a seeded fault schedule (storms, delayed notices).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// The market pool backing this provider.
@@ -154,17 +175,31 @@ impl CloudProvider {
         let launched_at = t + self.launch_delay;
         // Revocation is determined by the trace; search to the end of it.
         let horizon = market.trace().duration();
-        let revoke_at = market.revocation_within(launched_at, horizon, max_price);
+        let trace_revoke = market.revocation_within(launched_at, horizon, max_price);
         let id = VmId::new(self.next_id);
         self.next_id += 1;
+        // An injected storm reclaims the VM even if the trace never would;
+        // whichever cause strikes first wins.
+        let storm_revoke = self
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.storm_revoke_at(instance_name, launched_at));
+        let revoke_at = match (trace_revoke, storm_revoke) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let lead = self
+            .fault_plan
+            .as_ref()
+            .map_or(self.notice_lead, |p| p.notice_lead_for(id, self.notice_lead));
         if let Some(at) = revoke_at {
             self.agenda
-                .insert((at.saturating_sub(self.notice_lead), id, PendingKind::Notice));
+                .insert((at.saturating_sub(lead), id, PendingKind::Notice));
             self.agenda.insert((at, id, PendingKind::Revoke));
         }
         self.vms.insert(
             id,
-            Vm::new(id, market.instance().clone(), launched_at, max_price, revoke_at),
+            Vm::new(id, market.instance().clone(), launched_at, max_price, revoke_at, lead),
         );
         Ok(id)
     }
@@ -237,17 +272,21 @@ impl CloudProvider {
                 continue; // stale entry: terminated this instant
             }
             let revoke_at = vm.revoke_at.expect("agenda vm has a revocation");
+            // The grace window is measured from *delivery*: polling after
+            // the scheduled notice instant (or past the revocation itself)
+            // leaves that much less time to transfer a checkpoint out.
+            let grace = revoke_at - t;
             match kind {
                 PendingKind::Notice => {
                     vm.notice_sent = true;
                     vm.state = VmState::Notified { revoke_at };
-                    events.push(CloudEvent::RevocationNotice { vm: id, revoke_at });
+                    events.push(CloudEvent::RevocationNotice { vm: id, revoke_at, grace });
                 }
                 PendingKind::Revoke => {
                     // Deliver a (late) notice if the poll skipped the window.
                     if !vm.notice_sent {
                         vm.notice_sent = true;
-                        events.push(CloudEvent::RevocationNotice { vm: id, revoke_at });
+                        events.push(CloudEvent::RevocationNotice { vm: id, revoke_at, grace });
                     }
                     vm.state = VmState::Revoked { at: revoke_at };
                     let record = self.settle_vm(id, revoke_at, EndCause::ProviderRevoked);
@@ -274,19 +313,22 @@ impl CloudProvider {
                 continue;
             }
             let Some(revoke_at) = vm.revoke_at else { continue };
-            if !vm.notice_sent && t >= revoke_at.saturating_sub(self.notice_lead) && t < revoke_at {
+            // Per-VM lead: a fault plan may have shrunk this VM's warning.
+            let lead = vm.notice_lead;
+            let grace = revoke_at - t;
+            if !vm.notice_sent && t >= revoke_at.saturating_sub(lead) && t < revoke_at {
                 vm.notice_sent = true;
                 vm.state = VmState::Notified { revoke_at };
                 self.agenda
-                    .remove(&(revoke_at.saturating_sub(self.notice_lead), id, PendingKind::Notice));
-                events.push(CloudEvent::RevocationNotice { vm: id, revoke_at });
+                    .remove(&(revoke_at.saturating_sub(lead), id, PendingKind::Notice));
+                events.push(CloudEvent::RevocationNotice { vm: id, revoke_at, grace });
             }
             if t >= revoke_at {
                 if !vm.notice_sent {
                     vm.notice_sent = true;
                     self.agenda
-                        .remove(&(revoke_at.saturating_sub(self.notice_lead), id, PendingKind::Notice));
-                    events.push(CloudEvent::RevocationNotice { vm: id, revoke_at });
+                        .remove(&(revoke_at.saturating_sub(lead), id, PendingKind::Notice));
+                    events.push(CloudEvent::RevocationNotice { vm: id, revoke_at, grace });
                 }
                 vm.state = VmState::Revoked { at: revoke_at };
                 self.agenda.remove(&(revoke_at, id, PendingKind::Revoke));
@@ -316,7 +358,7 @@ impl CloudProvider {
         vm.state = VmState::Terminated { at: end };
         let revoke_at = vm.revoke_at;
         if let Some(at) = revoke_at {
-            let lead = self.notice_lead;
+            let lead = vm.notice_lead;
             self.agenda.remove(&(at.saturating_sub(lead), id, PendingKind::Notice));
             self.agenda.remove(&(at, id, PendingKind::Revoke));
         }
@@ -409,7 +451,11 @@ mod tests {
         let ev = p.poll(SimTime::from_mins(88));
         assert_eq!(
             ev,
-            vec![CloudEvent::RevocationNotice { vm, revoke_at: SimTime::from_mins(90) }]
+            vec![CloudEvent::RevocationNotice {
+                vm,
+                revoke_at: SimTime::from_mins(90),
+                grace: SimDur::from_secs(120),
+            }]
         );
         assert!(matches!(p.vm(vm).unwrap().state(), VmState::Notified { .. }));
         // Still alive during the notice window.
@@ -490,6 +536,107 @@ mod tests {
         let vm = p.request_spot(SimTime::ZERO, "t.spike", 10.0).unwrap();
         assert!(p.poll(SimTime::from_mins(239)).is_empty());
         assert!(p.vm(vm).unwrap().is_alive());
+    }
+
+    #[test]
+    fn late_poll_delivers_notice_with_zero_grace() {
+        let mut p = provider();
+        let vm = p.request_spot(SimTime::ZERO, "t.spike", 0.2).unwrap();
+        // Jumping straight past the revocation leaves no usable window.
+        let ev = p.poll(SimTime::from_mins(95));
+        assert_eq!(
+            ev[0],
+            CloudEvent::RevocationNotice {
+                vm,
+                revoke_at: SimTime::from_mins(90),
+                grace: SimDur::ZERO,
+            }
+        );
+    }
+
+    #[test]
+    fn storm_revokes_every_vm_in_the_market_at_once() {
+        let plan = FaultPlan::new(5).with_storm("t.spike", SimTime::from_mins(40));
+        let mut p = CloudProvider::new(spike_pool())
+            .with_launch_delay(SimDur::ZERO)
+            .with_fault_plan(plan);
+        // Bids high enough that the trace alone would never revoke them.
+        let a = p.request_spot(SimTime::ZERO, "t.spike", 10.0).unwrap();
+        let b = p.request_spot(SimTime::from_mins(10), "t.spike", 10.0).unwrap();
+        assert_eq!(p.next_event_at(), Some(SimTime::from_mins(38)));
+        let ev = p.poll(SimTime::from_mins(38));
+        assert_eq!(ev.len(), 2, "both VMs get the storm notice: {ev:?}");
+        let ev = p.poll(SimTime::from_mins(40));
+        assert_eq!(
+            ev,
+            vec![
+                CloudEvent::Revoked { vm: a, at: SimTime::from_mins(40) },
+                CloudEvent::Revoked { vm: b, at: SimTime::from_mins(40) },
+            ]
+        );
+        // A VM launched after the (only) storm is untouched by it.
+        let c = p.request_spot(SimTime::from_mins(41), "t.spike", 10.0).unwrap();
+        assert!(p.poll(SimTime::from_mins(239)).is_empty());
+        assert!(p.vm(c).unwrap().is_alive());
+    }
+
+    #[test]
+    fn storm_never_postpones_a_trace_revocation() {
+        // Storm at minute 120 but the trace revokes this bid at minute 90.
+        let plan = FaultPlan::new(5).with_storm("t.spike", SimTime::from_mins(120));
+        let mut p = CloudProvider::new(spike_pool())
+            .with_launch_delay(SimDur::ZERO)
+            .with_fault_plan(plan);
+        let vm = p.request_spot(SimTime::ZERO, "t.spike", 0.2).unwrap();
+        p.poll(SimTime::from_mins(95));
+        assert_eq!(p.vm(vm).unwrap().state(), VmState::Revoked { at: SimTime::from_mins(90) });
+    }
+
+    #[test]
+    fn delayed_notice_shrinks_the_grace_window() {
+        let plan = FaultPlan::new(5)
+            .with_storm("t.spike", SimTime::from_mins(40))
+            .with_delayed_notices(1.0, SimDur::from_secs(10));
+        let mut p = CloudProvider::new(spike_pool())
+            .with_launch_delay(SimDur::ZERO)
+            .with_fault_plan(plan);
+        let vm = p.request_spot(SimTime::ZERO, "t.spike", 10.0).unwrap();
+        assert_eq!(p.vm(vm).unwrap().notice_lead(), SimDur::from_secs(10));
+        // Nothing at the contractual two-minute mark…
+        assert!(p.poll(SimTime::from_mins(38)).is_empty());
+        // …the notice fires only 10 s ahead.
+        let ev = p.poll(SimTime::from_secs(40 * 60 - 10));
+        assert_eq!(
+            ev,
+            vec![CloudEvent::RevocationNotice {
+                vm,
+                revoke_at: SimTime::from_mins(40),
+                grace: SimDur::from_secs(10),
+            }]
+        );
+    }
+
+    #[test]
+    fn poll_and_poll_scan_agree_under_faults() {
+        let plan = FaultPlan::new(9)
+            .with_periodic_storms("t.spike", SimTime::from_mins(35), SimDur::from_mins(45), 3)
+            .with_delayed_notices(0.5, SimDur::from_secs(10));
+        let build = || {
+            CloudProvider::new(spike_pool())
+                .with_launch_delay(SimDur::ZERO)
+                .with_fault_plan(plan.clone())
+        };
+        let mut a = build();
+        let mut b = build();
+        for (i, launch) in [0u64, 5, 10, 36, 80].iter().enumerate() {
+            let bid = if i % 2 == 0 { 10.0 } else { 0.2 };
+            a.request_spot(SimTime::from_mins(*launch), "t.spike", bid).unwrap();
+            b.request_spot(SimTime::from_mins(*launch), "t.spike", bid).unwrap();
+        }
+        for m in 0..240 {
+            let t = SimTime::from_mins(m);
+            assert_eq!(a.poll(t), b.poll_scan(t), "diverged at minute {m}");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Virtual-machine identities and lifecycle state.
 
 use serde::{Deserialize, Serialize};
-use spottune_market::{InstanceType, SimTime};
+use spottune_market::{InstanceType, SimDur, SimTime};
 use std::fmt;
 
 /// Opaque identifier of a simulated VM.
@@ -83,9 +83,14 @@ pub struct Vm {
     launched_at: SimTime,
     max_price: f64,
     pricing: Pricing,
-    /// Precomputed provider-side revocation instant (from the price trace),
-    /// if the trace ever exceeds `max_price` after launch.
+    /// Precomputed provider-side revocation instant (from the price trace
+    /// or an injected storm), if any.
     pub(crate) revoke_at: Option<SimTime>,
+    /// Warning lead this VM's revocation notice gets. Normally the
+    /// provider-wide lead; a [`FaultPlan`](crate::FaultPlan) may shrink it
+    /// per VM, so every code path that schedules or matches a notice must
+    /// read the lead from here rather than from the provider.
+    pub(crate) notice_lead: SimDur,
     pub(crate) state: VmState,
     pub(crate) notice_sent: bool,
 }
@@ -97,6 +102,7 @@ impl Vm {
         launched_at: SimTime,
         max_price: f64,
         revoke_at: Option<SimTime>,
+        notice_lead: SimDur,
     ) -> Self {
         Vm {
             id,
@@ -105,6 +111,7 @@ impl Vm {
             max_price,
             pricing: Pricing::Spot,
             revoke_at,
+            notice_lead,
             state: VmState::Running,
             notice_sent: false,
         }
@@ -119,6 +126,7 @@ impl Vm {
             max_price,
             pricing: Pricing::OnDemand,
             revoke_at: None,
+            notice_lead: SimDur::ZERO,
             state: VmState::Running,
             notice_sent: false,
         }
@@ -147,6 +155,12 @@ impl Vm {
     /// How this VM is billed and reclaimed.
     pub fn pricing(&self) -> Pricing {
         self.pricing
+    }
+
+    /// Warning lead this VM's revocation notice carries (zero for
+    /// on-demand capacity, which is never revoked).
+    pub fn notice_lead(&self) -> SimDur {
+        self.notice_lead
     }
 
     /// Whether this VM is transient (revocable spot capacity).
@@ -189,7 +203,14 @@ mod tests {
     #[test]
     fn vm_accessors() {
         let inst = instance::by_name("r4.large").unwrap();
-        let vm = Vm::new(VmId::new(3), inst.clone(), SimTime::from_secs(30), 0.05, None);
+        let vm = Vm::new(
+            VmId::new(3),
+            inst.clone(),
+            SimTime::from_secs(30),
+            0.05,
+            None,
+            SimDur::from_secs(120),
+        );
         assert_eq!(vm.id().as_u64(), 3);
         assert_eq!(vm.id().to_string(), "vm-3");
         assert_eq!(vm.instance().name(), "r4.large");

@@ -154,6 +154,8 @@ pub fn run_single_spot_with_cache(
         selected: ranking.into_iter().take(3).collect(),
         deployments: workload.hp_grid().len() as u64,
         revocations: 0,
+        lost_steps: 0,
+        migrations: 0,
     }
 }
 
@@ -247,6 +249,8 @@ pub fn run_on_demand_with_cache(
         selected: ranking.into_iter().take(3).collect(),
         deployments: workload.hp_grid().len() as u64,
         revocations: 0,
+        lost_steps: 0,
+        migrations: 0,
     }
 }
 

@@ -19,7 +19,10 @@
 use crate::baseline::SingleSpotKind;
 use crate::config::SpotTuneConfig;
 use crate::engine::Engine;
-use crate::policy::{BidAware, HybridSpotOnDemand, OnDemand, ProvisionPolicy, SingleSpot, SpotTuneTheta};
+use crate::policy::{
+    BidAware, HybridSpotOnDemand, MigrationAware, OnDemand, ProvisionPolicy, SingleSpot,
+    SpotTuneTheta,
+};
 use crate::provision::OracleEstimator;
 use crate::report::HptReport;
 use serde::{Deserialize, Serialize};
@@ -56,6 +59,13 @@ pub enum Approach {
         /// Early-shutdown rate.
         theta: f64,
     },
+    /// Grace-window-aware provisioning: SpotTune placement plus partial
+    /// checkpoint planning under bandwidth-limited notice windows and a
+    /// Kuhn–Munkres batch matcher for storm-displaced jobs.
+    MigrationAware {
+        /// Early-shutdown rate.
+        theta: f64,
+    },
 }
 
 /// Revocations tolerated by [`Approach::Hybrid`] before it pins a
@@ -76,8 +86,16 @@ impl Approach {
     /// Every registered policy name, in registry order. These are the
     /// stable identifiers accepted by [`Approach::from_policy_name`], the
     /// `run_campaigns --policy` flag and the CI policy matrix.
-    pub fn registered_policies() -> [&'static str; 6] {
-        ["spottune", "single-spot-cheapest", "single-spot-fastest", "on-demand", "hybrid", "bid-aware"]
+    pub fn registered_policies() -> [&'static str; 7] {
+        [
+            "spottune",
+            "single-spot-cheapest",
+            "single-spot-fastest",
+            "on-demand",
+            "hybrid",
+            "bid-aware",
+            "migration-aware",
+        ]
     }
 
     /// The registry name of this approach's policy.
@@ -89,6 +107,7 @@ impl Approach {
             Approach::OnDemand(_) => "on-demand",
             Approach::Hybrid { .. } => "hybrid",
             Approach::BidAware { .. } => "bid-aware",
+            Approach::MigrationAware { .. } => "migration-aware",
         }
     }
 
@@ -105,6 +124,7 @@ impl Approach {
                 Some(Approach::Hybrid { theta, max_revocations: DEFAULT_HYBRID_STRIKES })
             }
             "bid-aware" => Some(Approach::BidAware { theta }),
+            "migration-aware" => Some(Approach::MigrationAware { theta }),
             _ => None,
         }
     }
@@ -114,7 +134,10 @@ impl Approach {
     pub fn is_theta_parameterized(&self) -> bool {
         matches!(
             self,
-            Approach::SpotTune { .. } | Approach::Hybrid { .. } | Approach::BidAware { .. }
+            Approach::SpotTune { .. }
+                | Approach::Hybrid { .. }
+                | Approach::BidAware { .. }
+                | Approach::MigrationAware { .. }
         )
     }
 
@@ -123,7 +146,8 @@ impl Approach {
         let theta = match *self {
             Approach::SpotTune { theta }
             | Approach::Hybrid { theta, .. }
-            | Approach::BidAware { theta } => theta,
+            | Approach::BidAware { theta }
+            | Approach::MigrationAware { theta } => theta,
             Approach::SingleSpot(_) | Approach::OnDemand(_) => 1.0,
         };
         SpotTuneConfig::new(theta, 3).with_seed(seed)
@@ -150,6 +174,9 @@ impl Approach {
             )),
             Approach::BidAware { theta } => {
                 Box::new(BidAware::new(estimator, config.delta_range, theta))
+            }
+            Approach::MigrationAware { theta } => {
+                Box::new(MigrationAware::new(estimator, config.delta_range, theta))
             }
         }
     }

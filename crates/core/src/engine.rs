@@ -29,11 +29,14 @@
 use crate::config::{DriveMode, SpotTuneConfig};
 use crate::job::{FinishReason, Job};
 use crate::perfmatrix::PerfMatrix;
-use crate::policy::{DeployCtx, Placement, PolicyMode, ProvisionPolicy};
+use crate::policy::{
+    CheckpointPlan, DeployCtx, MigrationCtx, MigrationJob, Placement, PolicyMode, ProvisionPolicy,
+};
 use crate::report::HptReport;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spottune_cloud::{CloudEvent, CloudProvider, ObjectStore, VmId};
+use spottune_cloud::storage::{checkpoint_speed_mbps, transfer_time};
+use spottune_cloud::{CloudEvent, CloudProvider, FaultPlan, ObjectStore, VmId};
 use spottune_earlycurve::EarlyCurveConfig;
 use spottune_market::{MarketPool, SimDur, SimTime};
 use spottune_mlsim::{CurveCache, PerfModel, TrainingRun, Workload};
@@ -97,6 +100,7 @@ pub struct Engine {
     perf_model: PerfModel,
     ec_config: EarlyCurveConfig,
     curve_cache: CurveCache,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Engine {
@@ -110,7 +114,20 @@ impl Engine {
             perf_model: PerfModel::new(),
             ec_config: EarlyCurveConfig::default(),
             curve_cache: CurveCache::global(),
+            fault_plan: None,
         }
+    }
+
+    /// Installs a seeded fault schedule (correlated revocation storms,
+    /// delayed notices, checkpoint upload failures) on the transient
+    /// drive's provider. The dedicated drive ignores the plan — its
+    /// baselines assume reliable capacity by construction. With no plan
+    /// (the default) every campaign is bit-identical to a fault-free
+    /// build, and because every injected decision is a pure function of
+    /// the plan's seed, the same plan replays bit-identically.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// Overrides the EarlyCurve configuration.
@@ -156,6 +173,9 @@ impl Engine {
         let target = cfg.target_steps(max_steps);
 
         let mut provider = CloudProvider::new(self.pool.clone());
+        if let Some(plan) = &self.fault_plan {
+            provider = provider.with_fault_plan(plan.clone());
+        }
         let mut store = ObjectStore::new();
         let mut matrix = PerfMatrix::new(cfg.c0, cfg.ewma_alpha);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ ORCH_SALT);
@@ -255,6 +275,8 @@ impl Engine {
             selected,
             deployments: jobs.iter().map(|j| j.deployments).sum(),
             revocations: jobs.iter().map(|j| j.revocations).sum(),
+            lost_steps: jobs.iter().map(|j| j.lost_steps).sum(),
+            migrations: jobs.iter().map(|j| j.migrations).sum(),
         };
         (report, events)
     }
@@ -359,6 +381,8 @@ impl Engine {
             selected: ranking.into_iter().take(cfg.mcnt).collect(),
             deployments: workload.hp_grid().len() as u64,
             revocations: 0,
+            lost_steps: 0,
+            migrations: 0,
         };
         (report, events)
     }
@@ -595,18 +619,98 @@ impl Engine {
             };
             for event in cloud_events {
                 match event {
-                    CloudEvent::RevocationNotice { vm, .. } => {
+                    CloudEvent::RevocationNotice { vm, grace, .. } => {
                         if let Some(job) = job_on_vm(jobs, vm) {
-                            // Checkpoint within the two-minute window
-                            // (§IV.F guarantees our model sizes fit).
+                            // Checkpoint inside the grace window (§IV.F).
+                            // The window is bandwidth-limited: only
+                            // `upload speed × grace` MB can leave the VM
+                            // before it disappears. Under the default
+                            // two-minute notice every model fits whole
+                            // (`frac ≥ 1`); fault-delayed notices shrink
+                            // the window and force the policy to choose
+                            // between a truncated partial capture and
+                            // abandoning the upload.
                             if !job.halted {
                                 job.halted = true;
-                                let inst = provider.vm(vm).expect("vm exists").instance().clone();
+                                let vm_ref = provider.vm(vm).expect("vm exists");
+                                let inst = vm_ref.instance().clone();
+                                let age = t.since(vm_ref.launched_at());
                                 let size = job.model_size_mb;
-                                let dur = store.put(&job.ckpt_key, size, &inst);
-                                debug_assert!(dur.as_secs() <= 120, "checkpoint must fit the notice window");
-                                job.overhead += dur;
-                                events.push(TraceEvent::NoticeCheckpoint { job: job.hp_index, at: t });
+                                let frac = if size > 0.0 {
+                                    checkpoint_speed_mbps(&inst) * grace.as_secs_f64() / size
+                                } else {
+                                    f64::INFINITY
+                                };
+                                // A notice is a revocation regardless of VM
+                                // age, so `should_checkpoint` is consulted
+                                // here unconditionally (unlike the recycle
+                                // gate, which only fires past the one-hour
+                                // threshold).
+                                let plan = if policy.should_checkpoint(job.hp_index, age) {
+                                    policy.plan_checkpoint(job.hp_index, frac)
+                                } else {
+                                    CheckpointPlan::Abandon
+                                };
+                                let fails = provider
+                                    .fault_plan()
+                                    .is_some_and(|p| p.checkpoint_fails(job.hp_index, t));
+                                let captured = match plan {
+                                    CheckpointPlan::Full if frac >= 1.0 && !fails => {
+                                        let dur = store.put(&job.ckpt_key, size, &inst);
+                                        debug_assert!(
+                                            dur <= grace || size <= 0.0,
+                                            "full checkpoint must fit the window"
+                                        );
+                                        job.overhead += dur;
+                                        events.push(TraceEvent::NoticeCheckpoint {
+                                            job: job.hp_index,
+                                            at: t,
+                                        });
+                                        job.durable_steps = job.steps_done;
+                                        job.steps_done
+                                    }
+                                    CheckpointPlan::Full if frac >= 1.0 => {
+                                        // Injected upload failure: the
+                                        // transfer time is burned, the old
+                                        // checkpoint survives.
+                                        job.overhead += transfer_time(&inst, size);
+                                        job.durable_steps
+                                    }
+                                    CheckpointPlan::Full => {
+                                        // Window too short for the whole
+                                        // model: the upload is cut off at
+                                        // revocation — the window is burned
+                                        // and nothing durable is written.
+                                        job.overhead += grace;
+                                        job.durable_steps
+                                    }
+                                    CheckpointPlan::Partial(f) => {
+                                        let f = f.min(frac).clamp(0.0, 1.0);
+                                        let bytes = f * size;
+                                        if bytes <= 0.0 {
+                                            job.durable_steps
+                                        } else if fails {
+                                            job.overhead += transfer_time(&inst, bytes);
+                                            job.durable_steps
+                                        } else {
+                                            let dur = store.put(&job.ckpt_key, bytes, &inst);
+                                            job.overhead += dur;
+                                            events.push(TraceEvent::NoticeCheckpoint {
+                                                job: job.hp_index,
+                                                at: t,
+                                            });
+                                            // A fraction of the bytes holds a
+                                            // fraction of the uncaptured work.
+                                            let delta = job.steps_done - job.durable_steps;
+                                            let captured = job.durable_steps
+                                                + (f * delta as f64).floor() as u64;
+                                            job.durable_steps = captured;
+                                            captured
+                                        }
+                                    }
+                                    CheckpointPlan::Abandon => job.durable_steps,
+                                };
+                                job.pending_capture = Some(captured);
                             }
                         }
                     }
@@ -622,6 +726,14 @@ impl Engine {
                                 .map(|r| r.was_free())
                                 .unwrap_or(false);
                             job.settle_vm_steps(was_free);
+                            // Fall back to whatever the grace window
+                            // actually captured; steps past it are lost
+                            // and re-executed on the next placement. A
+                            // revocation with no preceding notice (a
+                            // zero-grace storm) keeps everything only if
+                            // the last durable checkpoint covers it.
+                            let captured = job.pending_capture.take().unwrap_or(job.steps_done);
+                            job.roll_back_to(captured);
                             let hp_index = job.hp_index;
                             events.push(TraceEvent::Revoked { job: hp_index, free: was_free, at: t });
                             policy.on_revocation(hp_index, t);
@@ -700,6 +812,7 @@ impl Engine {
                         let size = job.model_size_mb;
                         let dur = store.put(&job.ckpt_key, size, &inst);
                         job.overhead += dur;
+                        job.durable_steps = job.steps_done;
                         let record = provider.terminate(t, vm_id);
                         job.settle_vm_steps(record.was_free());
                         events.push(TraceEvent::Finished {
@@ -743,58 +856,120 @@ impl Engine {
                 {
                     let inst = vm.instance().clone();
                     let size = job.model_size_mb;
+                    if provider
+                        .fault_plan()
+                        .is_some_and(|p| p.checkpoint_fails(job.hp_index, t))
+                    {
+                        // Injected write failure: the upload time is burned,
+                        // the VM keeps running, and the recycle retries at a
+                        // later tick (a different instant hashes to a fresh
+                        // fault draw).
+                        job.overhead += transfer_time(&inst, size);
+                        continue;
+                    }
                     let dur = store.put(&job.ckpt_key, size, &inst);
                     job.overhead += dur;
+                    job.durable_steps = job.steps_done;
                     let record = provider.terminate(t, vm_id);
                     job.settle_vm_steps(record.was_free());
                     events.push(TraceEvent::Recycled { job: job.hp_index, at: t });
                 }
             }
 
-            // (4) (Re)deploy waiting jobs (Algorithm 1 lines 38–44).
-            for job in jobs.iter_mut() {
-                if !job.is_waiting() {
-                    continue;
-                }
-                let ctx = DeployCtx { t, hp_index: job.hp_index, pool: &self.pool, matrix };
-                let (vm_id, instance, max_price) = match policy.choose_instance(&ctx, rng) {
-                    Placement::Spot(choice) => {
-                        let Ok(id) = provider.request_spot(t, &choice.instance, choice.max_price)
-                        else {
-                            continue; // price moved above the offer; retry next poll
-                        };
-                        (id, choice.instance, choice.max_price)
+            // (4) (Re)deploy waiting jobs (Algorithm 1 lines 38–44). The
+            // whole displaced batch is first offered to the policy's joint
+            // migration matcher; policies without one (the default) fall
+            // through to the historical per-job loop, bit for bit.
+            let waiting: Vec<MigrationJob> = jobs
+                .iter()
+                .filter(|j| j.is_waiting())
+                .map(|j| MigrationJob {
+                    hp_index: j.hp_index,
+                    remaining_steps: j.target_steps.saturating_sub(j.steps_done),
+                })
+                .collect();
+            let batch = if waiting.is_empty() {
+                None
+            } else {
+                let ctx = MigrationCtx { t, pool: &self.pool, matrix };
+                policy.assign_migrations(&waiting, &ctx)
+            };
+            match batch {
+                Some(placements) => {
+                    assert_eq!(
+                        placements.len(),
+                        waiting.len(),
+                        "assign_migrations must return one placement per displaced job"
+                    );
+                    for (mjob, placement) in waiting.iter().zip(placements) {
+                        let job = jobs
+                            .iter_mut()
+                            .find(|j| j.hp_index == mjob.hp_index)
+                            .expect("waiting job exists");
+                        if self.deploy_with_placement(job, placement, t, provider, store, events) {
+                            job.migrations += 1;
+                        }
                     }
-                    Placement::OnDemand { instance } => {
-                        let id = provider
-                            .request_on_demand(t, &instance)
-                            .unwrap_or_else(|e| panic!("on-demand placement failed: {e}"));
-                        let rate = provider.vm(id).expect("vm exists").max_price();
-                        (id, instance, rate)
-                    }
-                };
-                let vm = provider.vm(vm_id).expect("vm exists");
-                let inst = vm.instance().clone();
-                let mut restore = SimDur::from_secs(self.workload.restore_warmup_secs());
-                if let Some((_, dur)) = store.get(&job.ckpt_key, &inst) {
-                    restore += dur;
                 }
-                job.exec_ready_at = vm.launched_at() + restore;
-                job.ready_tick = self.tick_at_or_after(job.exec_ready_at);
-                job.recyclable = vm.is_spot();
-                job.recycle_tick =
-                    self.tick_after(vm.launched_at() + self.config.reschedule_after);
-                job.overhead += restore;
-                job.assigned = Some(vm_id);
-                job.deployments += 1;
-                events.push(TraceEvent::Deployed {
-                    job: job.hp_index,
-                    instance,
-                    max_price,
-                    at: t,
-                });
+                None => {
+                    for job in jobs.iter_mut() {
+                        if !job.is_waiting() {
+                            continue;
+                        }
+                        let ctx =
+                            DeployCtx { t, hp_index: job.hp_index, pool: &self.pool, matrix };
+                        let placement = policy.choose_instance(&ctx, rng);
+                        self.deploy_with_placement(job, placement, t, provider, store, events);
+                    }
+                }
             }
         }
+    }
+
+    /// Executes one placement decision for a waiting job: request the VM,
+    /// account restore/warmup, cache the event-drive tick candidates, and
+    /// emit the `Deployed` event. Returns `false` when a spot request
+    /// failed because the price moved above the offer (the job stays
+    /// waiting and retries next poll).
+    fn deploy_with_placement(
+        &self,
+        job: &mut Job,
+        placement: Placement,
+        t: SimTime,
+        provider: &mut CloudProvider,
+        store: &mut ObjectStore,
+        events: &mut Vec<TraceEvent>,
+    ) -> bool {
+        let (vm_id, instance, max_price) = match placement {
+            Placement::Spot(choice) => {
+                let Ok(id) = provider.request_spot(t, &choice.instance, choice.max_price) else {
+                    return false; // price moved above the offer; retry next poll
+                };
+                (id, choice.instance, choice.max_price)
+            }
+            Placement::OnDemand { instance } => {
+                let id = provider
+                    .request_on_demand(t, &instance)
+                    .unwrap_or_else(|e| panic!("on-demand placement failed: {e}"));
+                let rate = provider.vm(id).expect("vm exists").max_price();
+                (id, instance, rate)
+            }
+        };
+        let vm = provider.vm(vm_id).expect("vm exists");
+        let inst = vm.instance().clone();
+        let mut restore = SimDur::from_secs(self.workload.restore_warmup_secs());
+        if let Some((_, dur)) = store.get(&job.ckpt_key, &inst) {
+            restore += dur;
+        }
+        job.exec_ready_at = vm.launched_at() + restore;
+        job.ready_tick = self.tick_at_or_after(job.exec_ready_at);
+        job.recyclable = vm.is_spot();
+        job.recycle_tick = self.tick_after(vm.launched_at() + self.config.reschedule_after);
+        job.overhead += restore;
+        job.assigned = Some(vm_id);
+        job.deployments += 1;
+        events.push(TraceEvent::Deployed { job: job.hp_index, instance, max_price, at: t });
+        true
     }
 }
 

@@ -86,6 +86,17 @@ pub struct Job {
     pub deployments: u64,
     /// Number of provider revocations suffered.
     pub revocations: u64,
+    /// Steps covered by the last durable (fully uploaded) checkpoint.
+    pub durable_steps: u64,
+    /// Steps the checkpoint written inside the current grace window will
+    /// cover once the VM disappears; decided by the notice handler,
+    /// consumed by the revocation handler. `None` outside a grace window.
+    pub pending_capture: Option<u64>,
+    /// Steps executed but rolled back after a failed, partial or
+    /// abandoned grace-window checkpoint (they are re-executed later).
+    pub lost_steps: u64,
+    /// Redeployments routed through a policy's batch migration assignment.
+    pub migrations: u64,
 }
 
 impl Job {
@@ -127,6 +138,10 @@ impl Job {
             train_time: SimDur::ZERO,
             deployments: 0,
             revocations: 0,
+            durable_steps: 0,
+            pending_capture: None,
+            lost_steps: 0,
+            migrations: 0,
         }
     }
 
@@ -158,6 +173,18 @@ impl Job {
     /// Last observed metric, if any step completed.
     pub fn last_metric(&self) -> Option<f64> {
         self.curve.points().last().map(|&(_, m)| m)
+    }
+
+    /// Rolls execution back to `captured` completed steps — what the
+    /// checkpoint surviving the revocation actually covers. Steps past the
+    /// captured point are counted lost and re-executed later; the metric
+    /// history is truncated to match so re-observation stays monotone.
+    pub fn roll_back_to(&mut self, captured: u64) {
+        if captured < self.steps_done {
+            self.lost_steps += self.steps_done - captured;
+            self.steps_done = captured;
+            self.curve.truncate_to(captured);
+        }
     }
 }
 
@@ -194,6 +221,23 @@ mod tests {
         assert_eq!(j.charged_steps, 3);
         // free + charged always equals settled steps
         assert_eq!(j.free_steps + j.charged_steps, 10);
+    }
+
+    #[test]
+    fn rollback_loses_uncaptured_steps_only() {
+        let mut j = job();
+        j.steps_done = 8;
+        j.curve.push(1, 0.9);
+        j.curve.push(8, 0.5);
+        j.roll_back_to(5);
+        assert_eq!(j.steps_done, 5);
+        assert_eq!(j.lost_steps, 3);
+        // Only points at or below the captured step survive.
+        assert_eq!(j.curve.points(), &[(1, 0.9)]);
+        // Rolling back to the current position is a no-op.
+        j.roll_back_to(5);
+        assert_eq!(j.lost_steps, 3);
+        assert_eq!(j.steps_done, 5);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod job;
+pub mod migration;
 pub mod orchestrator;
 pub mod perfmatrix;
 pub mod policy;
@@ -45,9 +46,13 @@ pub use baseline::{
 pub use campaign::{Approach, Campaign, CampaignRequest, CampaignResponse};
 pub use config::{DriveMode, SpotTuneConfig};
 pub use engine::Engine;
+pub use migration::{assignment_cost, greedy_assignment, min_cost_assignment};
 pub use orchestrator::{Orchestrator, TraceEvent};
 pub use perfmatrix::PerfMatrix;
-pub use policy::{DeployCtx, Placement, PolicyMode, ProvisionPolicy};
+pub use policy::{
+    CheckpointPlan, DeployCtx, Matcher, MigrationCtx, MigrationJob, Placement, PolicyMode,
+    ProvisionPolicy,
+};
 pub use provision::{InstChoice, OracleEstimator, Provisioner};
 pub use report::HptReport;
 
@@ -61,9 +66,13 @@ pub mod prelude {
     pub use crate::config::{DriveMode, SpotTuneConfig};
     pub use crate::engine::Engine;
     pub use crate::job::{FinishReason, Job};
+    pub use crate::migration::{assignment_cost, greedy_assignment, min_cost_assignment};
     pub use crate::orchestrator::{Orchestrator, TraceEvent};
     pub use crate::perfmatrix::PerfMatrix;
-    pub use crate::policy::{DeployCtx, Placement, PolicyMode, ProvisionPolicy};
+    pub use crate::policy::{
+        CheckpointPlan, DeployCtx, Matcher, MigrationCtx, MigrationJob, Placement, PolicyMode,
+        ProvisionPolicy,
+    };
     pub use crate::provision::{InstChoice, OracleEstimator, Provisioner};
     pub use crate::report::HptReport;
 }

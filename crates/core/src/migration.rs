@@ -1,0 +1,207 @@
+//! Minimum-cost assignment of displaced jobs to redeployment candidates.
+//!
+//! When a revocation storm displaces several jobs at once, the engine's
+//! default behavior re-deploys them one at a time, each greedily taking
+//! the candidate that looks best *for it alone*. That first-fit order can
+//! pile every job back onto the market that just revoked them. This
+//! module provides the optimal alternative: the Kuhn–Munkres (Hungarian)
+//! algorithm, which minimizes the *total* assignment cost over all
+//! job×candidate pairs. No external dependencies; the implementation is
+//! the classic O(rows²·cols) potentials formulation.
+//!
+//! Costs are `f64`; `f64::INFINITY` marks a forbidden pair. Rows are jobs,
+//! columns are candidates, and there must be at least as many candidates
+//! as jobs (callers replicate candidates into capacity slots to satisfy
+//! this).
+
+/// Minimum-cost one-to-one assignment of each row to a distinct column.
+///
+/// Returns `assignment[row] = col` minimizing the sum of
+/// `cost[row][assignment[row]]`. Requires a rectangular matrix with
+/// `cols >= rows >= 1`; every row must have at least one finite cost.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty, ragged, or has fewer columns than rows.
+pub fn min_cost_assignment(cost: &[Vec<f64>]) -> Vec<usize> {
+    let rows = cost.len();
+    assert!(rows > 0, "assignment needs at least one row");
+    let cols = cost[0].len();
+    assert!(cost.iter().all(|r| r.len() == cols), "cost matrix must be rectangular");
+    assert!(cols >= rows, "assignment needs cols ({cols}) >= rows ({rows})");
+
+    // Potentials formulation over a 1-indexed matrix with a dummy row 0 /
+    // column 0. `way[j]` remembers the column preceding `j` on the
+    // alternating path; `p[j]` is the row matched to column `j`.
+    let mut u = vec![0.0f64; rows + 1];
+    let mut v = vec![0.0f64; cols + 1];
+    let mut p = vec![0usize; cols + 1];
+    let mut way = vec![0usize; cols + 1];
+    for i in 1..=rows {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; cols + 1];
+        let mut used = vec![false; cols + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=cols {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            assert!(
+                delta.is_finite(),
+                "row {i0} has no remaining finite-cost column"
+            );
+            for j in 0..=cols {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path back to the dummy column.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![usize::MAX; rows];
+    for j in 1..=cols {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+/// First-fit greedy baseline: each row, in order, takes the cheapest
+/// still-unused column. This mirrors the engine's default per-job redeploy
+/// loop and is the baseline `fig_grace` ablates against.
+///
+/// # Panics
+///
+/// Panics under the same shape conditions as [`min_cost_assignment`], or
+/// if some row finds only used/infinite columns.
+pub fn greedy_assignment(cost: &[Vec<f64>]) -> Vec<usize> {
+    let rows = cost.len();
+    assert!(rows > 0, "assignment needs at least one row");
+    let cols = cost[0].len();
+    assert!(cost.iter().all(|r| r.len() == cols), "cost matrix must be rectangular");
+    assert!(cols >= rows, "assignment needs cols ({cols}) >= rows ({rows})");
+    let mut used = vec![false; cols];
+    let mut assignment = Vec::with_capacity(rows);
+    for row in cost {
+        let (best, best_cost) = row
+            .iter()
+            .enumerate()
+            .filter(|&(j, c)| !used[j] && c.is_finite())
+            .map(|(j, &c)| (j, c))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .expect("row has no remaining finite-cost column");
+        let _ = best_cost;
+        used[best] = true;
+        assignment.push(best);
+    }
+    assignment
+}
+
+/// Total cost of an assignment over a cost matrix.
+pub fn assignment_cost(cost: &[Vec<f64>], assignment: &[usize]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .map(|(row, &col)| cost[row][col])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_a_classic_square_instance() {
+        // Known optimum: rows take columns (1, 0, 2) for 1+2+2 = 5.
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = min_cost_assignment(&cost);
+        assert_eq!(assignment_cost(&cost, &a), 5.0);
+        // All distinct.
+        let mut cols = a.clone();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), a.len());
+    }
+
+    #[test]
+    fn beats_greedy_on_the_textbook_trap() {
+        // Greedy row 0 grabs column 0 (cost 1), forcing row 1 into cost
+        // 100; the optimum crosses over for 2 + 2 = 4.
+        let cost = vec![vec![1.0, 2.0], vec![2.0, 100.0]];
+        let g = greedy_assignment(&cost);
+        let k = min_cost_assignment(&cost);
+        assert_eq!(assignment_cost(&cost, &g), 101.0);
+        assert_eq!(assignment_cost(&cost, &k), 4.0);
+    }
+
+    #[test]
+    fn handles_rectangular_and_single_row_instances() {
+        let cost = vec![vec![9.0, 4.0, 7.0, 1.0]];
+        assert_eq!(min_cost_assignment(&cost), vec![3]);
+        let cost = vec![vec![5.0, 1.0, 8.0], vec![7.0, 6.0, 2.0]];
+        let a = min_cost_assignment(&cost);
+        assert_eq!(assignment_cost(&cost, &a), 3.0);
+    }
+
+    #[test]
+    fn respects_forbidden_pairs() {
+        let inf = f64::INFINITY;
+        let cost = vec![vec![inf, 3.0], vec![2.0, inf]];
+        let a = min_cost_assignment(&cost);
+        assert_eq!(a, vec![1, 0]);
+        assert_eq!(assignment_cost(&cost, &a), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cols")]
+    fn rejects_more_rows_than_columns() {
+        min_cost_assignment(&[vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn greedy_matches_optimum_when_rows_do_not_compete() {
+        let cost = vec![
+            vec![1.0, 10.0, 10.0],
+            vec![10.0, 1.0, 10.0],
+            vec![10.0, 10.0, 1.0],
+        ];
+        let g = greedy_assignment(&cost);
+        let k = min_cost_assignment(&cost);
+        assert_eq!(assignment_cost(&cost, &g), assignment_cost(&cost, &k));
+    }
+}

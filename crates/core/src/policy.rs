@@ -12,18 +12,30 @@
 //!
 //! # Writing a new policy
 //!
-//! A policy answers four questions: *where should this configuration run*
+//! A policy answers six questions, four of them about *one* job: *where
+//! should this configuration run*
 //! ([`ProvisionPolicy::choose_instance`]), *what do I learn from a
 //! revocation* ([`ProvisionPolicy::on_revocation`]), *what do I learn from
 //! training progress* ([`ProvisionPolicy::on_progress`]), and *is a
-//! proactive checkpoint-and-recycle worth it*
-//! ([`ProvisionPolicy::should_checkpoint`]). Everything else — notices,
+//! checkpoint worth it* ([`ProvisionPolicy::should_checkpoint`] — asked
+//! both at the proactive one-hour recycle and on every revocation
+//! notice). Two more hooks see the grace window itself: *how much of the
+//! model should this window carry*
+//! ([`ProvisionPolicy::plan_checkpoint`], answering with a
+//! [`CheckpointPlan`]) and *how should a displaced batch be re-placed
+//! jointly* ([`ProvisionPolicy::assign_migrations`]). Both have defaults
+//! (`Full`, `None`) that reproduce the engine's historical behaviour
+//! bit-for-bit, so a policy only overrides what it cares about —
+//! [`MigrationAware`] (registry name `migration-aware`) overrides both,
+//! sizing uploads to the window and spreading storm victims across
+//! markets with a Kuhn–Munkres matcher. Everything else — notices,
 //! refunds, restores, prediction, phase 2 — is engine business. A minimal
-//! "always the cheapest spot instance, bid double the going rate" policy:
+//! "always the cheapest spot instance, bid double the going rate" policy
+//! that also abandons hopelessly short grace windows:
 //!
 //! ```
 //! use spottune_core::engine::Engine;
-//! use spottune_core::policy::{DeployCtx, Placement, ProvisionPolicy};
+//! use spottune_core::policy::{CheckpointPlan, DeployCtx, Placement, ProvisionPolicy};
 //! use spottune_core::provision::InstChoice;
 //! use spottune_core::SpotTuneConfig;
 //! use rand::rngs::StdRng;
@@ -52,6 +64,18 @@
 //!             expected_step_cost: 0.0,
 //!         })
 //!     }
+//!
+//!     fn plan_checkpoint(&self, _hp_index: usize, transferable_frac: f64) -> CheckpointPlan {
+//!         // When a (fault-delayed) notice leaves time for less than half
+//!         // the model, don't burn the window on a doomed upload.
+//!         if transferable_frac >= 1.0 {
+//!             CheckpointPlan::Full
+//!         } else if transferable_frac >= 0.5 {
+//!             CheckpointPlan::Partial(transferable_frac)
+//!         } else {
+//!             CheckpointPlan::Abandon
+//!         }
+//!     }
 //! }
 //!
 //! # use spottune_market::{MarketPool, SimDur};
@@ -65,8 +89,9 @@
 //! ```
 
 use crate::baseline::SingleSpotKind;
+use crate::migration::{greedy_assignment, min_cost_assignment};
 use crate::perfmatrix::PerfMatrix;
-use crate::provision::{InstChoice, Provisioner};
+use crate::provision::{InstChoice, Provisioner, REWORK_SECS};
 use rand::rngs::StdRng;
 use spottune_market::{MarketPool, RevocationEstimator, SimDur, SimTime};
 use std::collections::HashMap;
@@ -111,6 +136,43 @@ pub struct DeployCtx<'a> {
     pub matrix: &'a PerfMatrix,
 }
 
+/// A policy's answer to "how much checkpoint should this grace window
+/// carry" ([`ProvisionPolicy::plan_checkpoint`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointPlan {
+    /// Upload the whole model. If the window is too short for that
+    /// (`transferable_frac < 1`), the upload is cut off at revocation and
+    /// the job falls back to its last durable checkpoint.
+    Full,
+    /// Upload this fraction of the model (clamped to what the window
+    /// allows); progress beyond the proportional prefix is re-executed.
+    Partial(f64),
+    /// Skip the upload entirely: burn no transfer time, keep only the
+    /// last durable checkpoint.
+    Abandon,
+}
+
+/// One displaced configuration awaiting redeployment, as shown to
+/// [`ProvisionPolicy::assign_migrations`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationJob {
+    /// Grid index of the configuration.
+    pub hp_index: usize,
+    /// Training steps still missing (from the last durable checkpoint).
+    pub remaining_steps: u64,
+}
+
+/// Market context for a batch migration decision.
+#[derive(Debug)]
+pub struct MigrationCtx<'a> {
+    /// Current simulation time.
+    pub t: SimTime,
+    /// The market pool (price traces + instance catalog).
+    pub pool: &'a MarketPool,
+    /// The online performance profile `M` (paper §III.A).
+    pub matrix: &'a PerfMatrix,
+}
+
 /// A provisioning strategy, consulted by the [`Engine`](crate::engine::Engine)
 /// at its decision points. See the [module docs](self) for a walkthrough of
 /// writing one.
@@ -143,13 +205,41 @@ pub trait ProvisionPolicy: std::fmt::Debug {
     /// engine recorded the metric and profiled the instance).
     fn on_progress(&mut self, _hp_index: usize, _steps_done: u64, _at: SimTime) {}
 
-    /// Whether to take the proactive checkpoint-and-recycle once a spot
-    /// VM's age exceeds the one-hour refund boundary (Algorithm 1 line 31).
-    /// The engine asks only for spot VMs past the threshold; returning
-    /// `false` keeps the VM running. Defaults to `true` — the paper's
-    /// refund-harvesting behaviour.
+    /// Whether to checkpoint at all: consulted for the proactive
+    /// checkpoint-and-recycle once a spot VM's age exceeds the one-hour
+    /// refund boundary (Algorithm 1 line 31), and — since the grace-window
+    /// model — on every revocation notice, regardless of age. Returning
+    /// `false` keeps a recyclable VM running, or skips the notice-window
+    /// upload (equivalent to [`CheckpointPlan::Abandon`]). Defaults to
+    /// `true` — the paper's behaviour.
     fn should_checkpoint(&self, _hp_index: usize, _vm_age: SimDur) -> bool {
         true
+    }
+
+    /// How much checkpoint to transfer inside a revocation grace window.
+    /// `transferable_frac` is the fraction of the model the
+    /// bandwidth-limited window can move out (`bandwidth × grace /
+    /// model_size`, possibly above 1). The default — upload everything —
+    /// reproduces the engine's historical behaviour exactly: under
+    /// contractual two-minute notices the window always fits the whole
+    /// model, so `Full` never truncates unless a fault delays the notice.
+    fn plan_checkpoint(&self, _hp_index: usize, _transferable_frac: f64) -> CheckpointPlan {
+        CheckpointPlan::Full
+    }
+
+    /// Places a *batch* of displaced jobs in one decision. Returning
+    /// `Some(placements)` (one per job, same order) lets a policy solve
+    /// the joint assignment — e.g. spread a storm's victims across
+    /// markets instead of piling them back onto the one that just failed.
+    /// The default `None` keeps the engine's per-job
+    /// [`choose_instance`](ProvisionPolicy::choose_instance) loop, which
+    /// is the historical (greedy) behaviour.
+    fn assign_migrations(
+        &mut self,
+        _jobs: &[MigrationJob],
+        _ctx: &MigrationCtx<'_>,
+    ) -> Option<Vec<Placement>> {
+        None
     }
 }
 
@@ -385,5 +475,179 @@ impl ProvisionPolicy for BidAware<'_> {
             ctx.matrix,
             &self.delta_fracs,
         ))
+    }
+}
+
+/// Which assignment algorithm [`MigrationAware`] runs over the
+/// job×candidate cost matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Matcher {
+    /// First-fit: each job, in order, takes its cheapest remaining slot —
+    /// equivalent in spirit to the engine's default per-job loop.
+    Greedy,
+    /// Kuhn–Munkres minimum total cost over the whole batch.
+    KuhnMunkres,
+}
+
+/// Fraction of the on-demand price [`MigrationAware`] bids above the
+/// current market price (deterministic, like [`BidAware`]'s ladder).
+const MIGRATION_BID_FRAC: f64 = 0.05;
+
+/// Smallest transferable fraction [`MigrationAware`] still considers worth
+/// the upload time; below it the window is abandoned.
+const MIN_PARTIAL_FRAC: f64 = 0.25;
+
+/// The grace-window-aware policy: both defaulted hooks overridden.
+///
+/// *Checkpointing* — sizes the upload to the window
+/// ([`ProvisionPolicy::plan_checkpoint`]): full when it fits, partial
+/// when only part does, abandoned when the window is too short to be
+/// worth burning on transfer.
+///
+/// *Migration* — redeploys a displaced batch jointly
+/// ([`ProvisionPolicy::assign_migrations`]): each market is replicated
+/// into capacity slots whose cost grows with its revocation risk and
+/// crowding, and a matcher (greedy or Kuhn–Munkres) assigns jobs to
+/// slots. Under a correlated storm this spreads the victims across
+/// markets instead of greedily piling everyone back onto the market that
+/// just revoked them.
+#[derive(Debug)]
+pub struct MigrationAware<'a> {
+    estimator: &'a dyn RevocationEstimator,
+    delta_range: (f64, f64),
+    theta: f64,
+    matcher: Matcher,
+}
+
+impl<'a> MigrationAware<'a> {
+    /// Creates the policy with the Kuhn–Munkres matcher (the registry's
+    /// `migration-aware` entry).
+    pub fn new(
+        estimator: &'a dyn RevocationEstimator,
+        delta_range: (f64, f64),
+        theta: f64,
+    ) -> Self {
+        MigrationAware::with_matcher(estimator, delta_range, theta, Matcher::KuhnMunkres)
+    }
+
+    /// Creates the policy with an explicit matcher (the `fig_grace`
+    /// ablation constructs the greedy variant directly).
+    pub fn with_matcher(
+        estimator: &'a dyn RevocationEstimator,
+        delta_range: (f64, f64),
+        theta: f64,
+        matcher: Matcher,
+    ) -> Self {
+        MigrationAware { estimator, delta_range, theta, matcher }
+    }
+
+    /// The job×slot cost matrix plus each slot's placement, deterministic
+    /// in `(jobs, ctx)`: slot `r` of a market multiplies the expected
+    /// remaining cost by `1 + r·p` — stacking jobs on a risky market is
+    /// progressively penalized (one storm takes them all), stacking on a
+    /// safe one is free.
+    fn cost_matrix(
+        &self,
+        jobs: &[MigrationJob],
+        ctx: &MigrationCtx<'_>,
+    ) -> (Vec<Vec<f64>>, Vec<InstChoice>) {
+        let markets = ctx.pool.markets();
+        let replicas = jobs.len().div_ceil(markets.len());
+        let mut slots = Vec::with_capacity(markets.len() * replicas);
+        let mut per_step = Vec::with_capacity(markets.len() * replicas);
+        for market in markets {
+            let inst = market.instance();
+            let max_price = market.price_at(ctx.t) + MIGRATION_BID_FRAC * inst.on_demand_price();
+            let p = self
+                .estimator
+                .revocation_probability(inst.name(), ctx.t, max_price)
+                .clamp(0.0, 1.0);
+            let avg_price = market.avg_price_last_hour(ctx.t);
+            for replica in 0..replicas {
+                slots.push(InstChoice {
+                    instance: inst.name().to_string(),
+                    max_price,
+                    p_revoke: p,
+                    avg_price,
+                    expected_step_cost: 0.0,
+                });
+                per_step.push((replica, p, avg_price));
+            }
+        }
+        let cost = jobs
+            .iter()
+            .map(|job| {
+                slots
+                    .iter()
+                    .zip(&per_step)
+                    .map(|(slot, &(replica, p, avg_price))| {
+                        let inst = ctx
+                            .pool
+                            .market(&slot.instance)
+                            .expect("slot market exists")
+                            .instance();
+                        let spe = ctx.matrix.estimate(inst, job.hp_index);
+                        // Eq. 2 with the rework term, over the remaining
+                        // steps, inflated by the crowding penalty.
+                        let step = spe * (1.0 - p) * avg_price + p * REWORK_SECS * avg_price;
+                        job.remaining_steps as f64 * step * (1.0 + replica as f64 * p)
+                    })
+                    .collect()
+            })
+            .collect();
+        (cost, slots)
+    }
+}
+
+impl ProvisionPolicy for MigrationAware<'_> {
+    fn name(&self) -> String {
+        let m = match self.matcher {
+            Matcher::Greedy => "greedy",
+            Matcher::KuhnMunkres => "km",
+        };
+        format!("MigrationAware(θ={}, {m})", self.theta)
+    }
+
+    fn choose_instance(&mut self, ctx: &DeployCtx<'_>, rng: &mut StdRng) -> Placement {
+        // Single-job decisions (first deployment, lone revocation) use the
+        // paper's provisioner unchanged.
+        let provisioner = Provisioner::new(self.estimator, self.delta_range);
+        Placement::Spot(provisioner.get_best_inst(ctx.pool, ctx.t, ctx.hp_index, ctx.matrix, rng))
+    }
+
+    fn plan_checkpoint(&self, _hp_index: usize, transferable_frac: f64) -> CheckpointPlan {
+        if transferable_frac >= 1.0 {
+            CheckpointPlan::Full
+        } else if transferable_frac >= MIN_PARTIAL_FRAC {
+            CheckpointPlan::Partial(transferable_frac)
+        } else {
+            CheckpointPlan::Abandon
+        }
+    }
+
+    fn assign_migrations(
+        &mut self,
+        jobs: &[MigrationJob],
+        ctx: &MigrationCtx<'_>,
+    ) -> Option<Vec<Placement>> {
+        if jobs.is_empty() {
+            return Some(Vec::new());
+        }
+        let (cost, slots) = self.cost_matrix(jobs, ctx);
+        let assignment = match self.matcher {
+            Matcher::Greedy => greedy_assignment(&cost),
+            Matcher::KuhnMunkres => min_cost_assignment(&cost),
+        };
+        Some(
+            assignment
+                .iter()
+                .enumerate()
+                .map(|(row, &slot)| {
+                    let mut choice = slots[slot].clone();
+                    choice.expected_step_cost = cost[row][slot];
+                    Placement::Spot(choice)
+                })
+                .collect(),
+        )
     }
 }

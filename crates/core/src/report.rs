@@ -47,6 +47,11 @@ pub struct HptReport {
     pub deployments: u64,
     /// Total provider revocations.
     pub revocations: u64,
+    /// Steps rolled back after failed/partial/abandoned grace-window
+    /// checkpoints (re-executed later). Zero under fault-free defaults.
+    pub lost_steps: u64,
+    /// Redeployments routed through a policy's batch migration matcher.
+    pub migrations: u64,
 }
 
 impl HptReport {
@@ -166,6 +171,8 @@ mod tests {
             selected: vec![1, 2],
             deployments: 20,
             revocations: 12,
+            lost_steps: 0,
+            migrations: 0,
         }
     }
 

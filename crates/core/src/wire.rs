@@ -485,6 +485,7 @@ fn approach_to_json(a: &Approach) -> Json {
             members.push(("max_revocations", Json::UInt(u64::from(max_revocations))));
         }
         Approach::BidAware { theta } => members.push(("theta", Json::Float(theta))),
+        Approach::MigrationAware { theta } => members.push(("theta", Json::Float(theta))),
     }
     obj(members)
 }
@@ -512,6 +513,7 @@ fn approach_from_json(v: &Json) -> Result<Approach> {
             Ok(Approach::Hybrid { theta: theta()?, max_revocations })
         }
         "bid-aware" => Ok(Approach::BidAware { theta: theta()? }),
+        "migration-aware" => Ok(Approach::MigrationAware { theta: theta()? }),
         other => Err(WireError::new(format!(
             "unknown policy {other:?} (registered: {})",
             Approach::registered_policies().join(", ")
@@ -667,6 +669,8 @@ fn report_to_json(r: &HptReport) -> Json {
         ),
         ("deployments", Json::UInt(r.deployments)),
         ("revocations", Json::UInt(r.revocations)),
+        ("lost_steps", Json::UInt(r.lost_steps)),
+        ("migrations", Json::UInt(r.migrations)),
     ])
 }
 
@@ -700,6 +704,16 @@ fn report_from_json(v: &Json) -> Result<HptReport> {
             .collect::<Result<Vec<_>>>()?,
         deployments: v.require("deployments")?.as_u64()?,
         revocations: v.require("revocations")?.as_u64()?,
+        // Absent in reports encoded before the grace-window model: default
+        // to zero so old payloads keep decoding.
+        lost_steps: match v.get("lost_steps") {
+            Some(n) => n.as_u64()?,
+            None => 0,
+        },
+        migrations: match v.get("migrations") {
+            Some(n) => n.as_u64()?,
+            None => 0,
+        },
     })
 }
 

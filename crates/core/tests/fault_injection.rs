@@ -1,0 +1,124 @@
+//! Fault-injection harness acceptance: seeded fault plans are
+//! deterministic (same seed → bit-identical campaigns), both drives agree
+//! under faults, and every registered policy survives a correlated
+//! revocation storm with a coherent report.
+
+use spottune_cloud::FaultPlan;
+use spottune_core::policy::SpotTuneTheta;
+use spottune_core::prelude::*;
+use spottune_market::prelude::*;
+use spottune_market::RevocationEstimator;
+use spottune_mlsim::prelude::*;
+
+fn tiny(steps: u64) -> Workload {
+    let base = Workload::benchmark(Algorithm::LoR);
+    Workload::custom(Algorithm::LoR, steps, base.hp_grid()[..2].to_vec())
+}
+
+/// A plan exercising all three fault classes: periodic storms on one
+/// market, delayed notices on a third of the fleet, and a tenth of the
+/// checkpoint writes failing.
+fn stormy_plan(pool: &MarketPool) -> FaultPlan {
+    let market = pool.iter().next().expect("non-empty pool").instance().name().to_string();
+    FaultPlan::new(77)
+        .with_periodic_storms(&market, SimTime::from_hours(11), SimDur::from_mins(40), 12)
+        .with_delayed_notices(0.33, SimDur::from_secs(20))
+        .with_checkpoint_failures(0.1)
+}
+
+fn run_spottune(
+    pool: &MarketPool,
+    oracle: &dyn RevocationEstimator,
+    plan: &FaultPlan,
+    mode: DriveMode,
+) -> (HptReport, Vec<TraceEvent>) {
+    let cfg = SpotTuneConfig::new(0.7, 2).with_seed(9).with_drive_mode(mode);
+    let mut policy = SpotTuneTheta::new(oracle, cfg.delta_range, 0.7);
+    Engine::new(cfg, tiny(25), pool.clone())
+        .with_fault_plan(plan.clone())
+        .run_traced(&mut policy)
+}
+
+#[test]
+fn same_fault_seed_replays_bit_identically() {
+    let pool = MarketPool::standard(SimDur::from_days(2), 42);
+    let oracle = OracleEstimator::new(pool.clone(), 0.9);
+    let plan = stormy_plan(&pool);
+    let (report_a, events_a) = run_spottune(&pool, &oracle, &plan, DriveMode::Event);
+    let (report_b, events_b) = run_spottune(&pool, &oracle, &plan, DriveMode::Event);
+    assert_eq!(events_a, events_b, "same fault seed must replay the same timeline");
+    assert_eq!(report_a, report_b, "same fault seed must replay the same report");
+    // A different fault seed steers the campaign elsewhere (the plan is
+    // actually consulted, not ignored).
+    let reseeded = FaultPlan::new(78)
+        .with_periodic_storms(
+            plan.storms()[0].market.as_str(),
+            SimTime::from_hours(11),
+            SimDur::from_mins(40),
+            12,
+        )
+        .with_delayed_notices(0.33, SimDur::from_secs(20))
+        .with_checkpoint_failures(0.1);
+    let (report_c, _) = run_spottune(&pool, &oracle, &reseeded, DriveMode::Event);
+    assert_ne!(report_a, report_c, "the fault seed must matter");
+}
+
+#[test]
+fn tick_and_event_drives_agree_under_faults() {
+    let pool = MarketPool::standard(SimDur::from_days(2), 42);
+    let oracle = OracleEstimator::new(pool.clone(), 0.9);
+    let plan = stormy_plan(&pool);
+    let (tick_report, tick_events) = run_spottune(&pool, &oracle, &plan, DriveMode::Tick);
+    let (event_report, event_events) = run_spottune(&pool, &oracle, &plan, DriveMode::Event);
+    assert_eq!(tick_events, event_events, "drives diverged under faults");
+    assert_eq!(tick_report, event_report, "reports diverged under faults");
+}
+
+#[test]
+fn storms_revoke_and_campaigns_still_account_coherently() {
+    let pool = MarketPool::standard(SimDur::from_days(2), 42);
+    let oracle = OracleEstimator::new(pool.clone(), 0.9);
+    let plan = stormy_plan(&pool);
+    let (with_faults, _) = run_spottune(&pool, &oracle, &plan, DriveMode::Event);
+    let cfg = SpotTuneConfig::new(0.7, 2).with_seed(9);
+    let mut policy = SpotTuneTheta::new(&oracle, cfg.delta_range, 0.7);
+    let fault_free = Engine::new(cfg, tiny(25), pool.clone()).run(&mut policy);
+    assert!(
+        with_faults.revocations >= fault_free.revocations,
+        "storms must only add revocations ({} < {})",
+        with_faults.revocations,
+        fault_free.revocations
+    );
+    assert_eq!(fault_free.lost_steps, 0, "fault-free campaigns lose nothing");
+    assert!(
+        (with_faults.gross - with_faults.cost - with_faults.refunded).abs() < 1e-9,
+        "billing identity must hold under faults"
+    );
+    // Every config still reports a prediction and finishes.
+    assert_eq!(with_faults.predicted_finals.len(), 2);
+}
+
+/// CI `fault-smoke`: every registered policy terminates a small sweep
+/// under an injected storm and returns a structurally-sound report.
+#[test]
+fn every_policy_terminates_under_an_injected_storm() {
+    let pool = MarketPool::standard(SimDur::from_days(2), 42);
+    let plan = stormy_plan(&pool);
+    let oracle = OracleEstimator::new(pool.clone(), 0.9);
+    for name in Approach::registered_policies() {
+        let approach = Approach::from_policy_name(name, 0.7).expect("registered");
+        let theta = if approach.is_theta_parameterized() { 0.7 } else { 1.0 };
+        let cfg = SpotTuneConfig::new(theta, 3).with_seed(11);
+        let mut policy = approach.build_policy(&oracle, &cfg);
+        let report = Engine::new(cfg, tiny(20), pool.clone())
+            .with_fault_plan(plan.clone())
+            .run(policy.as_mut());
+        assert_eq!(report.predicted_finals.len(), 2, "{name}: prediction per config");
+        assert!(report.jct.as_secs() > 0, "{name}: non-zero JCT");
+        assert!(report.cost.is_finite() && report.cost >= 0.0, "{name}: finite cost");
+        assert!(
+            (report.gross - report.cost - report.refunded).abs() < 1e-9,
+            "{name}: billing identity under storm"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the migration matcher: on random cost matrices the
+//! Kuhn–Munkres assignment is never worse than greedy first-fit, always
+//! valid (distinct columns), and matches brute force on small squares.
+
+use proptest::prelude::*;
+use spottune_core::migration::{assignment_cost, greedy_assignment, min_cost_assignment};
+
+/// Builds a `rows × (rows + extra)` matrix from a flat entropy pool (the
+/// vendored proptest shim has no flat-map, so shape and entries are drawn
+/// as independent arguments and assembled here).
+fn matrix(rows: usize, extra: usize, flat: &[f64]) -> Vec<Vec<f64>> {
+    let cols = rows + extra;
+    (0..rows).map(|r| flat[r * cols..(r + 1) * cols].to_vec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn km_is_never_worse_than_greedy(
+        rows in 1usize..6,
+        extra in 0usize..4,
+        flat in prop::collection::vec(0.0f64..100.0, 45..46),
+    ) {
+        let cost = matrix(rows, extra, &flat);
+        let g = assignment_cost(&cost, &greedy_assignment(&cost));
+        let k = assignment_cost(&cost, &min_cost_assignment(&cost));
+        prop_assert!(k <= g + 1e-9, "KM ({k}) must not exceed greedy ({g}) on {cost:?}");
+    }
+
+    #[test]
+    fn km_assignments_are_valid(
+        rows in 1usize..6,
+        extra in 0usize..4,
+        flat in prop::collection::vec(0.0f64..100.0, 45..46),
+    ) {
+        let cost = matrix(rows, extra, &flat);
+        let km = min_cost_assignment(&cost);
+        prop_assert_eq!(km.len(), rows);
+        let cols = rows + extra;
+        let mut seen = vec![false; cols];
+        for &c in &km {
+            prop_assert!(c < cols, "column {} out of range", c);
+            prop_assert!(!seen[c], "column {} assigned twice", c);
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn km_optimum_is_translation_invariant(
+        rows in 1usize..6,
+        extra in 0usize..4,
+        flat in prop::collection::vec(0.0f64..100.0, 45..46),
+        shift in 0.0f64..50.0,
+    ) {
+        // Adding a constant to every entry shifts every assignment's total
+        // by rows × shift, so the optimal assignment cost must shift by
+        // exactly that (the argmin set is unchanged).
+        let cost = matrix(rows, extra, &flat);
+        let base = assignment_cost(&cost, &min_cost_assignment(&cost));
+        let shifted: Vec<Vec<f64>> =
+            cost.iter().map(|r| r.iter().map(|c| c + shift).collect()).collect();
+        let moved = assignment_cost(&shifted, &min_cost_assignment(&shifted));
+        let expect = base + rows as f64 * shift;
+        prop_assert!(
+            (moved - expect).abs() < 1e-6,
+            "translation moved the optimum: {moved} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn km_matches_brute_force_on_4x4(
+        flat in prop::collection::vec(0.0f64..100.0, 16..17),
+    ) {
+        let cost = matrix(4, 0, &flat);
+        let km = assignment_cost(&cost, &min_cost_assignment(&cost));
+        let mut best = f64::INFINITY;
+        let mut perm = [0usize, 1, 2, 3];
+        permute(&mut perm, 0, &mut |p| {
+            let total: f64 = p.iter().enumerate().map(|(r, &c)| cost[r][c]).sum();
+            if total < best {
+                best = total;
+            }
+        });
+        prop_assert!((km - best).abs() < 1e-9, "KM {km} vs brute force {best}");
+    }
+}
+
+fn permute(items: &mut [usize; 4], k: usize, visit: &mut impl FnMut(&[usize; 4])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}

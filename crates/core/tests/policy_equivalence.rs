@@ -12,8 +12,9 @@
 //!
 //! Together the cases below cover 130 campaigns (≥ 100 required).
 
-use spottune_core::prelude::*;
+use rand::rngs::StdRng;
 use spottune_core::policy::SpotTuneTheta;
+use spottune_core::prelude::*;
 use spottune_market::prelude::*;
 use spottune_mlsim::prelude::*;
 
@@ -124,11 +125,60 @@ fn new_policies_run_through_the_same_engine() {
     for approach in [
         Approach::Hybrid { theta: 0.7, max_revocations: 1 },
         Approach::BidAware { theta: 0.7 },
+        Approach::MigrationAware { theta: 0.7 },
     ] {
         let report = Campaign::new(approach, w.clone(), 3).run(&pool);
         assert_eq!(report.predicted_finals.len(), 2);
         assert!(report.jct.as_secs() > 0);
         assert!((report.gross - report.cost - report.refunded).abs() < 1e-9);
         assert!(report.deployments >= 2);
+    }
+}
+
+/// A policy that overrides *nothing* beyond what SpotTuneTheta already
+/// overrode: the grace-window hooks (`plan_checkpoint`,
+/// `assign_migrations`) stay at their trait defaults. The engine's
+/// grace-window machinery must then reproduce the historical
+/// checkpoint-on-notice path bit for bit.
+#[derive(Debug)]
+struct DefaultHooks<'a>(SpotTuneTheta<'a>);
+
+impl ProvisionPolicy for DefaultHooks<'_> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn mode(&self) -> PolicyMode {
+        self.0.mode()
+    }
+    fn choose_instance(&mut self, ctx: &DeployCtx<'_>, rng: &mut StdRng) -> Placement {
+        self.0.choose_instance(ctx, rng)
+    }
+    // plan_checkpoint / assign_migrations / should_checkpoint /
+    // on_revocation / on_progress: trait defaults, on purpose.
+}
+
+/// 12 campaigns: the defaulted grace-window hooks must not move a bit —
+/// same reports, same trace events, and no rolled-back or migrated work.
+#[test]
+fn default_grace_hooks_are_bit_identical_to_spottune() {
+    let pool = MarketPool::standard(SimDur::from_days(10), 42);
+    let oracle = OracleEstimator::new(pool.clone(), 0.9);
+    let w = tiny(Algorithm::LoR, 30);
+    for theta in [0.6, 1.0] {
+        for seed in 0..6u64 {
+            let cfg = SpotTuneConfig::new(theta, 2).with_seed(seed);
+            let mut reference = SpotTuneTheta::new(&oracle, cfg.delta_range, theta);
+            let (ref_report, ref_events) =
+                Engine::new(cfg.clone(), w.clone(), pool.clone()).run_traced(&mut reference);
+            let mut defaulted =
+                DefaultHooks(SpotTuneTheta::new(&oracle, cfg.delta_range, theta));
+            let (def_report, def_events) =
+                Engine::new(cfg, w.clone(), pool.clone()).run_traced(&mut defaulted);
+            assert_eq!(ref_events, def_events, "θ={theta} seed={seed}: events diverged");
+            assert_eq!(ref_report, def_report, "θ={theta} seed={seed}: reports diverged");
+            // Fault-free defaults never roll back or batch-migrate.
+            assert_eq!(ref_report.lost_steps, 0, "θ={theta} seed={seed}");
+            assert_eq!(ref_report.migrations, 0, "θ={theta} seed={seed}");
+        }
     }
 }

@@ -121,6 +121,14 @@ impl EarlyCurve {
         &self.points
     }
 
+    /// Discards every observation past step `step`, keeping the prefix at
+    /// or below it. Used when work is rolled back to an older checkpoint
+    /// after a failed transfer: the re-executed steps will be re-observed,
+    /// and `push`'s strictly-increasing invariant must keep holding.
+    pub fn truncate_to(&mut self, step: u64) {
+        self.points.retain(|&(k, _)| k <= step);
+    }
+
     /// Detected stage boundaries as indices into [`EarlyCurve::points`].
     pub fn boundaries(&self) -> Vec<usize> {
         let metrics: Vec<f64> = self.points.iter().map(|&(_, m)| m).collect();
@@ -246,6 +254,21 @@ mod tests {
         assert!(!ec.converged());
         assert_eq!(ec.len(), 2);
         assert!(!ec.is_empty());
+    }
+
+    #[test]
+    fn truncation_reopens_the_step_range() {
+        let mut ec = EarlyCurve::new(Default::default());
+        feed(&mut ec, |k| 1.0 / k as f64, 20);
+        ec.truncate_to(12);
+        assert_eq!(ec.len(), 12);
+        assert_eq!(ec.points().last().unwrap().0, 12);
+        // Re-executed steps can be observed again.
+        ec.push(13, 0.07);
+        assert_eq!(ec.len(), 13);
+        // Truncating below every point empties the curve.
+        ec.truncate_to(0);
+        assert!(ec.is_empty());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod instance;
 pub mod market;
 pub mod poolcache;
 pub mod price;
+pub mod seeding;
 pub mod stats;
 pub mod synth;
 pub mod time;

@@ -24,6 +24,12 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// expensive training runs inside a per-key `OnceLock`, so distinct cold
 /// keys train in parallel, hits never wait behind a training run, and two
 /// workers racing on the *same* cold key still pay the training cost once.
+/// An optional capacity bound ([`PredictorCache::with_capacity`]) turns
+/// the tier into an LRU, mirroring the curve tier
+/// (`CurveCache::with_capacity`): a sweep over many market scenarios
+/// would otherwise retain every trained set it ever produced. Evictions
+/// are counted in [`CacheStats::evictions`]; an evicted key retrains on
+/// its next request (a fresh miss), never changing any report.
 #[derive(Debug, Clone, Default)]
 pub struct PredictorCache {
     inner: Arc<PredictorCacheInner>,
@@ -31,18 +37,65 @@ pub struct PredictorCache {
 
 #[derive(Debug, Default)]
 struct PredictorCacheInner {
-    sets: Mutex<PredictorMap>,
+    sets: Mutex<PredictorStore>,
+    /// Maximum resident trained sets; 0 means unbounded.
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
-type PredictorMap =
-    HashMap<(MarketScenario, PredictorKind), Arc<OnceLock<Arc<MarketPredictorSet>>>>;
+type PredictorKey = (MarketScenario, PredictorKind);
+type PredictorCell = Arc<OnceLock<Arc<MarketPredictorSet>>>;
+
+/// Resident entries plus the logical clock backing LRU ordering.
+#[derive(Debug, Default)]
+struct PredictorStore {
+    entries: HashMap<PredictorKey, PredictorEntry>,
+    /// Monotone lookup/insert counter; entries stamp their last touch.
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct PredictorEntry {
+    cell: PredictorCell,
+    last_used: u64,
+}
+
+impl PredictorStore {
+    fn touch(&mut self, key: &PredictorKey) -> Option<PredictorCell> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.cell)
+        })
+    }
+}
 
 impl PredictorCache {
-    /// Creates an empty tier.
+    /// Creates an empty, unbounded tier.
     pub fn new() -> Self {
         PredictorCache::default()
+    }
+
+    /// Creates an empty tier retaining at most `capacity` trained sets,
+    /// evicting the least-recently-used entry on overflow (`0` means
+    /// unbounded). Eviction scans the resident entries for the oldest
+    /// stamp — O(capacity) per overflowing insert, and only sweeps whose
+    /// scenario working set exceeds the bound ever pay it. An entry whose
+    /// training is still in flight can be evicted safely: the trainer
+    /// holds its own handle and still returns its set; the tier merely
+    /// forgets it.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PredictorCache {
+            inner: Arc::new(PredictorCacheInner { capacity, ..PredictorCacheInner::default() }),
+        }
+    }
+
+    /// The capacity bound (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
     }
 
     /// The process-wide shared tier, mirroring the curve memo's
@@ -68,15 +121,30 @@ impl PredictorCache {
         let key = (scenario, kind);
         let cell = {
             let mut sets = self.inner.sets.lock().expect("predictor cache lock");
-            match sets.get(&key) {
+            match sets.touch(&key) {
                 Some(cell) => {
                     self.inner.hits.fetch_add(1, Ordering::Relaxed);
-                    Arc::clone(cell)
+                    cell
                 }
                 None => {
                     self.inner.misses.fetch_add(1, Ordering::Relaxed);
-                    let cell = Arc::new(OnceLock::new());
-                    sets.insert(key, Arc::clone(&cell));
+                    let capacity = self.inner.capacity;
+                    if capacity > 0 && sets.entries.len() >= capacity {
+                        let victim = sets
+                            .entries
+                            .iter()
+                            .min_by_key(|(_, e)| e.last_used)
+                            .map(|(k, _)| *k)
+                            .expect("non-empty store at capacity");
+                        sets.entries.remove(&victim);
+                        self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let cell: PredictorCell = Arc::new(OnceLock::new());
+                    let tick = sets.tick;
+                    sets.entries.insert(
+                        key,
+                        PredictorEntry { cell: Arc::clone(&cell), last_used: tick },
+                    );
                     cell
                 }
             }
@@ -94,9 +162,9 @@ impl PredictorCache {
                 // "every miss is one training attempt" counter semantic.
                 {
                     let mut sets = self.inner.sets.lock().expect("predictor cache lock");
-                    if let Some(existing) = sets.get(&key) {
-                        if Arc::ptr_eq(existing, &cell) && cell.get().is_none() {
-                            sets.remove(&key);
+                    if let Some(existing) = sets.entries.get(&key) {
+                        if Arc::ptr_eq(&existing.cell, &cell) && cell.get().is_none() {
+                            sets.entries.remove(&key);
                         }
                     }
                     // Guard dropped here: resuming the unwind while holding
@@ -109,7 +177,7 @@ impl PredictorCache {
 
     /// Number of distinct `(scenario, kind)` pairs currently resident.
     pub fn len(&self) -> usize {
-        self.inner.sets.lock().expect("predictor cache lock").len()
+        self.inner.sets.lock().expect("predictor cache lock").entries.len()
     }
 
     /// Whether no predictor has been trained yet.
@@ -119,15 +187,15 @@ impl PredictorCache {
 
     /// Drops every resident predictor set (counters are retained).
     pub fn clear(&self) {
-        self.inner.sets.lock().expect("predictor cache lock").clear();
+        self.inner.sets.lock().expect("predictor cache lock").entries.clear();
     }
 
-    /// Hit/miss counters since construction.
+    /// Hit/miss/eviction counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
-            evictions: 0,
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -203,6 +271,41 @@ mod tests {
         // nothing poisoned stays resident.
         assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2, evictions: 0 });
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn bounded_tier_evicts_least_recently_used() {
+        let cache = PredictorCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let a = MarketScenario::from_days(1, 7);
+        let b = MarketScenario::from_days(1, 8);
+        let c = MarketScenario::from_days(1, 9);
+        cache.get(PredictorKind::Logistic, a, &a.build());
+        cache.get(PredictorKind::Logistic, b, &b.build());
+        // Refresh `a` so `b` becomes the LRU victim.
+        cache.get(PredictorKind::Logistic, a, &a.build());
+        cache.get(PredictorKind::Logistic, c, &c.build());
+        assert_eq!(cache.len(), 2, "capacity bound respected");
+        assert_eq!(cache.stats().evictions, 1);
+        // `b` was evicted: asking again retrains (a miss), while the
+        // refreshed `a` is still a hit — and the retrained set answers
+        // identically (pure function of the key).
+        let before = cache.stats();
+        let retrained = cache.get(PredictorKind::Logistic, b, &b.build());
+        assert_eq!(cache.stats().misses, before.misses + 1);
+        let fresh = train_for_scenario(PredictorKind::Logistic, b, &b.build());
+        let t = SimTime::from_hours(20);
+        let pool = b.build();
+        let market = pool.iter().next().expect("non-empty pool");
+        let name = market.instance().name();
+        let bid = market.price_at(t) + 0.02;
+        assert_eq!(
+            retrained.revocation_probability(name, t, bid),
+            fresh.revocation_probability(name, t, bid),
+            "eviction must never change an answer"
+        );
+        let hit = cache.get(PredictorKind::Logistic, a, &a.build());
+        assert_eq!(hit.name(), "LogisticRegression");
     }
 
     #[test]

@@ -83,6 +83,13 @@ pub struct ServerConfig {
     /// the sweep; evictions are LRU and counted in the tier's
     /// [`CacheStats`].
     pub curve_capacity: usize,
+    /// Capacity bound of the trained-predictor tier; `0` (the default) is
+    /// unbounded. Each resident entry is a full trained predictor set
+    /// (three models per market), so scenario-heavy sweeps bound this to
+    /// cap memory; evictions are LRU and counted in the tier's
+    /// [`CacheStats`]. An evicted `(scenario, kind)` retrains on its next
+    /// request.
+    pub predictor_capacity: usize,
 }
 
 impl ServerConfig {
@@ -94,6 +101,12 @@ impl ServerConfig {
     /// Builder-style curve-tier capacity override (`0` = unbounded).
     pub fn with_curve_capacity(mut self, curve_capacity: usize) -> Self {
         self.curve_capacity = curve_capacity;
+        self
+    }
+
+    /// Builder-style predictor-tier capacity override (`0` = unbounded).
+    pub fn with_predictor_capacity(mut self, predictor_capacity: usize) -> Self {
+        self.predictor_capacity = predictor_capacity;
         self
     }
 
@@ -127,12 +140,32 @@ pub struct ServerStats {
     pub resident_curves: usize,
     /// Trained predictor sets currently resident.
     pub resident_predictors: usize,
+    /// Spot revocations absorbed across every completed campaign — the
+    /// server-level view of how hostile the swept markets were.
+    pub revocations: u64,
+    /// Training steps rolled back across every completed campaign (grace
+    /// windows too short, or checkpoints lost to injected faults).
+    pub lost_steps: u64,
+    /// Grace-window batch migrations executed across every completed
+    /// campaign (non-zero only for policies overriding
+    /// `assign_migrations`).
+    pub migrations: u64,
 }
 
 /// One queued unit of work: the request plus the submission's reply lane.
 struct WorkItem {
     request: CampaignRequest,
     reply: Sender<CampaignResponse>,
+}
+
+/// Graceful-degradation counters accumulated from every completed
+/// campaign's report (revocations absorbed, steps rolled back, batch
+/// migrations executed).
+#[derive(Debug, Default)]
+struct DegradationCounters {
+    revocations: AtomicU64,
+    lost_steps: AtomicU64,
+    migrations: AtomicU64,
 }
 
 /// The long-running sharded campaign service.
@@ -148,17 +181,19 @@ pub struct CampaignServer {
     predictors: PredictorCache,
     submitted: AtomicU64,
     completed: Arc<AtomicU64>,
+    degradation: Arc<DegradationCounters>,
 }
 
 impl CampaignServer {
     /// Spawns the worker pool with fresh, server-private cache tiers (the
-    /// curve tier honours [`ServerConfig::curve_capacity`]).
+    /// curve and predictor tiers honour [`ServerConfig::curve_capacity`]
+    /// and [`ServerConfig::predictor_capacity`]).
     pub fn start(config: ServerConfig) -> Self {
         CampaignServer::start_with_tiers(
             config,
             PoolCache::new(),
             CurveCache::with_capacity(config.curve_capacity),
-            PredictorCache::new(),
+            PredictorCache::with_capacity(config.predictor_capacity),
         )
     }
 
@@ -176,6 +211,7 @@ impl CampaignServer {
         let workers = config.resolved_workers();
         let (req_tx, req_rx) = channel::unbounded::<WorkItem>();
         let completed = Arc::new(AtomicU64::new(0));
+        let degradation = Arc::new(DegradationCounters::default());
         let handles = (0..workers)
             .map(|i| {
                 let rx = req_rx.clone();
@@ -183,9 +219,12 @@ impl CampaignServer {
                 let curves = curves.clone();
                 let predictors = predictors.clone();
                 let completed = Arc::clone(&completed);
+                let degradation = Arc::clone(&degradation);
                 std::thread::Builder::new()
                     .name(format!("campaign-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &pools, &curves, &predictors, &completed))
+                    .spawn(move || {
+                        worker_loop(&rx, &pools, &curves, &predictors, &completed, &degradation)
+                    })
                     .expect("spawn campaign worker")
             })
             .collect();
@@ -197,6 +236,7 @@ impl CampaignServer {
             predictors,
             submitted: AtomicU64::new(0),
             completed,
+            degradation,
         }
     }
 
@@ -280,6 +320,9 @@ impl CampaignServer {
             resident_pools: self.pools.len(),
             resident_curves: self.curves.len(),
             resident_predictors: self.predictors.len(),
+            revocations: self.degradation.revocations.load(Ordering::Relaxed),
+            lost_steps: self.degradation.lost_steps.load(Ordering::Relaxed),
+            migrations: self.degradation.migrations.load(Ordering::Relaxed),
         }
     }
 
@@ -326,6 +369,7 @@ fn worker_loop(
     curves: &CurveCache,
     predictors: &PredictorCache,
     completed: &AtomicU64,
+    degradation: &DegradationCounters,
 ) {
     while let Ok(WorkItem { request, reply }) = rx.recv() {
         let id = request.id;
@@ -343,6 +387,9 @@ fn worker_loop(
         match outcome {
             Ok(report) => {
                 completed.fetch_add(1, Ordering::Relaxed);
+                degradation.revocations.fetch_add(report.revocations, Ordering::Relaxed);
+                degradation.lost_steps.fetch_add(report.lost_steps, Ordering::Relaxed);
+                degradation.migrations.fetch_add(report.migrations, Ordering::Relaxed);
                 // A client that dropped its receiver no longer wants the
                 // report; that is not a server error.
                 let _ = reply.send(CampaignResponse { id, report });
@@ -457,6 +504,51 @@ mod tests {
         // Oracle campaigns never touch the tier.
         server.run_sweep(vec![request(9)]);
         assert_eq!(server.stats().predictor_cache.lookups(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bounded_predictor_tier_evicts_across_a_scenario_sweep() {
+        let server = CampaignServer::start(
+            ServerConfig::with_workers(1).with_predictor_capacity(1),
+        );
+        // Three distinct scenarios through a capacity-1 tier: every
+        // training displaces the previous resident.
+        let mut requests: Vec<CampaignRequest> = (0..3).map(request).collect();
+        for (i, req) in requests.iter_mut().enumerate() {
+            req.approach = Approach::SpotTune { theta: 0.7 };
+            req.estimator = EstimatorSpec::Logistic;
+            req.scenario = MarketScenario::from_days(1, 100 + i as u64);
+        }
+        let responses = server.run_sweep(requests);
+        assert_eq!(responses.len(), 3);
+        let stats = server.stats();
+        assert_eq!(stats.predictor_cache.misses, 3, "{:?}", stats.predictor_cache);
+        assert_eq!(stats.predictor_cache.evictions, 2, "{:?}", stats.predictor_cache);
+        assert_eq!(stats.resident_predictors, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_sum_degradation_counters_over_completed_reports() {
+        let server = CampaignServer::start(ServerConfig::with_workers(2));
+        // Long enough campaigns on spot capacity to see real revocations.
+        let mut requests: Vec<CampaignRequest> = (0..6).map(request).collect();
+        for req in &mut requests {
+            req.approach = Approach::SpotTune { theta: 0.7 };
+            req.workload = Workload::custom(
+                Algorithm::LoR,
+                60,
+                Workload::benchmark(Algorithm::LoR).hp_grid()[..2].to_vec(),
+            );
+        }
+        let responses = server.run_sweep(requests);
+        let expected: u64 = responses.iter().map(|r| r.report.revocations).sum();
+        let stats = server.stats();
+        assert_eq!(stats.revocations, expected, "server counter must equal the report sum");
+        // Default hooks never roll back or batch-migrate (the fault-free
+        // bit-identity invariant, observed at the server boundary).
+        assert_eq!((stats.lost_steps, stats.migrations), (0, 0));
         server.shutdown();
     }
 

@@ -37,7 +37,7 @@ fn every_registered_policy_sweeps_through_the_server() {
         }
     }
     let total = requests.len();
-    assert_eq!(total, 6 * 3);
+    assert_eq!(total, 7 * 3);
 
     let server = CampaignServer::start(ServerConfig::with_workers(4));
     let responses = server.run_sweep(requests);
@@ -54,7 +54,12 @@ fn every_registered_policy_sweeps_through_the_server() {
         );
     }
     // The new policies produced distinctly-labelled reports.
-    for label in ["Hybrid(θ=0.7, k=3)", "BidAware(θ=0.7)", "On-Demand Tune(Cheapest)"] {
+    for label in [
+        "Hybrid(θ=0.7, k=3)",
+        "BidAware(θ=0.7)",
+        "On-Demand Tune(Cheapest)",
+        "MigrationAware(θ=0.7, km)",
+    ] {
         assert!(
             responses.iter().any(|r| r.report.approach == label),
             "no report labelled {label:?}"
@@ -96,7 +101,7 @@ fn every_policy_sweeps_under_a_learned_predictor() {
         }
     }
     let total = requests.len();
-    assert_eq!(total, 6 * 2);
+    assert_eq!(total, 7 * 2);
 
     let server = CampaignServer::start(ServerConfig::with_workers(4));
     let responses = server.run_sweep(requests.clone());
