@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 use spottune_market::{MarketPool, SimDur, SimTime};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
@@ -89,7 +89,7 @@ enum PendingKind {
 #[derive(Debug)]
 pub struct CloudProvider {
     pool: MarketPool,
-    vms: HashMap<VmId, Vm>,
+    vms: BTreeMap<VmId, Vm>,
     /// Future notice/revocation events, time-ordered. Entries are inserted
     /// at `request_spot` (revocation instants are trace-determined, so both
     /// events are known up front), removed when they fire in [`Self::poll`]
@@ -111,7 +111,7 @@ impl CloudProvider {
     pub fn new(pool: MarketPool) -> Self {
         CloudProvider {
             pool,
-            vms: HashMap::new(),
+            vms: BTreeMap::new(),
             agenda: BTreeSet::new(),
             ledger: Ledger::new(),
             next_id: 0,
@@ -305,8 +305,9 @@ impl CloudProvider {
     /// total VM count, which is precisely what the agenda removes).
     pub fn poll_scan(&mut self, t: SimTime) -> Vec<CloudEvent> {
         let mut events = Vec::new();
-        let mut ids: Vec<VmId> = self.vms.keys().copied().collect();
-        ids.sort_unstable();
+        // BTreeMap keys come out already in id order (D2: no hash-order
+        // iteration in determinism-critical crates).
+        let ids: Vec<VmId> = self.vms.keys().copied().collect();
         for id in ids {
             let vm = self.vms.get_mut(&id).expect("vm exists");
             if !vm.is_alive() {

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use spottune_market::{InstanceType, SimDur};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Upload speed of the 1-vCPU reference instance, MB/s (measured: t2.micro).
 pub const BASE_SPEED_MBPS: f64 = 62.83;
@@ -68,7 +68,7 @@ pub struct ObjectMeta {
 /// passive: callers add the returned transfer times to their own clocks.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ObjectStore {
-    objects: HashMap<String, ObjectMeta>,
+    objects: BTreeMap<String, ObjectMeta>,
     bytes_up_mb: f64,
     bytes_down_mb: f64,
     puts: u64,

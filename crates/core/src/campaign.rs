@@ -316,6 +316,42 @@ impl CampaignRequest {
             None => campaign.run_with_cache(pool, curve_cache),
         }
     }
+
+    /// Checks every invariant a worker would otherwise trip an assert on,
+    /// without running anything: θ finite and in (0, 1] where the approach
+    /// uses it, a non-degenerate workload, a non-empty market scenario and
+    /// a well-formed estimator spec. This is the wire-boundary validation —
+    /// a server rejects the request with this message instead of letting a
+    /// malformed submission panic a campaign mid-sweep.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.approach.is_theta_parameterized() {
+            let theta = match self.approach {
+                Approach::SpotTune { theta }
+                | Approach::Hybrid { theta, .. }
+                | Approach::BidAware { theta }
+                | Approach::MigrationAware { theta } => theta,
+                Approach::SingleSpot(_) | Approach::OnDemand(_) => 1.0,
+            };
+            if !(theta > 0.0 && theta <= 1.0) {
+                return Err(format!("theta must be in (0, 1], got {theta}"));
+            }
+        }
+        if let Approach::Hybrid { max_revocations, .. } = self.approach {
+            if max_revocations == 0 {
+                return Err("hybrid max_revocations must be at least 1".to_string());
+            }
+        }
+        if self.workload.hp_grid().is_empty() {
+            return Err("workload HP grid must not be empty".to_string());
+        }
+        if self.workload.max_trial_steps() == 0 {
+            return Err("workload max_trial_steps must be positive".to_string());
+        }
+        if self.scenario.trace_mins == 0 {
+            return Err("market scenario must cover a non-empty trace".to_string());
+        }
+        self.estimator.validate()
+    }
 }
 
 /// The server's answer to one [`CampaignRequest`].

@@ -94,7 +94,7 @@ use crate::perfmatrix::PerfMatrix;
 use crate::provision::{InstChoice, Provisioner, REWORK_SECS};
 use rand::rngs::StdRng;
 use spottune_market::{MarketPool, RevocationEstimator, SimDur, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How the engine drives a policy's jobs through time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -363,7 +363,7 @@ pub struct HybridSpotOnDemand<'a> {
     delta_range: (f64, f64),
     theta: f64,
     max_revocations: u32,
-    strikes: HashMap<usize, u32>,
+    strikes: BTreeMap<usize, u32>,
 }
 
 impl<'a> HybridSpotOnDemand<'a> {
@@ -381,7 +381,7 @@ impl<'a> HybridSpotOnDemand<'a> {
             delta_range,
             theta,
             max_revocations,
-            strikes: HashMap::new(),
+            strikes: BTreeMap::new(),
         }
     }
 }

@@ -278,7 +278,7 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ascii");
+            .map_err(|_| self.err("malformed number"))?;
         if float {
             // `"1e999".parse::<f64>()` yields Ok(inf); reject it here so
             // the no-non-finite contract holds on the decode side too.
@@ -914,6 +914,29 @@ mod tests {
             text.replace("\"kind\":\"oracle\",\"confidence\":0.9", "\"kind\":\"constant\"");
         let err = decode_request(&missing).expect_err("constant without p");
         assert!(err.to_string().contains("p"), "{err}");
+    }
+
+    #[test]
+    fn decoded_but_semantically_malformed_requests_fail_validate() {
+        // The untrusted-input contract (spotlint rule P1): a structurally
+        // well-formed request with nonsense values decodes fine — the wire
+        // layer checks shape, not semantics — and is then caught by
+        // `CampaignRequest::validate` at the server boundary instead of
+        // panicking a worker mid-campaign.
+        let text = encode_request(&request(Approach::SpotTune { theta: 0.7 }));
+        for (from, to, needle) in [
+            ("\"theta\":0.7", "\"theta\":2.5", "theta"),
+            ("\"theta\":0.7", "\"theta\":-1", "theta"),
+            ("\"trace_mins\":2880", "\"trace_mins\":0", "scenario"),
+        ] {
+            let bad = text.replace(from, to);
+            assert_ne!(bad, text, "replacement must apply: {from}");
+            let decoded = decode_request(&bad).expect("structurally valid");
+            let err = decoded.validate().expect_err("semantically malformed");
+            assert!(err.contains(needle), "{err}");
+        }
+        // The unmodified request passes.
+        decode_request(&text).expect("valid").validate().expect("valid request");
     }
 
     #[test]

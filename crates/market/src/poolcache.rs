@@ -11,7 +11,7 @@
 use crate::market::MarketPool;
 use crate::time::SimDur;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -22,7 +22,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// This is the wire-level key of the pool tier: requests name a scenario
 /// instead of shipping megabytes of price traces, and equal scenarios are
 /// guaranteed to resolve to the identical (shared) pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MarketScenario {
     /// Trace length in minutes.
     pub trace_mins: u64,
@@ -93,7 +93,7 @@ pub struct PoolCache {
 
 #[derive(Debug, Default)]
 struct PoolCacheInner {
-    pools: Mutex<HashMap<MarketScenario, Arc<OnceLock<MarketPool>>>>,
+    pools: Mutex<BTreeMap<MarketScenario, Arc<OnceLock<MarketPool>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }

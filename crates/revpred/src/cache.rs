@@ -12,7 +12,7 @@
 
 use crate::estimator::{train_for_scenario, MarketPredictorSet, PredictorKind};
 use spottune_market::{CacheStats, MarketPool, MarketScenario};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -51,7 +51,7 @@ type PredictorCell = Arc<OnceLock<Arc<MarketPredictorSet>>>;
 /// Resident entries plus the logical clock backing LRU ordering.
 #[derive(Debug, Default)]
 struct PredictorStore {
-    entries: HashMap<PredictorKey, PredictorEntry>,
+    entries: BTreeMap<PredictorKey, PredictorEntry>,
     /// Monotone lookup/insert counter; entries stamp their last touch.
     tick: u64,
 }

@@ -7,11 +7,11 @@ use crate::logistic::LogisticModel;
 use crate::model::{ProbModel, RevPredNet, TrainConfig};
 use crate::tributary::TributaryNet;
 use spottune_market::{EstimatorSpec, MarketPool, MarketScenario, RevocationEstimator, SimDur, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Which predictor family to train per market.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PredictorKind {
     /// RevPred: dual-path LSTM + Algorithm-2 deltas.
     RevPred,
@@ -107,7 +107,7 @@ pub fn train_for_scenario(
 /// One trained model per spot market, usable as a [`RevocationEstimator`].
 pub struct MarketPredictorSet {
     pool: MarketPool,
-    models: HashMap<String, Box<dyn ProbModel>>,
+    models: BTreeMap<String, Box<dyn ProbModel>>,
     label: String,
 }
 
@@ -135,7 +135,7 @@ impl MarketPredictorSet {
         stride: SimDur,
         cfg: &TrainConfig,
     ) -> Self {
-        let mut models: HashMap<String, Box<dyn ProbModel>> = HashMap::new();
+        let mut models: BTreeMap<String, Box<dyn ProbModel>> = BTreeMap::new();
         for market in pool.iter() {
             let samples = build_dataset(
                 market,

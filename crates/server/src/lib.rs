@@ -246,25 +246,66 @@ impl CampaignServer {
         self.submit_sweep(vec![request])
     }
 
+    /// Validating variant of [`CampaignServer::submit`]: a malformed
+    /// request (NaN θ, empty grid, zero-length scenario, bad estimator
+    /// spec) is rejected here with its reason instead of being queued to
+    /// panic inside a worker.
+    pub fn submit_checked(
+        &self,
+        request: CampaignRequest,
+    ) -> Result<Receiver<CampaignResponse>, String> {
+        self.submit_sweep_checked(vec![request])
+    }
+
     /// Submits a sweep; the returned receiver streams one response per
     /// request in **completion** order and disconnects after the last one.
     ///
     /// Responses echo [`CampaignRequest::id`], so a client that needs
     /// submission order sorts by id on its side (see
     /// [`CampaignServer::run_sweep`]).
+    ///
+    /// Untrusted (wire-decoded) requests should go through
+    /// [`CampaignServer::submit_sweep_checked`] instead: this path queues
+    /// whatever it is given, and a request that fails engine validation
+    /// panics its campaign, shortening the stream by one response.
     pub fn submit_sweep(&self, requests: Vec<CampaignRequest>) -> Receiver<CampaignResponse> {
         let (reply_tx, reply_rx) = channel::unbounded();
-        let req_tx = self.req_tx.as_ref().expect("server is running");
+        // `req_tx` is only `None` mid-teardown; a send fails only if every
+        // worker is gone. Neither is a reason to panic the *client* thread:
+        // an unqueued request simply never answers, which the stream
+        // reports by disconnecting short (same contract as a panicked
+        // campaign).
+        let Some(req_tx) = self.req_tx.as_ref() else {
+            return reply_rx;
+        };
         self.submitted.fetch_add(requests.len() as u64, Ordering::Relaxed);
         for request in requests {
-            req_tx
-                .send(WorkItem { request, reply: reply_tx.clone() })
-                .expect("worker pool alive while server is running");
+            if req_tx.send(WorkItem { request, reply: reply_tx.clone() }).is_err() {
+                break;
+            }
         }
         // Workers hold the only remaining clones: the stream disconnects
         // exactly when the sweep's last response has been sent.
         drop(reply_tx);
         reply_rx
+    }
+
+    /// Validating variant of [`CampaignServer::submit_sweep`]: every
+    /// request is checked ([`CampaignRequest::validate`]) before anything
+    /// is queued, so a malformed submission yields an error naming the
+    /// offending request instead of a worker panic and a silently
+    /// shortened response stream. All-or-nothing: one bad request rejects
+    /// the whole sweep.
+    pub fn submit_sweep_checked(
+        &self,
+        requests: Vec<CampaignRequest>,
+    ) -> Result<Receiver<CampaignResponse>, String> {
+        for request in &requests {
+            request
+                .validate()
+                .map_err(|reason| format!("request {}: {reason}", request.id))?;
+        }
+        Ok(self.submit_sweep(requests))
     }
 
     /// Blocking convenience: runs a sweep and returns the responses in
@@ -549,6 +590,30 @@ mod tests {
         // Default hooks never roll back or batch-migrate (the fault-free
         // bit-identity invariant, observed at the server boundary).
         assert_eq!((stats.lost_steps, stats.migrations), (0, 0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_is_rejected_before_queueing() {
+        let server = CampaignServer::start(ServerConfig::with_workers(1));
+        // NaN θ straight off the wire: rejected with its reason, nothing
+        // queued, nothing panicked.
+        let mut poisoned = request(0);
+        poisoned.approach = Approach::SpotTune { theta: f64::NAN };
+        let err = server.submit_checked(poisoned).err().expect("NaN theta must be rejected");
+        assert!(err.contains("theta"), "{err}");
+        // A zero-length scenario is just as undecodable-into-work.
+        let mut empty = request(1);
+        empty.scenario = MarketScenario::from_days(0, 1);
+        assert!(server.submit_checked(empty).is_err());
+        // One bad request rejects the whole sweep before queueing any of it.
+        let mut bad = request(3);
+        bad.approach = Approach::SpotTune { theta: -0.5 };
+        assert!(server.submit_sweep_checked(vec![request(2), bad]).is_err());
+        assert_eq!(server.stats().submitted, 0, "rejected requests are never queued");
+        // The same server still serves healthy submissions.
+        let rx = server.submit_checked(request(4)).expect("valid request passes");
+        assert_eq!(rx.recv().expect("one response").id, 4);
         server.shutdown();
     }
 

@@ -130,6 +130,48 @@ fn every_policy_sweeps_under_a_learned_predictor() {
 }
 
 #[test]
+fn every_registered_estimator_sweeps_through_the_server() {
+    // Registry-driven (spotlint rule R1): iterating
+    // `registered_estimators()` instead of a hand-kept list means a newly
+    // registered kind fails here until the matrix genuinely covers it.
+    let workload = tiny_workload();
+    // Short traces keep the learned kinds' training windows tiny.
+    let scenario = MarketScenario::new(SimDur::from_hours(5), 31);
+    let mut requests = Vec::new();
+    for name in EstimatorSpec::registered_estimators() {
+        // Argless form where the registry name is directly runnable
+        // (`oracle`, the learned kinds); `constant` needs a probability.
+        let estimator = EstimatorSpec::parse(name)
+            .or_else(|| EstimatorSpec::parse(&format!("{name}(0.5)")))
+            .unwrap_or_else(|| panic!("registered estimator {name} must parse"));
+        requests.push(CampaignRequest {
+            id: requests.len() as u64,
+            approach: Approach::SpotTune { theta: 0.7 },
+            workload: workload.clone(),
+            scenario,
+            seed: 3,
+            estimator,
+        });
+    }
+    assert_eq!(requests.len(), 5);
+
+    let server = CampaignServer::start(ServerConfig::with_workers(4));
+    let responses = server.run_sweep(requests.clone());
+    for (request, response) in requests.iter().zip(&responses) {
+        let report = &response.report;
+        assert_eq!(report.predicted_finals.len(), 2, "{}", request.estimator);
+        assert!(report.jct.as_secs() > 0, "{}", request.estimator);
+        // Every estimator's server answer is bit-identical to the serial
+        // reference resolution of the same request.
+        let serial = request.run_serial(&scenario.build(), &CurveCache::new());
+        assert_eq!(serial, *report, "{}: server vs serial report", request.estimator);
+    }
+    // Three learned kinds over one scenario: three trainings, no more.
+    assert_eq!(server.stats().predictor_cache.misses, 3);
+    server.shutdown();
+}
+
+#[test]
 fn bounded_curve_tier_evicts_under_many_seeds() {
     let workload = tiny_workload();
     let scenario = MarketScenario::from_days(1, 21);

@@ -1,0 +1,124 @@
+//! The audited-exception allowlist (`spotlint.allow`).
+//!
+//! Format — one entry per line:
+//!
+//! ```text
+//! # why this exception is sound (comments start with '#')
+//! RULE  path/to/file.rs  substring of the offending source line
+//! ```
+//!
+//! An entry suppresses a finding when all three match: the rule ID, the
+//! workspace-relative path, and the *source line* containing the given
+//! substring. Matching on line content instead of line numbers keeps
+//! entries stable across unrelated edits; if the audited line itself
+//! changes, the entry goes stale and spotlint reports it, forcing a
+//! re-audit.
+
+use crate::rules::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub file: String,
+    pub pattern: String,
+    /// Line in the allowlist file, for stale-entry reporting.
+    pub line: usize,
+}
+
+/// Parses `spotlint.allow` text. Malformed lines (fewer than three
+/// fields) are returned separately so the caller can report them instead
+/// of silently ignoring an intended suppression.
+pub fn parse(text: &str) -> (Vec<AllowEntry>, Vec<usize>) {
+    let mut entries = Vec::new();
+    let mut malformed = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(file), Some(pattern)) if !pattern.trim().is_empty() => {
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    file: file.to_string(),
+                    pattern: pattern.trim().to_string(),
+                    line: i + 1,
+                });
+            }
+            _ => malformed.push(i + 1),
+        }
+    }
+    (entries, malformed)
+}
+
+/// Splits findings into (kept, suppressed) and reports which entries
+/// never matched anything (stale — the audited line is gone or changed).
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[AllowEntry],
+) -> (Vec<Finding>, Vec<Finding>, Vec<AllowEntry>) {
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut used = vec![false; entries.len()];
+    for f in findings {
+        let hit = entries.iter().position(|e| {
+            e.rule == f.rule && e.file == f.file && f.snippet.contains(&e.pattern)
+        });
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed.push(f);
+            }
+            None => kept.push(f),
+        }
+    }
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (kept, suppressed, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 10,
+            message: "m".into(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn parse_skips_comments_and_reports_malformed() {
+        let (entries, malformed) = parse(
+            "# audited\nD3 crates/earlycurve/src/solver.rs factor == 0.0\n\nP1-only-two-fields x\n",
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "D3");
+        assert_eq!(malformed, vec![4]);
+    }
+
+    #[test]
+    fn apply_matches_rule_file_and_snippet() {
+        let (entries, _) = parse("D3 a.rs factor == 0.0\nP1 b.rs .expect(\"spawn\")\n");
+        let fs = vec![
+            finding("D3", "a.rs", "if factor == 0.0 {"),
+            finding("D3", "other.rs", "if factor == 0.0 {"),
+            finding("P1", "b.rs", "x.unwrap();"),
+        ];
+        let (kept, suppressed, stale) = apply(fs, &entries);
+        assert_eq!(kept.len(), 2, "wrong file + unmatched snippet stay");
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(stale.len(), 1, "the P1 entry matched nothing");
+        assert_eq!(stale[0].file, "b.rs");
+    }
+}

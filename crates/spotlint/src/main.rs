@@ -1,0 +1,131 @@
+//! `spotlint` CLI.
+//!
+//! ```text
+//! spotlint --check            # human-readable findings, exit 1 if dirty
+//! spotlint --check --json     # machine-readable report for CI
+//! spotlint --explain D2       # rule rationale and how to fix / allowlist
+//! spotlint --list-rules       # one line per rule
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or stale/malformed allowlist entries),
+//! 2 usage or I/O error.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use spotlint::rules::{rule_info, RULES};
+use spotlint::{find_root, lint_workspace, report_to_json};
+
+const USAGE: &str = "\
+usage: spotlint [--check] [--json] [--root PATH] | --explain RULE | --list-rules
+
+  --check        lint the workspace (default action)
+  --json         emit the report as a single JSON object
+  --root PATH    workspace root (default: discovered from the current dir)
+  --explain RULE print the rationale and remediation for a rule ID
+  --list-rules   list all rule IDs with their one-line summaries
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut explain: Option<String> = None;
+    let mut list_rules = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--explain" => match it.next() {
+                Some(r) => explain = Some(r.clone()),
+                None => return usage_error("--explain needs a rule ID"),
+            },
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument: {other}")),
+        }
+    }
+
+    if list_rules {
+        for r in RULES {
+            println!("{:<4} {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(id) = explain {
+        return match rule_info(&id) {
+            Some(r) => {
+                println!("{} — {}\n\n{}", r.id, r.summary, r.explain);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("spotlint: unknown rule {id:?}; try --list-rules");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let root = match root_arg.or_else(|| {
+        env::current_dir().ok().and_then(|d| find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("spotlint: cannot locate the workspace root; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("spotlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report_to_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            println!("    {}", f.snippet.trim());
+        }
+        for e in &report.stale_allow {
+            println!(
+                "spotlint.allow:{}: stale entry ({} {} \"{}\") matches nothing — \
+                 the audited line changed; re-audit or remove it",
+                e.line, e.rule, e.file, e.pattern
+            );
+        }
+        for l in &report.malformed_allow {
+            println!("spotlint.allow:{l}: malformed entry (need RULE FILE PATTERN)");
+        }
+        println!(
+            "spotlint: {} file(s) scanned, {} finding(s), {} suppressed by spotlint.allow",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressed.len()
+        );
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("spotlint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

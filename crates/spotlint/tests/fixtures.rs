@@ -1,0 +1,89 @@
+//! Per-rule fixture detection (ISSUE 7 acceptance): every rule must flag
+//! its deliberately-violating fixture, and the clean fixture — built from
+//! near-miss spellings of every pattern — must produce nothing.
+//!
+//! Fixtures are data, not compiled test code; they are lexed under a fake
+//! in-scope path because real `tests/` paths are exempt by design.
+
+use spotlint::rules::{check_d1, check_d2, check_d3, check_p1, FileCtx, Finding};
+
+/// Lexes a fixture as if it lived in a determinism-critical crate.
+fn ctx(src: &str) -> FileCtx<'_> {
+    FileCtx::new("crates/core/src/fixture.rs", src)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn d1_fixture_is_flagged_on_every_source() {
+    let src = include_str!("fixtures/d1_violation.rs");
+    let findings = check_d1(&ctx(src));
+    // `SystemTime` is flagged at every mention (type positions included —
+    // holding one implies someone sampled it), so more findings than
+    // source families is expected.
+    assert!(findings.len() >= 4, "{findings:#?}");
+    for f in &findings {
+        assert_eq!(f.rule, "D1");
+        assert!(f.line > 0 && !f.snippet.is_empty());
+    }
+    // All four determinism-source families are individually caught.
+    let snippets: String =
+        findings.iter().map(|f| f.snippet.as_str()).collect::<Vec<_>>().join("\n");
+    for pat in ["SystemTime::now", "Instant::now", "thread_rng", "env::var"] {
+        assert!(snippets.contains(pat), "missing {pat} in {snippets}");
+    }
+}
+
+#[test]
+fn d2_fixture_is_flagged_for_both_container_kinds() {
+    let src = include_str!("fixtures/d2_violation.rs");
+    let findings = check_d2(&ctx(src));
+    assert!(findings.len() >= 2, "{findings:#?}");
+    let snippets: String =
+        findings.iter().map(|f| f.snippet.as_str()).collect::<Vec<_>>().join("\n");
+    assert!(snippets.contains("HashMap") && snippets.contains("HashSet"));
+    assert!(rules_of(&findings).iter().all(|r| *r == "D2"));
+}
+
+#[test]
+fn d3_fixture_is_flagged_for_eq_and_ne() {
+    let src = include_str!("fixtures/d3_violation.rs");
+    let findings = check_d3(&ctx(src));
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().any(|f| f.snippet.contains("==")));
+    assert!(findings.iter().any(|f| f.snippet.contains("!=")));
+}
+
+#[test]
+fn p1_fixture_is_flagged_for_every_escape_hatch() {
+    let src = include_str!("fixtures/p1_violation.rs");
+    let findings = check_p1(&ctx(src));
+    assert_eq!(findings.len(), 4, "{findings:#?}");
+    let snippets: String =
+        findings.iter().map(|f| f.snippet.as_str()).collect::<Vec<_>>().join("\n");
+    for pat in [".unwrap()", ".expect(", "panic!", "unreachable!"] {
+        assert!(snippets.contains(pat), "missing {pat} in {snippets}");
+    }
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let src = include_str!("fixtures/clean.rs");
+    let c = ctx(src);
+    let mut findings = check_d1(&c);
+    findings.extend(check_d2(&c));
+    findings.extend(check_d3(&c));
+    findings.extend(check_p1(&c));
+    assert!(findings.is_empty(), "near-misses must not be flagged: {findings:#?}");
+}
+
+#[test]
+fn fixtures_under_a_tests_path_are_exempt() {
+    // The same violating source lexed at a tests/ path yields nothing —
+    // equivalence suites intentionally use exact compares and unwraps.
+    let src = include_str!("fixtures/d3_violation.rs");
+    let c = FileCtx::new("crates/core/tests/fixture.rs", src);
+    assert!(check_d3(&c).is_empty());
+}

@@ -1,0 +1,38 @@
+// Fixture: negative control — near-miss spellings of every rule's pattern,
+// none of which may be flagged.
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+pub struct Clock {
+    now: Instant, // stored deadline, never sampled
+}
+
+pub fn lookup(map: &BTreeMap<u64, f64>, key: u64) -> f64 {
+    // `unwrap_or` is not `unwrap`; an epsilon compare is not `==`.
+    let value = map.get(&key).copied().unwrap_or(0.0);
+    if (value - 1.0).abs() < 1e-9 {
+        return 1.0;
+    }
+    value
+}
+
+pub fn describe() -> &'static str {
+    // Pattern words inside strings and comments are invisible to the
+    // lexer: HashMap, thread_rng, panic!, x.unwrap(), 1.0 == 2.0
+    "SystemTime::now() spelled in a string is data, not code"
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: exact comparisons and unwraps are the point of
+    // a bit-identity assertion.
+    #[test]
+    fn exact_compare_allowed_here() {
+        let x: f64 = 0.5;
+        assert!(x == 0.5);
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let m = std::collections::HashMap::<u8, u8>::new();
+        assert!(m.is_empty());
+    }
+}

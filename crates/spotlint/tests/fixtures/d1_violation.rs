@@ -1,0 +1,19 @@
+// Fixture: every D1 determinism-source pattern, outside test code.
+use std::time::{Instant, SystemTime};
+
+pub fn wall_clock() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn monotonic() -> Instant {
+    Instant::now()
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn ambient_config() -> Option<String> {
+    std::env::var("SPOTTUNE_SEED").ok()
+}

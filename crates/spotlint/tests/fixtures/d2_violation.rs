@@ -1,0 +1,14 @@
+// Fixture: hash-order containers in a determinism-critical crate.
+use std::collections::{HashMap, HashSet};
+
+pub struct Ledger {
+    balances: HashMap<String, f64>,
+    seen: HashSet<u64>,
+}
+
+impl Ledger {
+    pub fn total(&self) -> f64 {
+        // Iteration order escapes into the sum's rounding.
+        self.balances.values().sum()
+    }
+}

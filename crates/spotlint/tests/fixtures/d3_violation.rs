@@ -1,0 +1,10 @@
+// Fixture: exact float-literal comparisons (the rule targets comparisons
+// against literals/NAN — ident-vs-ident compares need type knowledge a
+// token rule does not have).
+pub fn converged(error: f64) -> bool {
+    error == 0.0
+}
+
+pub fn still_moving(delta: f64) -> bool {
+    delta != 0.0
+}

@@ -1,0 +1,12 @@
+// Fixture: panicking escape hatches on the request path.
+pub fn decode(bytes: &[u8]) -> u64 {
+    let text = std::str::from_utf8(bytes).unwrap();
+    let value = text.parse::<u64>().expect("request carries a number");
+    if value == 0 {
+        panic!("zero is not a valid request id");
+    }
+    match value {
+        u64::MAX => unreachable!("sentinel never reaches decode"),
+        v => v,
+    }
+}

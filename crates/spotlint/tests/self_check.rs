@@ -1,0 +1,86 @@
+//! The lint applied to its own workspace (ISSUE 7 acceptance): the tree
+//! must be clean modulo the audited entries in `spotlint.allow`, and the
+//! R1 registry/CI cross-check must actually fail when a registered policy
+//! is dropped from the live CI matrix.
+
+use spotlint::registry::{check_r1, CI_PATH};
+use spotlint::{find_root, lint_workspace, registry_inputs, report_to_json};
+use std::path::{Path, PathBuf};
+
+fn root() -> PathBuf {
+    find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root above spotlint")
+}
+
+#[test]
+fn workspace_is_clean_modulo_the_allowlist() {
+    let report = lint_workspace(&root()).expect("lintable workspace");
+    assert!(
+        report.is_clean(),
+        "workspace must lint clean; run `cargo run -p spotlint -- --check` and fix or \
+         allowlist (with a rationale) each finding:\n{}",
+        report_to_json(&report)
+    );
+    // The scan really covered the determinism-critical crates plus the
+    // request path, and the allowlist is live, not vestigial.
+    assert!(report.files_scanned >= 20, "only {} files scanned", report.files_scanned);
+    assert!(!report.suppressed.is_empty(), "spotlint.allow carries audited entries");
+}
+
+#[test]
+fn every_suppression_cites_a_distinct_audited_line() {
+    let report = lint_workspace(&root()).expect("lintable workspace");
+    // Stale-entry detection is what keeps the allowlist honest; if two
+    // suppressed findings collapsed onto one entry, an audit could hide a
+    // new violation. Guard the 1:1 shape.
+    let mut keys: Vec<(String, usize)> = report
+        .suppressed
+        .iter()
+        .map(|f| (format!("{}:{}", f.file, f.rule), f.line))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys.len(), report.suppressed.len(), "{keys:#?}");
+}
+
+#[test]
+fn removing_a_registered_policy_from_live_ci_fails_r1() {
+    // Against the real registry sources and the real ci.yml — not a toy
+    // fixture — so the acceptance holds for the workspace as it ships.
+    let mut inputs = registry_inputs(&root()).expect("readable registry inputs");
+    assert!(check_r1(&inputs).is_empty(), "live workspace starts R1-clean");
+
+    let doctored: String = inputs
+        .ci_yaml
+        .lines()
+        .filter(|l| l.trim() != "- bid-aware")
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_ne!(doctored, inputs.ci_yaml, "the policy matrix lists bid-aware");
+    inputs.ci_yaml = doctored;
+
+    let findings = check_r1(&inputs);
+    assert!(
+        findings.iter().any(|f| {
+            f.rule == "R1" && f.file == CI_PATH && f.message.contains("bid-aware")
+        }),
+        "dropping bid-aware from the CI matrix must be flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn removing_a_registered_estimator_from_live_ci_fails_r1() {
+    let mut inputs = registry_inputs(&root()).expect("readable registry inputs");
+    let doctored: String = inputs
+        .ci_yaml
+        .lines()
+        .filter(|l| l.trim() != "- tributary")
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_ne!(doctored, inputs.ci_yaml, "the estimator matrix lists tributary");
+    inputs.ci_yaml = doctored;
+    let findings = check_r1(&inputs);
+    assert!(
+        findings.iter().any(|f| f.rule == "R1" && f.message.contains("tributary")),
+        "{findings:#?}"
+    );
+}
