@@ -1,0 +1,144 @@
+//! `spottune-client`: CLI for the `spottune-serve` TCP service.
+//!
+//! ```text
+//! spottune-client [--addr HOST:PORT] stats
+//! spottune-client [--addr HOST:PORT] shutdown
+//! spottune-client [--addr HOST:PORT] run [--count N] [--seed S]
+//!                 [--deadline-ms D] [--retry-seed S]
+//! ```
+//!
+//! `run` drives N tiny benchmark campaigns through the wire and prints
+//! one summary line per response — a loopback smoke check, not a
+//! production workload driver. Exits 0 only if every request succeeded.
+
+use spottune_client::{Client, RetryPolicy};
+use spottune_core::CampaignRequest;
+use spottune_market::{EstimatorSpec, MarketScenario};
+use spottune_mlsim::prelude::*;
+
+fn usage(program: &str) -> String {
+    format!(
+        "usage: {program} [--addr HOST:PORT] <stats|shutdown|run> \
+         [--count N] [--seed S] [--deadline-ms D] [--retry-seed S]"
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let program = args.first().map(String::as_str).unwrap_or("spottune-client");
+    let mut addr = "127.0.0.1:7915".to_string();
+    let mut command: Option<String> = None;
+    let mut count: u64 = 4;
+    let mut seed: u64 = 42;
+    let mut deadline_ms: Option<u64> = None;
+    let mut retry_seed: u64 = 0;
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> String {
+            match iter.next() {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("{name} needs a value\n{}", usage(program));
+                    std::process::exit(2);
+                }
+            }
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--count" => count = parse(&value("--count"), program),
+            "--seed" => seed = parse(&value("--seed"), program),
+            "--deadline-ms" => deadline_ms = Some(parse(&value("--deadline-ms"), program)),
+            "--retry-seed" => retry_seed = parse(&value("--retry-seed"), program),
+            "--help" | "-h" => {
+                println!("{}", usage(program));
+                return;
+            }
+            cmd if command.is_none() && !cmd.starts_with('-') => command = Some(cmd.to_string()),
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage(program));
+                std::process::exit(2);
+            }
+        }
+    }
+    let command = match command {
+        Some(c) => c,
+        None => {
+            eprintln!("{}", usage(program));
+            std::process::exit(2);
+        }
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(client) => client.with_retry(RetryPolicy::default().with_seed(retry_seed)),
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let status = match command.as_str() {
+        "stats" => print_fields(client.stats()),
+        "shutdown" => print_fields(client.shutdown_server()),
+        "run" => run_smoke(&mut client, count, seed, deadline_ms),
+        other => {
+            eprintln!("unknown command {other:?}\n{}", usage(program));
+            2
+        }
+    };
+    std::process::exit(status);
+}
+
+fn print_fields(
+    fields: Result<Vec<(String, u64)>, spottune_client::ClientError>,
+) -> i32 {
+    match fields {
+        Ok(fields) => {
+            for (name, value) in fields {
+                println!("{name}={value}");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn run_smoke(client: &mut Client, count: u64, seed: u64, deadline_ms: Option<u64>) -> i32 {
+    let base = Workload::benchmark(Algorithm::LoR);
+    let workload = Workload::custom(Algorithm::LoR, 15, base.hp_grid()[..2].to_vec());
+    let requests: Vec<CampaignRequest> = (0..count)
+        .map(|i| CampaignRequest {
+            id: i,
+            approach: spottune_core::Approach::SpotTune { theta: 0.7 },
+            workload: workload.clone(),
+            scenario: MarketScenario::from_days(1, 42),
+            seed: seed.wrapping_add(i),
+            estimator: EstimatorSpec::default(),
+        })
+        .collect();
+    let mut failures = 0;
+    for (request, outcome) in requests.iter().zip(client.run_sweep(&requests, deadline_ms)) {
+        match outcome {
+            Ok(response) => println!("{} {}", response.id, response.report.summary()),
+            Err(e) => {
+                eprintln!("request {} failed: {e}", request.id);
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str, program: &str) -> T {
+    match text.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("malformed numeric argument {text:?}\n{}", usage(program));
+            std::process::exit(2);
+        }
+    }
+}

@@ -347,6 +347,48 @@ impl CloudProvider {
         self.agenda.iter().next().map(|&(at, _, _)| at)
     }
 
+    /// Instant of the earliest pending *notice*, if any — the jump target
+    /// for sub-poll delivery ([`Self::poll_notices`]).
+    pub fn next_notice_at(&self) -> Option<SimTime> {
+        self.agenda
+            .iter()
+            .find(|&&(_, _, kind)| kind == PendingKind::Notice)
+            .map(|&(at, _, _)| at)
+    }
+
+    /// Delivers only the notices due at or before `t`, leaving revocations
+    /// pending for the next full [`Self::poll`].
+    ///
+    /// This is the sub-poll path: a grace window shorter than the poll
+    /// interval collapses to zero when its notice waits for the next grid
+    /// tick (the tick coincides with the revocation), so the event-driven
+    /// drive calls this at the notice's true instant instead. Grace is
+    /// measured from delivery (`t`), exactly as in [`Self::poll`].
+    pub fn poll_notices(&mut self, t: SimTime) -> Vec<CloudEvent> {
+        let mut due: Vec<(SimTime, VmId)> = self
+            .agenda
+            .iter()
+            .take_while(|&&(at, _, _)| at <= t)
+            .filter(|&&(_, _, kind)| kind == PendingKind::Notice)
+            .map(|&(at, id, _)| (at, id))
+            .collect();
+        // Per-instant order matches `poll`: VM id major.
+        due.sort_unstable_by_key(|&(_, id)| id);
+        let mut events = Vec::new();
+        for (at, id) in due {
+            self.agenda.remove(&(at, id, PendingKind::Notice));
+            let vm = self.vms.get_mut(&id).expect("agenda vm exists");
+            if !vm.is_alive() {
+                continue; // stale entry: terminated this instant
+            }
+            let revoke_at = vm.revoke_at.expect("agenda vm has a revocation");
+            vm.notice_sent = true;
+            vm.state = VmState::Notified { revoke_at };
+            events.push(CloudEvent::RevocationNotice { vm: id, revoke_at, grace: revoke_at - t });
+        }
+        events
+    }
+
     /// User-initiated shutdown at time `t`. Bills the VM without a refund.
     ///
     /// # Panics
@@ -553,6 +595,37 @@ mod tests {
                 grace: SimDur::ZERO,
             }
         );
+    }
+
+    #[test]
+    fn poll_notices_delivers_at_true_instant_and_leaves_revocations() {
+        let plan = FaultPlan::new(5)
+            .with_storm("t.spike", SimTime::from_mins(40))
+            .with_delayed_notices(1.0, SimDur::from_secs(5));
+        let mut p = CloudProvider::new(spike_pool())
+            .with_launch_delay(SimDur::ZERO)
+            .with_fault_plan(plan);
+        let vm = p.request_spot(SimTime::ZERO, "t.spike", 10.0).unwrap();
+        // The 5 s lead puts the notice off the 10 s grid.
+        let notice_at = SimTime::from_secs(40 * 60 - 5);
+        assert_eq!(p.next_notice_at(), Some(notice_at));
+        assert!(p.poll_notices(SimTime::from_secs(40 * 60 - 6)).is_empty());
+        let ev = p.poll_notices(notice_at);
+        assert_eq!(
+            ev,
+            vec![CloudEvent::RevocationNotice {
+                vm,
+                revoke_at: SimTime::from_mins(40),
+                grace: SimDur::from_secs(5),
+            }]
+        );
+        assert!(matches!(p.vm(vm).unwrap().state(), VmState::Notified { .. }));
+        // The revocation stays pending for the next full poll, with no
+        // duplicate notice.
+        assert_eq!(p.next_notice_at(), None);
+        assert_eq!(p.next_event_at(), Some(SimTime::from_mins(40)));
+        let ev = p.poll(SimTime::from_mins(40));
+        assert_eq!(ev, vec![CloudEvent::Revoked { vm, at: SimTime::from_mins(40) }]);
     }
 
     #[test]

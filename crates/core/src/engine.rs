@@ -492,6 +492,28 @@ impl Engine {
                     }
                 }
             }
+            // Sub-poll notice delivery: a notice scheduled strictly inside
+            // (t, t_next) sits off the poll grid — waiting for the next
+            // grid tick would collapse its grace window (a 1–9 s lead
+            // lands on the revocation tick itself, grace zero). Deliver
+            // it at its true instant instead. Grid-aligned notices have
+            // `at == t_next` (the agenda entry is a `next_event_tick`
+            // candidate) and keep flowing through the regular tick body,
+            // which is what keeps this drive bit-identical to the tick
+            // drive whenever leads land on the grid. Safe mid-span: grid
+            // ticks in (t, t_next) all precede the notice instant, so the
+            // quiet-span accumulation above already credited every tick
+            // the job ran before it halts here.
+            while let Some(at) = provider.next_notice_at() {
+                if at <= t || at >= t_next {
+                    break;
+                }
+                for event in provider.poll_notices(at) {
+                    if let CloudEvent::RevocationNotice { vm, grace, .. } = event {
+                        self.handle_notice(jobs, vm, grace, at, provider, store, policy, events);
+                    }
+                }
+            }
             t = t_next;
             self.process_tick(jobs, t, provider, store, matrix, policy, rng, events, spe_means, true);
         }
@@ -620,99 +642,7 @@ impl Engine {
             for event in cloud_events {
                 match event {
                     CloudEvent::RevocationNotice { vm, grace, .. } => {
-                        if let Some(job) = job_on_vm(jobs, vm) {
-                            // Checkpoint inside the grace window (§IV.F).
-                            // The window is bandwidth-limited: only
-                            // `upload speed × grace` MB can leave the VM
-                            // before it disappears. Under the default
-                            // two-minute notice every model fits whole
-                            // (`frac ≥ 1`); fault-delayed notices shrink
-                            // the window and force the policy to choose
-                            // between a truncated partial capture and
-                            // abandoning the upload.
-                            if !job.halted {
-                                job.halted = true;
-                                let vm_ref = provider.vm(vm).expect("vm exists");
-                                let inst = vm_ref.instance().clone();
-                                let age = t.since(vm_ref.launched_at());
-                                let size = job.model_size_mb;
-                                let frac = if size > 0.0 {
-                                    checkpoint_speed_mbps(&inst) * grace.as_secs_f64() / size
-                                } else {
-                                    f64::INFINITY
-                                };
-                                // A notice is a revocation regardless of VM
-                                // age, so `should_checkpoint` is consulted
-                                // here unconditionally (unlike the recycle
-                                // gate, which only fires past the one-hour
-                                // threshold).
-                                let plan = if policy.should_checkpoint(job.hp_index, age) {
-                                    policy.plan_checkpoint(job.hp_index, frac)
-                                } else {
-                                    CheckpointPlan::Abandon
-                                };
-                                let fails = provider
-                                    .fault_plan()
-                                    .is_some_and(|p| p.checkpoint_fails(job.hp_index, t));
-                                let captured = match plan {
-                                    CheckpointPlan::Full if frac >= 1.0 && !fails => {
-                                        let dur = store.put(&job.ckpt_key, size, &inst);
-                                        debug_assert!(
-                                            dur <= grace || size <= 0.0,
-                                            "full checkpoint must fit the window"
-                                        );
-                                        job.overhead += dur;
-                                        events.push(TraceEvent::NoticeCheckpoint {
-                                            job: job.hp_index,
-                                            at: t,
-                                        });
-                                        job.durable_steps = job.steps_done;
-                                        job.steps_done
-                                    }
-                                    CheckpointPlan::Full if frac >= 1.0 => {
-                                        // Injected upload failure: the
-                                        // transfer time is burned, the old
-                                        // checkpoint survives.
-                                        job.overhead += transfer_time(&inst, size);
-                                        job.durable_steps
-                                    }
-                                    CheckpointPlan::Full => {
-                                        // Window too short for the whole
-                                        // model: the upload is cut off at
-                                        // revocation — the window is burned
-                                        // and nothing durable is written.
-                                        job.overhead += grace;
-                                        job.durable_steps
-                                    }
-                                    CheckpointPlan::Partial(f) => {
-                                        let f = f.min(frac).clamp(0.0, 1.0);
-                                        let bytes = f * size;
-                                        if bytes <= 0.0 {
-                                            job.durable_steps
-                                        } else if fails {
-                                            job.overhead += transfer_time(&inst, bytes);
-                                            job.durable_steps
-                                        } else {
-                                            let dur = store.put(&job.ckpt_key, bytes, &inst);
-                                            job.overhead += dur;
-                                            events.push(TraceEvent::NoticeCheckpoint {
-                                                job: job.hp_index,
-                                                at: t,
-                                            });
-                                            // A fraction of the bytes holds a
-                                            // fraction of the uncaptured work.
-                                            let delta = job.steps_done - job.durable_steps;
-                                            let captured = job.durable_steps
-                                                + (f * delta as f64).floor() as u64;
-                                            job.durable_steps = captured;
-                                            captured
-                                        }
-                                    }
-                                    CheckpointPlan::Abandon => job.durable_steps,
-                                };
-                                job.pending_capture = Some(captured);
-                            }
-                        }
+                        self.handle_notice(jobs, vm, grace, t, provider, store, policy, events);
                     }
                     CloudEvent::Revoked { vm, .. } => {
                         if let Some(job) = job_on_vm(jobs, vm) {
@@ -924,6 +854,101 @@ impl Engine {
                 }
             }
         }
+    }
+
+    /// Reacts to one revocation notice: halt the job and checkpoint inside
+    /// the grace window (§IV.F). The window is bandwidth-limited — only
+    /// `upload speed × grace` MB can leave the VM before it disappears.
+    /// Under the default two-minute notice every model fits whole
+    /// (`frac ≥ 1`); fault-delayed notices shrink the window and force the
+    /// policy to choose between a truncated partial capture and abandoning
+    /// the upload. Shared between the grid-tick poll and the event drive's
+    /// sub-poll true-instant delivery.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_notice(
+        &self,
+        jobs: &mut [Job],
+        vm: VmId,
+        grace: SimDur,
+        t: SimTime,
+        provider: &CloudProvider,
+        store: &mut ObjectStore,
+        policy: &mut dyn ProvisionPolicy,
+        events: &mut Vec<TraceEvent>,
+    ) {
+        let Some(job) = job_on_vm(jobs, vm) else { return };
+        if job.halted {
+            return;
+        }
+        job.halted = true;
+        let vm_ref = provider.vm(vm).expect("vm exists");
+        let inst = vm_ref.instance().clone();
+        let age = t.since(vm_ref.launched_at());
+        let size = job.model_size_mb;
+        let frac = if size > 0.0 {
+            checkpoint_speed_mbps(&inst) * grace.as_secs_f64() / size
+        } else {
+            f64::INFINITY
+        };
+        // A notice is a revocation regardless of VM age, so
+        // `should_checkpoint` is consulted here unconditionally (unlike the
+        // recycle gate, which only fires past the one-hour threshold).
+        let plan = if policy.should_checkpoint(job.hp_index, age) {
+            policy.plan_checkpoint(job.hp_index, frac)
+        } else {
+            CheckpointPlan::Abandon
+        };
+        let fails = provider
+            .fault_plan()
+            .is_some_and(|p| p.checkpoint_fails(job.hp_index, t));
+        let captured = match plan {
+            CheckpointPlan::Full if frac >= 1.0 && !fails => {
+                let dur = store.put(&job.ckpt_key, size, &inst);
+                debug_assert!(
+                    dur <= grace || size <= 0.0,
+                    "full checkpoint must fit the window"
+                );
+                job.overhead += dur;
+                events.push(TraceEvent::NoticeCheckpoint { job: job.hp_index, at: t });
+                job.durable_steps = job.steps_done;
+                job.steps_done
+            }
+            CheckpointPlan::Full if frac >= 1.0 => {
+                // Injected upload failure: the transfer time is burned, the
+                // old checkpoint survives.
+                job.overhead += transfer_time(&inst, size);
+                job.durable_steps
+            }
+            CheckpointPlan::Full => {
+                // Window too short for the whole model: the upload is cut
+                // off at revocation — the window is burned and nothing
+                // durable is written.
+                job.overhead += grace;
+                job.durable_steps
+            }
+            CheckpointPlan::Partial(f) => {
+                let f = f.min(frac).clamp(0.0, 1.0);
+                let bytes = f * size;
+                if bytes <= 0.0 {
+                    job.durable_steps
+                } else if fails {
+                    job.overhead += transfer_time(&inst, bytes);
+                    job.durable_steps
+                } else {
+                    let dur = store.put(&job.ckpt_key, bytes, &inst);
+                    job.overhead += dur;
+                    events.push(TraceEvent::NoticeCheckpoint { job: job.hp_index, at: t });
+                    // A fraction of the bytes holds a fraction of the
+                    // uncaptured work.
+                    let delta = job.steps_done - job.durable_steps;
+                    let captured = job.durable_steps + (f * delta as f64).floor() as u64;
+                    job.durable_steps = captured;
+                    captured
+                }
+            }
+            CheckpointPlan::Abandon => job.durable_steps,
+        };
+        job.pending_capture = Some(captured);
     }
 
     /// Executes one placement decision for a waiting job: request the VM,

@@ -45,6 +45,12 @@ impl WireError {
     fn new(msg: impl Into<String>) -> Self {
         WireError(msg.into())
     }
+
+    /// Public constructor for callers that detect protocol violations the
+    /// decoders can't see (e.g. a well-formed frame of the wrong kind).
+    pub fn from_message(msg: impl Into<String>) -> Self {
+        WireError::new(msg)
+    }
 }
 
 impl fmt::Display for WireError {
@@ -717,26 +723,18 @@ fn report_from_json(v: &Json) -> Result<HptReport> {
     })
 }
 
-/// Encodes a [`CampaignRequest`] as one JSON object.
-pub fn encode_request(request: &CampaignRequest) -> String {
-    to_string(&obj(vec![
+fn request_members(request: &CampaignRequest) -> Vec<(&'static str, Json)> {
+    vec![
         ("id", Json::UInt(request.id)),
         ("approach", approach_to_json(&request.approach)),
         ("workload", workload_to_json(&request.workload)),
         ("scenario", scenario_to_json(&request.scenario)),
         ("seed", Json::UInt(request.seed)),
         ("estimator", estimator_to_json(&request.estimator)),
-    ]))
+    ]
 }
 
-/// Decodes a [`CampaignRequest`], tolerating unknown fields at every level.
-///
-/// # Errors
-///
-/// Returns [`WireError`] on malformed JSON, missing required fields, or an
-/// unregistered policy name.
-pub fn decode_request(text: &str) -> Result<CampaignRequest> {
-    let v = parse(text)?;
+fn request_from_json(v: &Json) -> Result<CampaignRequest> {
     Ok(CampaignRequest {
         id: v.require("id")?.as_u64()?,
         approach: approach_from_json(v.require("approach")?)?,
@@ -750,6 +748,21 @@ pub fn decode_request(text: &str) -> Result<CampaignRequest> {
             None => EstimatorSpec::default(),
         },
     })
+}
+
+/// Encodes a [`CampaignRequest`] as one JSON object.
+pub fn encode_request(request: &CampaignRequest) -> String {
+    to_string(&obj(request_members(request)))
+}
+
+/// Decodes a [`CampaignRequest`], tolerating unknown fields at every level.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed JSON, missing required fields, or an
+/// unregistered policy name.
+pub fn decode_request(text: &str) -> Result<CampaignRequest> {
+    request_from_json(&parse(text)?)
 }
 
 /// Encodes a [`CampaignResponse`] as one JSON object.
@@ -771,6 +784,241 @@ pub fn decode_response(text: &str) -> Result<CampaignResponse> {
         id: v.require("id")?.as_u64()?,
         report: report_from_json(v.require("report")?)?,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Connection frames (the newline-delimited TCP protocol)
+// ---------------------------------------------------------------------------
+
+/// The error-frame kinds a server may put on the wire. The names are a
+/// registry (like [`Approach::registered_policies`]): clients match on
+/// them, the docs list them, and spotlint's coverage check requires every
+/// kind to be exercised by the TCP test suites.
+///
+/// To add a kind: extend this enum, its `name`/`from_name` mappings and
+/// [`registered_error_kinds`], then add a test that puts the new frame on
+/// the wire (see CONTRIBUTING.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The bounded request queue is at capacity; retry after backoff.
+    Overloaded,
+    /// The connection exceeded its token-bucket admission rate.
+    Throttled,
+    /// The request's deadline passed before a worker picked it up; the
+    /// campaign was cancelled without running.
+    DeadlineExceeded,
+    /// The frame was not a decodable request (garbage, truncated JSON,
+    /// unknown policy/estimator).
+    Malformed,
+    /// The request decoded but failed semantic validation.
+    Rejected,
+    /// The server is draining for shutdown and accepts no new work.
+    Draining,
+}
+
+impl ErrorKind {
+    /// The registry name carried on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Throttled => "throttled",
+            ErrorKind::DeadlineExceeded => "deadline-exceeded",
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::Rejected => "rejected",
+            ErrorKind::Draining => "draining",
+        }
+    }
+
+    /// Inverse of [`ErrorKind::name`].
+    pub fn from_name(name: &str) -> Option<ErrorKind> {
+        [
+            ErrorKind::Overloaded,
+            ErrorKind::Throttled,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::Malformed,
+            ErrorKind::Rejected,
+            ErrorKind::Draining,
+        ]
+        .into_iter()
+        .find(|k| k.name() == name)
+    }
+
+    /// Whether a client may usefully retry the same request later.
+    /// Malformed/rejected frames are permanent (the request itself is
+    /// bad); deadline-exceeded is a client-policy decision, reported as
+    /// non-retryable so replays stay deterministic.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorKind::Overloaded | ErrorKind::Throttled | ErrorKind::Draining)
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Every wire error-frame kind, in registry order. The single source of
+/// truth cross-checked by spotlint against the TCP test suites (rule R1).
+pub fn registered_error_kinds() -> [&'static str; 6] {
+    ["overloaded", "throttled", "deadline-exceeded", "malformed", "rejected", "draining"]
+}
+
+/// One error frame: the typed refusal a server sends instead of a
+/// response. `id` is absent when the frame could not be attributed to a
+/// request (e.g. garbage that never decoded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// The offending request's id, when known.
+    pub id: Option<u64>,
+    /// Which registered kind this is.
+    pub kind: ErrorKind,
+    /// Human-readable detail (reason text; never needed for dispatch).
+    pub message: String,
+}
+
+/// A frame a client sends to the server: one line on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// A campaign to run, with an optional queue deadline in
+    /// milliseconds from receipt.
+    Request {
+        /// The campaign request itself.
+        request: CampaignRequest,
+        /// Milliseconds the request may wait in the queue before it is
+        /// cancelled with a deadline-exceeded frame.
+        deadline_ms: Option<u64>,
+    },
+    /// `{"stats":true}`: asks for a stats frame.
+    Stats,
+    /// `{"shutdown":true}`: asks the server to drain gracefully.
+    Shutdown,
+}
+
+/// A frame a server sends to a client: one line on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// A completed campaign.
+    Response(CampaignResponse),
+    /// A typed refusal.
+    Error(ErrorFrame),
+    /// Flattened counter snapshot answering a stats request.
+    Stats(Vec<(String, u64)>),
+}
+
+/// Encodes a request frame, optionally carrying a queue deadline.
+/// Without a deadline this is byte-identical to [`encode_request`]
+/// (decoders tolerate the extra field either way).
+pub fn encode_request_frame(request: &CampaignRequest, deadline_ms: Option<u64>) -> String {
+    let mut members = request_members(request);
+    if let Some(ms) = deadline_ms {
+        members.push(("deadline_ms", Json::UInt(ms)));
+    }
+    to_string(&obj(members))
+}
+
+/// Encodes the `{"stats":true}` admin frame.
+pub fn encode_stats_request() -> String {
+    to_string(&obj(vec![("stats", Json::Bool(true))]))
+}
+
+/// Encodes the `{"shutdown":true}` admin frame.
+pub fn encode_shutdown_request() -> String {
+    to_string(&obj(vec![("shutdown", Json::Bool(true))]))
+}
+
+/// Decodes one client line into a [`ClientFrame`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed JSON or an undecodable request —
+/// the server answers those with a `malformed` error frame.
+pub fn decode_client_frame(text: &str) -> Result<ClientFrame> {
+    let v = parse(text)?;
+    if let Some(flag) = v.get("stats") {
+        if *flag == Json::Bool(true) {
+            return Ok(ClientFrame::Stats);
+        }
+    }
+    if let Some(flag) = v.get("shutdown") {
+        if *flag == Json::Bool(true) {
+            return Ok(ClientFrame::Shutdown);
+        }
+    }
+    let deadline_ms = match v.get("deadline_ms") {
+        Some(ms) => Some(ms.as_u64()?),
+        None => None,
+    };
+    Ok(ClientFrame::Request { request: request_from_json(&v)?, deadline_ms })
+}
+
+/// Encodes an error frame.
+pub fn encode_error_frame(frame: &ErrorFrame) -> String {
+    let mut members = Vec::new();
+    if let Some(id) = frame.id {
+        members.push(("id", Json::UInt(id)));
+    }
+    members.push((
+        "error",
+        obj(vec![
+            ("kind", Json::Str(frame.kind.name().to_string())),
+            ("message", Json::Str(frame.message.clone())),
+        ]),
+    ));
+    to_string(&obj(members))
+}
+
+/// Encodes a stats frame from flattened `(name, value)` counters.
+pub fn encode_stats_frame(fields: &[(&str, u64)]) -> String {
+    let members = fields.iter().map(|&(k, v)| (k, Json::UInt(v))).collect();
+    to_string(&obj(vec![("stats", obj(members))]))
+}
+
+/// Decodes one server line into a [`ServerFrame`]: an error frame if it
+/// carries `error`, a stats frame if it carries a `stats` object, and a
+/// campaign response otherwise.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed JSON, an unregistered error kind or
+/// a frame that is none of the three shapes.
+pub fn decode_server_frame(text: &str) -> Result<ServerFrame> {
+    let v = parse(text)?;
+    if let Some(e) = v.get("error") {
+        let kind_name = e.require("kind")?.as_str()?;
+        let kind = ErrorKind::from_name(kind_name).ok_or_else(|| {
+            WireError::new(format!(
+                "unknown error kind {kind_name:?} (registered: {})",
+                registered_error_kinds().join(", ")
+            ))
+        })?;
+        let message = match e.get("message") {
+            Some(m) => m.as_str()?.to_string(),
+            None => String::new(),
+        };
+        let id = match v.get("id") {
+            Some(id) => Some(id.as_u64()?),
+            None => None,
+        };
+        return Ok(ServerFrame::Error(ErrorFrame { id, kind, message }));
+    }
+    if let Some(stats) = v.get("stats") {
+        let Json::Obj(members) = stats else {
+            return Err(WireError::new(format!(
+                "expected stats object, got {}",
+                stats.type_name()
+            )));
+        };
+        let fields = members
+            .iter()
+            .map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+            .collect::<Result<Vec<_>>>()?;
+        return Ok(ServerFrame::Stats(fields));
+    }
+    Ok(ServerFrame::Response(CampaignResponse {
+        id: v.require("id")?.as_u64()?,
+        report: report_from_json(v.require("report")?)?,
+    }))
 }
 
 #[cfg(test)]
@@ -989,6 +1237,100 @@ mod tests {
         // Lone or malformed surrogates fail cleanly instead of corrupting.
         for bad in ["\"\\ud83d\"", "\"\\ud83dx\"", "\"\\ud83d\\u0041\""] {
             assert!(super::parse(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn error_kinds_round_trip_through_the_registry() {
+        assert_eq!(registered_error_kinds().len(), 6);
+        for name in registered_error_kinds() {
+            let kind = ErrorKind::from_name(name).expect("registered kind resolves");
+            assert_eq!(kind.name(), name);
+            let frame = ErrorFrame { id: Some(3), kind, message: format!("demo {name}") };
+            let text = encode_error_frame(&frame);
+            assert!(text.contains(&format!("\"kind\":\"{name}\"")), "{text}");
+            match decode_server_frame(&text).expect("round trip") {
+                ServerFrame::Error(back) => assert_eq!(back, frame),
+                other => panic!("expected error frame, got {other:?}"),
+            }
+        }
+        assert!(ErrorKind::from_name("psychic").is_none());
+        // Retryability split: transient server states retry, bad requests
+        // and expired deadlines do not.
+        assert!(ErrorKind::Overloaded.is_retryable());
+        assert!(ErrorKind::Throttled.is_retryable());
+        assert!(ErrorKind::Draining.is_retryable());
+        assert!(!ErrorKind::Malformed.is_retryable());
+        assert!(!ErrorKind::Rejected.is_retryable());
+        assert!(!ErrorKind::DeadlineExceeded.is_retryable());
+    }
+
+    #[test]
+    fn anonymous_error_frames_omit_the_id() {
+        let frame =
+            ErrorFrame { id: None, kind: ErrorKind::Malformed, message: "not json".to_string() };
+        let text = encode_error_frame(&frame);
+        assert!(!text.contains("\"id\""), "{text}");
+        match decode_server_frame(&text).expect("round trip") {
+            ServerFrame::Error(back) => assert_eq!(back, frame),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        // Unregistered kinds fail with the registry listing.
+        let bad = text.replace("malformed", "psychic");
+        let err = decode_server_frame(&bad).expect_err("unknown kind");
+        assert!(err.to_string().contains("throttled"), "{err}");
+    }
+
+    #[test]
+    fn client_frames_decode_requests_admin_and_deadlines() {
+        let req = request(Approach::SpotTune { theta: 0.7 });
+        // A plain encoded request is a request frame without a deadline.
+        match decode_client_frame(&encode_request(&req)).expect("request frame") {
+            ClientFrame::Request { request, deadline_ms } => {
+                assert_eq!(request, req);
+                assert_eq!(deadline_ms, None);
+            }
+            other => panic!("expected request frame, got {other:?}"),
+        }
+        // With a deadline the extra field rides along...
+        let framed = encode_request_frame(&req, Some(1500));
+        assert!(framed.contains("\"deadline_ms\":1500"), "{framed}");
+        match decode_client_frame(&framed).expect("deadline frame") {
+            ClientFrame::Request { deadline_ms, .. } => assert_eq!(deadline_ms, Some(1500)),
+            other => panic!("expected request frame, got {other:?}"),
+        }
+        // ...and an old decoder that only knows requests tolerates it.
+        assert_eq!(decode_request(&framed).expect("unknown field tolerated"), req);
+        // Admin frames.
+        assert_eq!(decode_client_frame(&encode_stats_request()), Ok(ClientFrame::Stats));
+        assert_eq!(decode_client_frame(&encode_shutdown_request()), Ok(ClientFrame::Shutdown));
+        // `{"stats":false}` is not an admin frame (and not a request either).
+        assert!(decode_client_frame("{\"stats\":false}").is_err());
+    }
+
+    #[test]
+    fn stats_frames_round_trip_flattened_counters() {
+        let text = encode_stats_frame(&[("submitted", 12), ("queue_depth", 3), ("expired", 1)]);
+        match decode_server_frame(&text).expect("stats frame") {
+            ServerFrame::Stats(fields) => {
+                assert_eq!(
+                    fields,
+                    vec![
+                        ("submitted".to_string(), 12),
+                        ("queue_depth".to_string(), 3),
+                        ("expired".to_string(), 1),
+                    ]
+                );
+            }
+            other => panic!("expected stats frame, got {other:?}"),
+        }
+        // A response still decodes as a response through the frame path.
+        let req = request(Approach::SpotTune { theta: 0.7 });
+        let pool = req.scenario.build();
+        let resp = CampaignResponse { id: req.id, report: req.campaign().run(&pool) };
+        match decode_server_frame(&encode_response(&resp)).expect("response frame") {
+            ServerFrame::Response(back) => assert_eq!(back, resp),
+            other => panic!("expected response frame, got {other:?}"),
         }
     }
 

@@ -98,6 +98,67 @@ fn storms_revoke_and_campaigns_still_account_coherently() {
     assert_eq!(with_faults.predicted_finals.len(), 2);
 }
 
+/// A 1–9 s notice lead sits strictly inside the 10 s poll interval: on
+/// the grid the notice lands on the revocation tick itself and its grace
+/// collapses to zero, so the tick drive can never checkpoint ahead of the
+/// storm. The event drive delivers the notice at its true instant with
+/// the full sub-poll window — plenty for a 5 MB model at ~60 MB/s.
+#[test]
+fn sub_poll_notice_delivers_true_grace_in_event_mode() {
+    let pool = MarketPool::standard(SimDur::from_days(2), 42);
+    let market = pool.iter().next().expect("non-empty pool").instance().name().to_string();
+    let oracle = OracleEstimator::new(pool.clone(), 0.9);
+    let plan = FaultPlan::new(3)
+        .with_periodic_storms(&market, SimTime::from_hours(11), SimDur::from_mins(40), 6)
+        .with_delayed_notices(1.0, SimDur::from_secs(5));
+    let (_, tick_events) = run_spottune(&pool, &oracle, &plan, DriveMode::Tick);
+    let (event_report, event_events) = run_spottune(&pool, &oracle, &plan, DriveMode::Event);
+    assert!(event_report.revocations > 0, "the storm plan must actually revoke");
+    let notice_ckpts = |evs: &[TraceEvent]| {
+        evs.iter()
+            .filter_map(|e| match e {
+                TraceEvent::NoticeCheckpoint { at, .. } => Some(*at),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+    };
+    // Grace zero burns every window on the grid…
+    assert_eq!(
+        notice_ckpts(&tick_events),
+        vec![],
+        "a 5 s lead must collapse to zero grace on the 10 s grid"
+    );
+    // …while true-instant delivery captures full checkpoints, at instants
+    // that provably sit off the poll grid.
+    let captured = notice_ckpts(&event_events);
+    assert!(!captured.is_empty(), "event drive must checkpoint inside the 5 s window");
+    for at in &captured {
+        assert_ne!(
+            at.as_secs() % 10,
+            0,
+            "sub-poll notices are delivered off the grid, got {at:?}"
+        );
+    }
+}
+
+/// The flip side of the sub-poll path: a lead that lands *on* the grid
+/// (one whole poll interval) takes the ordinary tick-body route in both
+/// drives, so tick and event stay bit-identical — sub-poll delivery only
+/// engages for instants the grid cannot represent.
+#[test]
+fn grid_aligned_delayed_notices_keep_drives_identical() {
+    let pool = MarketPool::standard(SimDur::from_days(2), 42);
+    let market = pool.iter().next().expect("non-empty pool").instance().name().to_string();
+    let oracle = OracleEstimator::new(pool.clone(), 0.9);
+    let plan = FaultPlan::new(3)
+        .with_periodic_storms(&market, SimTime::from_hours(11), SimDur::from_mins(40), 6)
+        .with_delayed_notices(1.0, SimDur::from_secs(10));
+    let (tick_report, tick_events) = run_spottune(&pool, &oracle, &plan, DriveMode::Tick);
+    let (event_report, event_events) = run_spottune(&pool, &oracle, &plan, DriveMode::Event);
+    assert_eq!(tick_events, event_events, "grid-aligned leads must not diverge");
+    assert_eq!(tick_report, event_report, "grid-aligned leads must not diverge");
+}
+
 /// CI `fault-smoke`: every registered policy terminates a small sweep
 /// under an injected storm and returns a structurally-sound report.
 #[test]

@@ -1,0 +1,85 @@
+//! `spottune-serve`: the TCP campaign service.
+//!
+//! ```text
+//! spottune-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+//!                [--burst N] [--refill PER_SEC]
+//! ```
+//!
+//! Binds (port `0` picks an ephemeral port), prints
+//! `listening on <addr>` on stdout, and serves newline-delimited wire
+//! frames until a client sends `{"shutdown":true}` — then drains
+//! gracefully and exits 0. See `crates/server/README.md` for the
+//! protocol.
+
+use spottune_server::net::{AdmissionConfig, NetServer, NetServerConfig};
+use spottune_server::ServerConfig;
+use std::io::Write;
+
+fn usage(program: &str) -> String {
+    format!(
+        "usage: {program} [--addr HOST:PORT] [--workers N] [--queue-capacity N] \
+         [--burst N] [--refill PER_SEC]"
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let program = args.first().map(String::as_str).unwrap_or("spottune-serve");
+    let mut addr = "127.0.0.1:7915".to_string();
+    let mut server = ServerConfig::default();
+    let mut admission = AdmissionConfig::default();
+    let mut iter = args.iter().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> String {
+            match iter.next() {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("{name} needs a value\n{}", usage(program));
+                    std::process::exit(2);
+                }
+            }
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => server.workers = parse(&value("--workers"), program),
+            "--queue-capacity" => {
+                server.queue_capacity = parse(&value("--queue-capacity"), program)
+            }
+            "--burst" => admission.burst = parse(&value("--burst"), program),
+            "--refill" => admission.refill_per_sec = parse(&value("--refill"), program),
+            "--help" | "-h" => {
+                println!("{}", usage(program));
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}\n{}", usage(program));
+                std::process::exit(2);
+            }
+        }
+    }
+    let config = NetServerConfig { server, admission };
+    let net = match NetServer::bind(&addr, config) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The soak harness parses this line to find the ephemeral port.
+    println!("listening on {}", net.local_addr());
+    let _ = std::io::stdout().flush();
+    if let Err(e) = net.run() {
+        eprintln!("server error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str, program: &str) -> T {
+    match text.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("malformed numeric argument {text:?}\n{}", usage(program));
+            std::process::exit(2);
+        }
+    }
+}

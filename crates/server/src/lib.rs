@@ -10,10 +10,24 @@
 //! ## Architecture
 //!
 //! * **Sharding** — [`CampaignServer::start`] spawns a fixed pool of
-//!   resident worker threads. Requests flow through an unbounded
-//!   `crossbeam::channel` MPMC queue, so an idle worker steals the next
-//!   request the moment it finishes — coarse campaigns shard evenly
-//!   without a scheduler.
+//!   resident worker threads. Requests flow through a
+//!   `crossbeam::channel` MPMC queue — bounded to
+//!   [`ServerConfig::queue_capacity`] (the default `0` keeps the legacy
+//!   unbounded feed) — so an idle worker steals the next request the
+//!   moment it finishes; coarse campaigns shard evenly without a
+//!   scheduler.
+//! * **Backpressure & drain** — with a bounded queue, the non-blocking
+//!   submission paths ([`CampaignServer::try_submit`]) refuse
+//!   over-capacity work with [`SubmitError::Overloaded`] instead of
+//!   queueing forever, and per-request deadlines expire not-yet-started
+//!   work at dequeue time ([`WorkOutcome::Expired`]). A graceful
+//!   shutdown ([`CampaignServer::begin_drain`]) closes the intake —
+//!   later submits observe [`SubmitError::Draining`], already-queued
+//!   requests finish and stream their responses — and
+//!   [`CampaignServer::shutdown`] then joins the pool. All of it is
+//!   observable: [`ServerStats`] carries the live queue depth, its
+//!   high-water mark and the rejected/overloaded/expired/drained
+//!   counters.
 //! * **Streaming** — every submission (single request or sweep) carries its
 //!   own reply channel; [`CampaignResponse`]s stream back in *completion*
 //!   order, tagged with the request id so clients needing submission order
@@ -60,15 +74,18 @@
 //! println!("predictor tier: {} trainings", stats.predictor_cache.misses);
 //! ```
 
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use serde::{Deserialize, Serialize};
 use spottune_core::{CampaignRequest, CampaignResponse};
 use spottune_market::{CacheStats, PoolCache};
 use spottune_mlsim::CurveCache;
 use spottune_revpred::{PredictorCache, PredictorKind};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+pub mod net;
 
 /// Campaign-server configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -90,6 +107,12 @@ pub struct ServerConfig {
     /// [`CacheStats`]. An evicted `(scenario, kind)` retrains on its next
     /// request.
     pub predictor_capacity: usize,
+    /// Capacity bound of the request queue; `0` (the default) is the
+    /// legacy unbounded feed. With a bound, blocking submissions
+    /// ([`CampaignServer::submit_sweep`]) wait for space while the
+    /// non-blocking paths ([`CampaignServer::try_submit`]) refuse
+    /// over-capacity work with [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
 }
 
 impl ServerConfig {
@@ -107,6 +130,12 @@ impl ServerConfig {
     /// Builder-style predictor-tier capacity override (`0` = unbounded).
     pub fn with_predictor_capacity(mut self, predictor_capacity: usize) -> Self {
         self.predictor_capacity = predictor_capacity;
+        self
+    }
+
+    /// Builder-style request-queue capacity override (`0` = unbounded).
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
         self
     }
 
@@ -150,12 +179,85 @@ pub struct ServerStats {
     /// campaign (non-zero only for policies overriding
     /// `assign_migrations`).
     pub migrations: u64,
+    /// Configured request-queue capacity (`0` = unbounded).
+    pub queue_capacity: u64,
+    /// Requests currently queued and not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// High-water mark of [`queue_depth`](Self::queue_depth) over the
+    /// server's lifetime; with a bounded queue this never exceeds
+    /// [`queue_capacity`](Self::queue_capacity).
+    pub peak_queue_depth: u64,
+    /// Requests refused by validation on the checked submission paths.
+    pub rejected: u64,
+    /// Non-blocking submissions refused because the bounded queue was at
+    /// capacity ([`SubmitError::Overloaded`]).
+    pub overloaded: u64,
+    /// Requests whose deadline had passed when a worker dequeued them
+    /// ([`WorkOutcome::Expired`]); their campaigns never ran.
+    pub expired: u64,
+    /// Responses completed after [`CampaignServer::begin_drain`] closed
+    /// the intake (queued work flushed during a graceful shutdown).
+    pub drained: u64,
 }
 
-/// One queued unit of work: the request plus the submission's reply lane.
+/// Typed refusal from the non-blocking submission paths
+/// ([`CampaignServer::try_submit`] /
+/// [`CampaignServer::try_submit_sweep`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded request queue is at capacity; retry after backoff.
+    Overloaded {
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
+    /// The request failed [`CampaignRequest::validate`]; never queued.
+    Rejected(String),
+    /// The server is draining ([`CampaignServer::begin_drain`]) or torn
+    /// down; no new work is accepted.
+    Draining,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded { capacity } => {
+                write!(f, "request queue at capacity ({capacity})")
+            }
+            SubmitError::Rejected(reason) => write!(f, "invalid request: {reason}"),
+            SubmitError::Draining => f.write_str("server is draining; not accepting work"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One unit of work's result on the deadline-aware submission paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkOutcome {
+    /// The campaign ran; here is its response (boxed: a response is two
+    /// orders of magnitude larger than the expired variant).
+    Done(Box<CampaignResponse>),
+    /// The request's deadline passed while it sat in the queue; the
+    /// campaign was cancelled before starting.
+    Expired {
+        /// Id of the expired request.
+        id: u64,
+    },
+}
+
+/// The submission's reply lane: legacy plain responses, or
+/// deadline-aware [`WorkOutcome`]s.
+enum ReplyLane {
+    Plain(Sender<CampaignResponse>),
+    Outcome(Sender<WorkOutcome>),
+}
+
+/// One queued unit of work: the request, its optional queue deadline and
+/// the submission's reply lane.
 struct WorkItem {
     request: CampaignRequest,
-    reply: Sender<CampaignResponse>,
+    deadline: Option<Instant>,
+    reply: ReplyLane,
 }
 
 /// Graceful-degradation counters accumulated from every completed
@@ -168,13 +270,46 @@ struct DegradationCounters {
     migrations: AtomicU64,
 }
 
+/// Robustness counters shared between the submission paths, the workers
+/// and [`CampaignServer::stats`].
+#[derive(Debug, Default)]
+struct QueueCounters {
+    /// High-water mark of the queue depth, sampled right after every
+    /// successful enqueue (depth only grows at enqueue, so the true
+    /// maximum is always observed there).
+    peak_depth: AtomicU64,
+    rejected: AtomicU64,
+    overloaded: AtomicU64,
+    expired: AtomicU64,
+    drained: AtomicU64,
+    /// Set by [`CampaignServer::begin_drain`]; completions afterwards
+    /// count as `drained`.
+    draining: AtomicBool,
+}
+
+impl QueueCounters {
+    fn note_enqueued(&self, depth_now: u64) {
+        self.peak_depth.fetch_max(depth_now, Ordering::SeqCst);
+    }
+}
+
 /// The long-running sharded campaign service.
 ///
 /// Dropping the server disconnects the request queue and joins every
 /// worker; in-flight campaigns finish first ([`CampaignServer::shutdown`]
 /// does the same explicitly).
 pub struct CampaignServer {
-    req_tx: Option<Sender<WorkItem>>,
+    /// `None` once draining/teardown has closed the intake. Behind a
+    /// mutex so [`CampaignServer::begin_drain`] works from `&self`
+    /// (shared with connection threads).
+    req_tx: Mutex<Option<Sender<WorkItem>>>,
+    /// Depth probe on the request queue: its `len()` is the live queue
+    /// depth, and — for a bounded queue — can never exceed the capacity
+    /// (the channel enforces the bound under its own lock). The extra
+    /// receiver does not keep workers alive: they exit on sender
+    /// disconnect, not receiver count.
+    queue_probe: Receiver<WorkItem>,
+    queue_capacity: usize,
     workers: Vec<JoinHandle<()>>,
     pools: PoolCache,
     curves: CurveCache,
@@ -182,6 +317,7 @@ pub struct CampaignServer {
     submitted: AtomicU64,
     completed: Arc<AtomicU64>,
     degradation: Arc<DegradationCounters>,
+    queue: Arc<QueueCounters>,
 }
 
 impl CampaignServer {
@@ -209,9 +345,14 @@ impl CampaignServer {
         predictors: PredictorCache,
     ) -> Self {
         let workers = config.resolved_workers();
-        let (req_tx, req_rx) = channel::unbounded::<WorkItem>();
+        let (req_tx, req_rx) = if config.queue_capacity > 0 {
+            channel::bounded::<WorkItem>(config.queue_capacity)
+        } else {
+            channel::unbounded::<WorkItem>()
+        };
         let completed = Arc::new(AtomicU64::new(0));
         let degradation = Arc::new(DegradationCounters::default());
+        let queue = Arc::new(QueueCounters::default());
         let handles = (0..workers)
             .map(|i| {
                 let rx = req_rx.clone();
@@ -220,16 +361,27 @@ impl CampaignServer {
                 let predictors = predictors.clone();
                 let completed = Arc::clone(&completed);
                 let degradation = Arc::clone(&degradation);
+                let queue = Arc::clone(&queue);
                 std::thread::Builder::new()
                     .name(format!("campaign-worker-{i}"))
                     .spawn(move || {
-                        worker_loop(&rx, &pools, &curves, &predictors, &completed, &degradation)
+                        worker_loop(
+                            &rx,
+                            &pools,
+                            &curves,
+                            &predictors,
+                            &completed,
+                            &degradation,
+                            &queue,
+                        )
                     })
                     .expect("spawn campaign worker")
             })
             .collect();
         CampaignServer {
-            req_tx: Some(req_tx),
+            req_tx: Mutex::new(Some(req_tx)),
+            queue_probe: req_rx,
+            queue_capacity: config.queue_capacity,
             workers: handles,
             pools,
             curves,
@@ -237,7 +389,15 @@ impl CampaignServer {
             submitted: AtomicU64::new(0),
             completed,
             degradation,
+            queue,
         }
+    }
+
+    /// Clones the intake sender, or `None` once draining/teardown has
+    /// closed it. (Poisoning cannot outlive this lock: no holder panics
+    /// while it is held.)
+    fn intake(&self) -> Option<Sender<WorkItem>> {
+        self.req_tx.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Submits one campaign; the returned receiver yields its single
@@ -270,24 +430,123 @@ impl CampaignServer {
     /// panics its campaign, shortening the stream by one response.
     pub fn submit_sweep(&self, requests: Vec<CampaignRequest>) -> Receiver<CampaignResponse> {
         let (reply_tx, reply_rx) = channel::unbounded();
-        // `req_tx` is only `None` mid-teardown; a send fails only if every
-        // worker is gone. Neither is a reason to panic the *client* thread:
-        // an unqueued request simply never answers, which the stream
-        // reports by disconnecting short (same contract as a panicked
-        // campaign).
-        let Some(req_tx) = self.req_tx.as_ref() else {
+        // `req_tx` is `None` mid-drain or mid-teardown; a send fails only
+        // if every worker is gone. Neither is a reason to panic the
+        // *client* thread: an unqueued request simply never answers, which
+        // the stream reports by disconnecting short (same contract as a
+        // panicked campaign).
+        let Some(req_tx) = self.intake() else {
             return reply_rx;
         };
         self.submitted.fetch_add(requests.len() as u64, Ordering::Relaxed);
         for request in requests {
-            if req_tx.send(WorkItem { request, reply: reply_tx.clone() }).is_err() {
+            let item =
+                WorkItem { request, deadline: None, reply: ReplyLane::Plain(reply_tx.clone()) };
+            if req_tx.send(item).is_err() {
                 break;
             }
+            self.queue.note_enqueued(self.queue_probe.len() as u64);
         }
         // Workers hold the only remaining clones: the stream disconnects
         // exactly when the sweep's last response has been sent.
         drop(reply_tx);
         reply_rx
+    }
+
+    /// Non-blocking, deadline-aware submission of one campaign: the
+    /// backpressure path the TCP front-end rides on.
+    ///
+    /// The request is validated first ([`SubmitError::Rejected`]); a
+    /// draining or torn-down server refuses it
+    /// ([`SubmitError::Draining`]); a bounded queue at capacity refuses
+    /// it immediately ([`SubmitError::Overloaded`]) instead of blocking.
+    /// On success the receiver yields exactly one [`WorkOutcome`]:
+    /// [`WorkOutcome::Done`] with the response, or
+    /// [`WorkOutcome::Expired`] if `deadline` passed before a worker
+    /// picked the request up (the campaign is cancelled, never run).
+    pub fn try_submit(
+        &self,
+        request: CampaignRequest,
+        deadline: Option<Instant>,
+    ) -> Result<Receiver<WorkOutcome>, SubmitError> {
+        if let Err(reason) = request.validate() {
+            self.queue.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Rejected(reason));
+        }
+        let Some(req_tx) = self.intake() else {
+            return Err(SubmitError::Draining);
+        };
+        let (reply_tx, reply_rx) = channel::unbounded();
+        let item = WorkItem { request, deadline, reply: ReplyLane::Outcome(reply_tx) };
+        match req_tx.try_send(item) {
+            Ok(()) => {
+                self.queue.note_enqueued(self.queue_probe.len() as u64);
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(reply_rx)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.queue.overloaded.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Overloaded { capacity: self.queue_capacity })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Draining),
+        }
+    }
+
+    /// Sweep variant of [`CampaignServer::try_submit`]: all requests are
+    /// validated up front (all-or-nothing, like
+    /// [`CampaignServer::submit_sweep_checked`]) and each is then offered
+    /// to the queue non-blockingly. If the queue fills mid-sweep the
+    /// remainder is refused with [`SubmitError::Overloaded`] — but the
+    /// already-queued prefix still runs and streams its outcomes on the
+    /// receiver paired with the error, so no accepted work is lost.
+    #[allow(clippy::type_complexity)]
+    pub fn try_submit_sweep(
+        &self,
+        requests: Vec<CampaignRequest>,
+        deadline: Option<Instant>,
+    ) -> (Receiver<WorkOutcome>, Result<usize, SubmitError>) {
+        let (reply_tx, reply_rx) = channel::unbounded();
+        for request in &requests {
+            if let Err(reason) = request.validate() {
+                self.queue.rejected.fetch_add(1, Ordering::Relaxed);
+                let reason = format!("request {}: {reason}", request.id);
+                return (reply_rx, Err(SubmitError::Rejected(reason)));
+            }
+        }
+        let Some(req_tx) = self.intake() else {
+            return (reply_rx, Err(SubmitError::Draining));
+        };
+        let mut queued = 0usize;
+        for request in requests {
+            let item = WorkItem {
+                request,
+                deadline,
+                reply: ReplyLane::Outcome(reply_tx.clone()),
+            };
+            match req_tx.try_send(item) {
+                Ok(()) => {
+                    self.queue.note_enqueued(self.queue_probe.len() as u64);
+                    queued += 1;
+                }
+                Err(TrySendError::Full(_)) => {
+                    self.queue.overloaded.fetch_add(1, Ordering::Relaxed);
+                    self.submitted.fetch_add(queued as u64, Ordering::Relaxed);
+                    drop(reply_tx);
+                    return (
+                        reply_rx,
+                        Err(SubmitError::Overloaded { capacity: self.queue_capacity }),
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.submitted.fetch_add(queued as u64, Ordering::Relaxed);
+                    drop(reply_tx);
+                    return (reply_rx, Err(SubmitError::Draining));
+                }
+            }
+        }
+        self.submitted.fetch_add(queued as u64, Ordering::Relaxed);
+        drop(reply_tx);
+        (reply_rx, Ok(queued))
     }
 
     /// Validating variant of [`CampaignServer::submit_sweep`]: every
@@ -301,9 +560,10 @@ impl CampaignServer {
         requests: Vec<CampaignRequest>,
     ) -> Result<Receiver<CampaignResponse>, String> {
         for request in &requests {
-            request
-                .validate()
-                .map_err(|reason| format!("request {}: {reason}", request.id))?;
+            if let Err(reason) = request.validate() {
+                self.queue.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(format!("request {}: {reason}", request.id));
+            }
         }
         Ok(self.submit_sweep(requests))
     }
@@ -364,7 +624,30 @@ impl CampaignServer {
             revocations: self.degradation.revocations.load(Ordering::Relaxed),
             lost_steps: self.degradation.lost_steps.load(Ordering::Relaxed),
             migrations: self.degradation.migrations.load(Ordering::Relaxed),
+            queue_capacity: self.queue_capacity as u64,
+            queue_depth: self.queue_probe.len() as u64,
+            peak_queue_depth: self.queue.peak_depth.load(Ordering::SeqCst),
+            rejected: self.queue.rejected.load(Ordering::Relaxed),
+            overloaded: self.queue.overloaded.load(Ordering::Relaxed),
+            expired: self.queue.expired.load(Ordering::Relaxed),
+            drained: self.queue.drained.load(Ordering::Relaxed),
         }
+    }
+
+    /// Whether [`CampaignServer::begin_drain`] has closed the intake.
+    pub fn is_draining(&self) -> bool {
+        self.queue.draining.load(Ordering::SeqCst)
+    }
+
+    /// Starts a graceful drain from a shared reference: closes the
+    /// intake (later submissions observe [`SubmitError::Draining`] /
+    /// an immediately-disconnected stream) while already-queued requests
+    /// keep running and streaming their responses. Workers exit once the
+    /// queue is empty; [`CampaignServer::shutdown`] (or `Drop`) then
+    /// joins them. Idempotent.
+    pub fn begin_drain(&self) {
+        self.queue.draining.store(true, Ordering::SeqCst);
+        drop(self.req_tx.lock().unwrap_or_else(|e| e.into_inner()).take());
     }
 
     /// Finishes in-flight campaigns, then stops and joins every worker.
@@ -373,7 +656,7 @@ impl CampaignServer {
     }
 
     fn finish(&mut self) {
-        drop(self.req_tx.take());
+        self.begin_drain();
         for handle in self.workers.drain(..) {
             // Propagate a worker panic — unless we are already unwinding
             // (Drop during a client panic), where a second panic would
@@ -387,7 +670,7 @@ impl CampaignServer {
 
 impl Drop for CampaignServer {
     fn drop(&mut self) {
-        if self.req_tx.is_some() {
+        if !self.workers.is_empty() {
             self.finish();
         }
     }
@@ -411,9 +694,21 @@ fn worker_loop(
     predictors: &PredictorCache,
     completed: &AtomicU64,
     degradation: &DegradationCounters,
+    queue: &QueueCounters,
 ) {
-    while let Ok(WorkItem { request, reply }) = rx.recv() {
+    while let Ok(WorkItem { request, deadline, reply }) = rx.recv() {
         let id = request.id;
+        // Deadline check happens at dequeue: an expired request is
+        // cancelled before its campaign ever starts.
+        if let Some(deadline) = deadline {
+            if Instant::now() > deadline {
+                queue.expired.fetch_add(1, Ordering::Relaxed);
+                if let ReplyLane::Outcome(tx) = &reply {
+                    let _ = tx.send(WorkOutcome::Expired { id });
+                }
+                continue;
+            }
+        }
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let pool = pools.get(request.scenario);
             let campaign = request.campaign();
@@ -428,12 +723,23 @@ fn worker_loop(
         match outcome {
             Ok(report) => {
                 completed.fetch_add(1, Ordering::Relaxed);
+                if queue.draining.load(Ordering::SeqCst) {
+                    queue.drained.fetch_add(1, Ordering::Relaxed);
+                }
                 degradation.revocations.fetch_add(report.revocations, Ordering::Relaxed);
                 degradation.lost_steps.fetch_add(report.lost_steps, Ordering::Relaxed);
                 degradation.migrations.fetch_add(report.migrations, Ordering::Relaxed);
                 // A client that dropped its receiver no longer wants the
                 // report; that is not a server error.
-                let _ = reply.send(CampaignResponse { id, report });
+                let response = CampaignResponse { id, report };
+                match reply {
+                    ReplyLane::Plain(tx) => {
+                        let _ = tx.send(response);
+                    }
+                    ReplyLane::Outcome(tx) => {
+                        let _ = tx.send(WorkOutcome::Done(Box::new(response)));
+                    }
+                }
             }
             // The panic message has already been printed by the default
             // hook; dropping `reply` shortens the sweep's stream by one,
@@ -614,6 +920,130 @@ mod tests {
         // The same server still serves healthy submissions.
         let rx = server.submit_checked(request(4)).expect("valid request passes");
         assert_eq!(rx.recv().expect("one response").id, 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn try_submit_overload_is_typed_and_depth_stays_bounded() {
+        let server = CampaignServer::start(
+            ServerConfig::with_workers(1).with_queue_capacity(1),
+        );
+        let mut receivers = Vec::new();
+        let mut saw_overload = false;
+        // Submissions are orders of magnitude faster than campaigns: a
+        // single worker behind a capacity-1 queue must refuse one of the
+        // first few hundred.
+        for i in 0..500 {
+            match server.try_submit(request(i), None) {
+                Ok(rx) => receivers.push(rx),
+                Err(SubmitError::Overloaded { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    saw_overload = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected submit error: {other:?}"),
+            }
+        }
+        assert!(saw_overload, "bounded queue never reported Overloaded");
+        // Every accepted request still answers.
+        for rx in receivers {
+            assert!(matches!(rx.recv(), Ok(WorkOutcome::Done(_))));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.queue_capacity, 1);
+        assert!(stats.overloaded >= 1, "{stats:?}");
+        assert!(
+            stats.peak_queue_depth <= stats.queue_capacity,
+            "queue depth {} exceeded capacity {}",
+            stats.peak_queue_depth,
+            stats.queue_capacity
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_cancels_queued_work() {
+        let server = CampaignServer::start(ServerConfig::with_workers(1));
+        // A deadline already in the past expires at dequeue no matter how
+        // fast the worker is; the campaign never runs.
+        let already_late = Instant::now() - std::time::Duration::from_millis(1);
+        let rx = server.try_submit(request(3), Some(already_late)).expect("queued");
+        assert_eq!(rx.recv(), Ok(WorkOutcome::Expired { id: 3 }));
+        assert!(rx.recv().is_err(), "outcome stream closes after the verdict");
+        let stats = server.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 0, "expired work must not run");
+        // A generous deadline passes through untouched.
+        let soon = Instant::now() + std::time::Duration::from_secs(600);
+        let rx = server.try_submit(request(4), Some(soon)).expect("queued");
+        assert!(matches!(rx.recv(), Ok(WorkOutcome::Done(r)) if r.id == 4));
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_try_submit_is_rejected_with_reason() {
+        let server = CampaignServer::start(ServerConfig::with_workers(1));
+        let mut poisoned = request(0);
+        poisoned.approach = Approach::SpotTune { theta: f64::NAN };
+        match server.try_submit(poisoned, None).err() {
+            Some(SubmitError::Rejected(reason)) => assert!(reason.contains("theta"), "{reason}"),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        assert_eq!(server.stats().rejected, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn begin_drain_refuses_new_work_but_flushes_queued() {
+        let server = CampaignServer::start(ServerConfig::with_workers(1));
+        let in_flight = server.submit_sweep((0..3).map(request).collect());
+        server.begin_drain();
+        assert!(server.is_draining());
+        // New work is refused with the typed error...
+        assert!(matches!(server.try_submit(request(9), None), Err(SubmitError::Draining)));
+        // ...and the legacy path disconnects immediately instead of
+        // hanging the client.
+        let refused = server.submit_sweep(vec![request(10)]);
+        assert!(refused.recv().is_err(), "draining submit_sweep must disconnect, not hang");
+        // Work queued before the drain still streams every response.
+        let mut ids: Vec<u64> = in_flight.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let stats = server.stats();
+        assert_eq!(stats.completed, 3);
+        assert!(stats.drained <= 3, "{stats:?}");
+        assert_eq!(stats.queue_depth, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn draining_try_submit_sweep_returns_typed_error_and_empty_stream() {
+        let server = CampaignServer::start(ServerConfig::with_workers(1));
+        server.begin_drain();
+        let (rx, verdict) = server.try_submit_sweep((0..4).map(request).collect(), None);
+        assert_eq!(verdict, Err(SubmitError::Draining));
+        // The paired stream disconnects at once: partial results (none
+        // here) plus a typed error, never a hang.
+        assert!(rx.recv().is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn overloaded_try_submit_sweep_still_streams_accepted_prefix() {
+        let server = CampaignServer::start(
+            ServerConfig::with_workers(1).with_queue_capacity(2),
+        );
+        let (rx, verdict) = server.try_submit_sweep((0..200).map(request).collect(), None);
+        match verdict {
+            Err(SubmitError::Overloaded { capacity }) => assert_eq!(capacity, 2),
+            other => panic!("a 200-request burst into a capacity-2 queue must overload: {other:?}"),
+        }
+        // The accepted prefix runs to completion and the stream then
+        // closes — partial results plus the typed error above.
+        let done: Vec<WorkOutcome> = rx.iter().collect();
+        let count = done.len();
+        assert!((1..200).contains(&count), "expected a partial prefix, got {count}");
+        assert!(done.iter().all(|o| matches!(o, WorkOutcome::Done(_))));
         server.shutdown();
     }
 

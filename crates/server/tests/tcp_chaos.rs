@@ -1,0 +1,383 @@
+//! Chaos harness for the TCP front-end (ISSUE 8 acceptance): every
+//! registered wire error-frame kind is provoked over a real socket,
+//! killed connections and floods past admission never panic a worker,
+//! surviving clients get responses **bit-identical** to
+//! [`CampaignRequest::run_serial`], and a graceful drain flushes every
+//! pending response before the sockets close.
+//!
+//! Spotlint's R1 coverage check cross-references
+//! [`wire::registered_error_kinds`] against this suite: a new error kind
+//! without a wire-level test fails the lint gate.
+
+use spottune_core::prelude::*;
+use spottune_core::wire::{self, ErrorKind, ServerFrame};
+use spottune_market::{EstimatorSpec, MarketScenario};
+use spottune_mlsim::prelude::*;
+use spottune_server::net::{AdmissionConfig, NetServer, NetServerConfig, ShutdownHandle};
+use spottune_server::ServerConfig;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+
+fn request(id: u64, steps: u64, seed: u64) -> CampaignRequest {
+    let base = Workload::benchmark(Algorithm::LoR);
+    CampaignRequest {
+        id,
+        approach: Approach::SpotTune { theta: 0.7 },
+        workload: Workload::custom(Algorithm::LoR, steps, base.hp_grid()[..2].to_vec()),
+        scenario: MarketScenario::from_days(1, 42),
+        seed,
+        estimator: EstimatorSpec::default(),
+    }
+}
+
+/// Binds an in-process front-end and serves it on a background thread.
+fn serve(config: NetServerConfig) -> (SocketAddr, ShutdownHandle, JoinHandle<std::io::Result<()>>) {
+    let net = NetServer::bind("127.0.0.1:0", config).expect("bind ephemeral");
+    let addr = net.local_addr();
+    let handle = net.handle();
+    let thread = std::thread::spawn(move || net.run());
+    (addr, handle, thread)
+}
+
+/// A raw line-framed connection: full control over what goes on the wire.
+struct RawConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawConn {
+    fn open(addr: SocketAddr) -> RawConn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        RawConn { reader: BufReader::new(stream.try_clone().expect("clone")), writer: stream }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+    }
+
+    /// Reads exactly one server frame (blocks until it arrives).
+    fn recv(&mut self) -> ServerFrame {
+        let mut line = String::new();
+        assert!(self.reader.read_line(&mut line).expect("read frame") > 0, "unexpected EOF");
+        wire::decode_server_frame(line.trim()).expect("decodable frame")
+    }
+
+    /// Reads server frames until the server closes the connection.
+    fn read_to_eof(mut self) -> Vec<ServerFrame> {
+        drop(self.writer);
+        let mut frames = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line).expect("read frame") == 0 {
+                return frames;
+            }
+            frames.push(wire::decode_server_frame(line.trim()).expect("decodable frame"));
+        }
+    }
+}
+
+fn kind_counts(frames: &[ServerFrame]) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for frame in frames {
+        if let ServerFrame::Error(e) = frame {
+            *counts.entry(e.kind.name()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+fn serial_reference(request: &CampaignRequest) -> spottune_core::HptReport {
+    let pool = request.scenario.build();
+    request.run_serial(&pool, &CurveCache::global())
+}
+
+/// One connection against a deliberately tiny server (one worker, queue
+/// capacity one) walks through garbage, a semantically-bad request, a
+/// queue-deadline, a flood past the bounded queue and a post-shutdown
+/// request — provoking `malformed`, `rejected`, `deadline-exceeded`,
+/// `overloaded` and `draining` frames, while the one successful campaign
+/// still comes back bit-identical to the serial reference. `throttled`
+/// (the sixth kind) has its own server below; together the two tests put
+/// every kind in [`wire::registered_error_kinds`] on the wire.
+#[test]
+fn five_error_kinds_and_a_flushed_response_on_one_connection() {
+    let config = NetServerConfig {
+        // Queue capacity 2: one slot hands the heavy campaign to the
+        // worker, one holds the doomed deadline request; the flood then
+        // finds the queue full.
+        server: ServerConfig::with_workers(1).with_queue_capacity(2),
+        // Throttling off: this test targets the queue bounds, not admission.
+        admission: AdmissionConfig { burst: 1024, refill_per_sec: 0.0, staging_capacity: 1024 },
+    };
+    let (addr, _handle, server) = serve(config);
+    let mut conn = RawConn::open(addr);
+
+    // 1. Garbage never decodes: `malformed`, unattributed (no id).
+    conn.send("this is not a frame {");
+    // 2. Decodes fine, fails validation at the server boundary: `rejected`.
+    let mut invalid = request(900, 20, 0);
+    invalid.approach = Approach::SpotTune { theta: 2.5 };
+    conn.send(&wire::encode_request_frame(&invalid, None));
+    // 3. A heavy campaign occupies the single worker...
+    let heavy = request(1, 300, 7);
+    conn.send(&wire::encode_request_frame(&heavy, None));
+    // 4. ...so this one expires in the queue: `deadline-exceeded`.
+    conn.send(&wire::encode_request_frame(&request(2, 20, 8), Some(1)));
+    // 5. The queue (capacity 1) now holds the doomed request: `overloaded`.
+    for id in 10..16 {
+        conn.send(&wire::encode_request_frame(&request(id, 20, id), None));
+    }
+    // 6. Graceful drain: the shutdown frame is acked with a stats
+    //    snapshot, and a request arriving after it gets `draining`.
+    conn.send(&wire::encode_shutdown_request());
+    conn.send(&wire::encode_request_frame(&request(30, 20, 9), None));
+
+    let frames = conn.read_to_eof();
+    server.join().expect("server thread must not panic").expect("clean run");
+
+    // One reply per line sent: 12 lines, 12 frames, nothing lost and
+    // nothing duplicated — even across the graceful drain.
+    assert_eq!(frames.len(), 12, "one reply per request: {frames:?}");
+    let counts = kind_counts(&frames);
+    assert_eq!(counts.get("malformed"), Some(&1), "{counts:?}");
+    assert_eq!(counts.get("rejected"), Some(&1), "{counts:?}");
+    assert_eq!(counts.get("deadline-exceeded"), Some(&1), "{counts:?}");
+    assert_eq!(counts.get("draining"), Some(&1), "{counts:?}");
+    assert!(counts.get("overloaded").is_some_and(|&n| n >= 1), "{counts:?}");
+    let stats_frames = frames.iter().filter(|f| matches!(f, ServerFrame::Stats(_))).count();
+    assert_eq!(stats_frames, 1, "the shutdown ack is a stats snapshot");
+
+    // The error frames carry the ids they belong to.
+    for frame in &frames {
+        if let ServerFrame::Error(e) = frame {
+            match e.kind {
+                ErrorKind::Malformed => assert_eq!(e.id, None, "garbage has no id"),
+                ErrorKind::Rejected => assert_eq!(e.id, Some(900)),
+                ErrorKind::DeadlineExceeded => assert_eq!(e.id, Some(2)),
+                ErrorKind::Draining => assert_eq!(e.id, Some(30)),
+                ErrorKind::Overloaded => {
+                    assert!(e.id.is_some_and(|id| (10..16).contains(&id)), "{e:?}");
+                }
+                ErrorKind::Throttled => panic!("throttling is disabled here: {e:?}"),
+            }
+        }
+    }
+
+    // Every campaign that did run came back bit-identical to the serial
+    // reference, drain or no drain.
+    for frame in &frames {
+        if let ServerFrame::Response(response) = frame {
+            let reference = if response.id == heavy.id {
+                serial_reference(&heavy)
+            } else {
+                serial_reference(&request(response.id, 20, response.id))
+            };
+            assert_eq!(response.report, reference, "request {} diverged", response.id);
+        }
+    }
+}
+
+/// The token bucket refuses a burst past its capacity with `throttled`
+/// frames — the admitted request still completes — and the counter shows
+/// up in the stats frame.
+#[test]
+fn admission_flood_is_throttled_not_queued() {
+    let config = NetServerConfig {
+        server: ServerConfig::with_workers(1).with_queue_capacity(8),
+        // One token, effectively no refill: the second request must be
+        // refused at admission, before it can touch the queue.
+        admission: AdmissionConfig { burst: 1, refill_per_sec: 1e-6, staging_capacity: 8 },
+    };
+    let (addr, handle, server) = serve(config);
+    let mut conn = RawConn::open(addr);
+
+    // Strict request/reply: waiting for each frame keeps the shutdown
+    // below from racing the reader.
+    conn.send(&wire::encode_request_frame(&request(1, 20, 3), None));
+    let first = conn.recv();
+    conn.send(&wire::encode_request_frame(&request(2, 20, 4), None));
+    let second = conn.recv();
+    conn.send(&wire::encode_stats_request());
+    let third = conn.recv();
+    handle.shutdown();
+
+    let frames = vec![first, second, third];
+    assert!(conn.read_to_eof().is_empty(), "no stray frames after the drain");
+    server.join().expect("server thread must not panic").expect("clean run");
+    let counts = kind_counts(&frames);
+    assert_eq!(counts.get("throttled"), Some(&1), "{counts:?}");
+    let mut saw_response = false;
+    for frame in &frames {
+        match frame {
+            ServerFrame::Response(response) => {
+                assert_eq!(response.id, 1, "only the admitted request runs");
+                assert_eq!(response.report, serial_reference(&request(1, 20, 3)));
+                saw_response = true;
+            }
+            ServerFrame::Error(e) => assert_eq!((e.kind, e.id), (ErrorKind::Throttled, Some(2))),
+            ServerFrame::Stats(fields) => {
+                let get = |name: &str| {
+                    fields.iter().find(|(k, _)| k == name).map(|&(_, v)| v).unwrap_or(0)
+                };
+                assert_eq!(get("throttled"), 1, "admission refusals are counted");
+            }
+        }
+    }
+    assert!(saw_response, "the admitted request must complete: {frames:?}");
+}
+
+/// The two tests above, between them, put every registered kind on the
+/// wire; this is the registry-driven closure spotlint's R1 check leans
+/// on. Six kinds registered, six kinds exercised.
+#[test]
+fn the_suite_covers_the_whole_error_kind_registry() {
+    let exercised =
+        ["overloaded", "throttled", "deadline-exceeded", "malformed", "rejected", "draining"];
+    assert_eq!(wire::registered_error_kinds().to_vec(), exercised.to_vec());
+}
+
+/// Chaos sweep: three well-behaved clients run campaigns while one
+/// connection dies mid-request, one sends truncated garbage, and one
+/// floods far past the admission burst without ever reading a reply.
+/// No worker panics, the survivors' sweeps are bit-identical to the
+/// serial reference, the bounded queue never exceeds its capacity, and
+/// the drain still exits cleanly.
+#[test]
+fn killed_and_flooding_connections_leave_survivors_bit_identical() {
+    use spottune_client::{Client, RetryPolicy};
+
+    const QUEUE_CAPACITY: usize = 8;
+    let config = NetServerConfig {
+        server: ServerConfig::with_workers(2).with_queue_capacity(QUEUE_CAPACITY),
+        admission: AdmissionConfig::default(),
+    };
+    let (addr, _handle, server) = serve(config);
+
+    // Chaos, first wave: a connection that sends garbage plus a truncated
+    // frame and vanishes, and one that dies mid-request (a valid campaign
+    // whose reply has nowhere to go). The garbage sender waits for its
+    // first error frame before dying — a drop with replies still unread
+    // resets the connection, and the reset may discard input the server
+    // has not processed yet.
+    {
+        let mut garbage = RawConn::open(addr);
+        garbage.send("{\"id\":");
+        match garbage.recv() {
+            ServerFrame::Error(e) => assert_eq!((e.kind, e.id), (ErrorKind::Malformed, None)),
+            other => panic!("expected a malformed frame, got {other:?}"),
+        }
+        garbage.writer.write_all(b"{\"truncated").expect("half frame");
+        drop(garbage);
+        let mut killer = RawConn::open(addr);
+        killer.send(&wire::encode_request_frame(&request(777, 60, 77), None));
+        drop(killer);
+    }
+
+    // Survivors: three concurrent clients, six campaigns each, seeded
+    // deterministic retry absorbing any transient overloads.
+    let survivors: Vec<JoinHandle<Vec<CampaignResponse>>> = (0..3u64)
+        .map(|k| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let retry = RetryPolicy::default().with_seed(k).with_max_attempts(8);
+                let mut client =
+                    Client::connect(&addr).expect("survivor connects").with_retry(retry);
+                (0..6u64)
+                    .map(|i| {
+                        let req = request(100 * (k + 1) + i, 20, 50 + i);
+                        client.run_campaign(&req, None).expect("survivor response")
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+
+    // Chaos, second wave: a flood far past the 64-token burst. The
+    // flooder reads just long enough to see admission kick in (so the
+    // teardown reset cannot discard the still-unprocessed flood), then
+    // dies with the rest of its replies in flight.
+    {
+        let mut flood = RawConn::open(addr);
+        for id in 5000..5120u64 {
+            flood.send(&wire::encode_request_frame(&request(id, 20, id), None));
+        }
+        let throttled = (0..120)
+            .map(|_| flood.recv())
+            .any(|frame| matches!(frame, ServerFrame::Error(e) if e.kind == ErrorKind::Throttled));
+        assert!(throttled, "a 120-request burst must out-run the 64-token bucket");
+        drop(flood);
+    }
+
+    for (k, survivor) in survivors.into_iter().enumerate() {
+        let responses = survivor.join().expect("survivor thread must not panic");
+        assert_eq!(responses.len(), 6);
+        for (i, response) in responses.iter().enumerate() {
+            let req = request(100 * (k as u64 + 1) + i as u64, 20, 50 + i as u64);
+            assert_eq!(response.id, req.id, "strict request/reply keeps attribution");
+            assert_eq!(
+                response.report,
+                serial_reference(&req),
+                "survivor {k} request {} diverged under chaos",
+                req.id
+            );
+        }
+    }
+
+    // The flood was refused at admission, the garbage was counted, and
+    // the bounded queue honoured its bound throughout.
+    let mut admin = Client::connect(&addr.to_string()).expect("admin client");
+    let stats = admin.stats().expect("stats frame");
+    let get = |name: &str| stats.iter().find(|(k, _)| k == name).map(|&(_, v)| v).unwrap_or(0);
+    assert!(get("throttled") >= 1, "the flood must out-run the token bucket: {stats:?}");
+    assert!(get("malformed_frames") >= 1, "garbage must be counted: {stats:?}");
+    assert_eq!(get("queue_capacity"), QUEUE_CAPACITY as u64);
+    assert!(
+        get("peak_queue_depth") <= QUEUE_CAPACITY as u64,
+        "bounded queue exceeded its capacity: {stats:?}"
+    );
+    assert!(get("completed") >= 18, "all survivor campaigns completed: {stats:?}");
+
+    // Graceful drain over the wire; the ack is the final snapshot.
+    let final_stats = admin.shutdown_server().expect("shutdown ack");
+    assert!(!final_stats.is_empty());
+    server.join().expect("server thread must not panic").expect("clean run");
+}
+
+/// Responses queued at shutdown time are flushed before the sockets
+/// close: a client that fires a batch and immediately asks for shutdown
+/// still gets every response, bit-identical to the serial reference.
+#[test]
+fn graceful_drain_flushes_every_pending_response() {
+    let config = NetServerConfig {
+        server: ServerConfig::with_workers(1).with_queue_capacity(8),
+        admission: AdmissionConfig::default(),
+    };
+    let (addr, _handle, server) = serve(config);
+    let mut conn = RawConn::open(addr);
+
+    let requests: Vec<CampaignRequest> = (1..=3).map(|id| request(id, 25, id)).collect();
+    for req in &requests {
+        conn.send(&wire::encode_request_frame(req, None));
+    }
+    conn.send(&wire::encode_shutdown_request());
+
+    let frames = conn.read_to_eof();
+    server.join().expect("server thread must not panic").expect("clean run");
+
+    assert_eq!(frames.len(), 4, "three responses and the shutdown ack: {frames:?}");
+    let mut seen = Vec::new();
+    for frame in frames {
+        if let ServerFrame::Response(response) = frame {
+            let req = &requests[(response.id - 1) as usize];
+            assert_eq!(response.report, serial_reference(req), "request {}", response.id);
+            seen.push(response.id);
+        }
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, vec![1, 2, 3], "the drain must flush every pending response");
+}

@@ -40,10 +40,15 @@ pub const DETERMINISM_CRATES: &[&str] = &[
 /// Crates additionally checked for exact float equality (D3).
 pub const FLOAT_EQ_CRATES: &[&str] = &["crates/core", "crates/earlycurve"];
 
-/// Files forming the untrusted-input path (P1): wire decode and the
-/// server request handling.
-pub const PANIC_PATH_FILES: &[&str] =
-    &["crates/core/src/wire.rs", "crates/server/src/lib.rs"];
+/// Files forming the untrusted-input path (P1): wire decode, the server
+/// request handling (core pool and TCP front-end), and the client's
+/// connection/retry machinery.
+pub const PANIC_PATH_FILES: &[&str] = &[
+    "crates/core/src/wire.rs",
+    "crates/server/src/lib.rs",
+    "crates/server/src/net.rs",
+    "crates/client/src/lib.rs",
+];
 
 /// Result of a full workspace pass.
 #[derive(Debug, Default)]
@@ -133,11 +138,17 @@ pub fn registry_inputs(root: &Path) -> Result<RegistryInputs, String> {
     for rel in SUITE_PATHS {
         suites.push((rel.to_string(), read(&root.join(rel))?));
     }
+    let mut tcp_suites = Vec::new();
+    for rel in registry::TCP_SUITE_PATHS {
+        tcp_suites.push((rel.to_string(), read(&root.join(rel))?));
+    }
     Ok(RegistryInputs {
         policy_src: read(&root.join(POLICY_REGISTRY_PATH))?,
         estimator_src: read(&root.join(ESTIMATOR_REGISTRY_PATH))?,
+        wire_src: read(&root.join(registry::WIRE_REGISTRY_PATH))?,
         ci_yaml: read(&root.join(CI_PATH))?,
         suites,
+        tcp_suites,
     })
 }
 

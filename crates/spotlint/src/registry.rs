@@ -5,7 +5,10 @@
 //! `EstimatorSpec::registered_estimators` (crates/market/src/estimator.rs),
 //! then verifies the CI matrix and the equivalence/storm-survival suites
 //! cover every registered name — and that the CI matrix names nothing the
-//! registries don't know (renames, typos).
+//! registries don't know (renames, typos). The wire error-frame registry
+//! (`registered_error_kinds` in crates/core/src/wire.rs) gets the same
+//! treatment against the TCP suites: every frame kind the server can send
+//! must be provoked by at least one socket-level test.
 
 use crate::lexer::{lex, Tok};
 use crate::rules::Finding;
@@ -23,16 +26,22 @@ pub struct RegistryInputs {
     pub policy_src: String,
     /// Content of crates/market/src/estimator.rs.
     pub estimator_src: String,
+    /// Content of crates/core/src/wire.rs (the error-frame registry).
+    pub wire_src: String,
     /// Content of .github/workflows/ci.yml.
     pub ci_yaml: String,
     /// `(workspace-relative path, content)` of the equivalence and
     /// storm-survival suites.
     pub suites: Vec<(String, String)>,
+    /// `(workspace-relative path, content)` of the TCP front-end suites
+    /// that must exercise every wire error-frame kind.
+    pub tcp_suites: Vec<(String, String)>,
 }
 
 /// Workspace-relative paths R1 reads in a real run.
 pub const POLICY_REGISTRY_PATH: &str = "crates/core/src/campaign.rs";
 pub const ESTIMATOR_REGISTRY_PATH: &str = "crates/market/src/estimator.rs";
+pub const WIRE_REGISTRY_PATH: &str = "crates/core/src/wire.rs";
 pub const CI_PATH: &str = ".github/workflows/ci.yml";
 pub const SUITE_PATHS: &[&str] = &[
     "crates/core/tests/policy_equivalence.rs",
@@ -40,6 +49,11 @@ pub const SUITE_PATHS: &[&str] = &[
     "crates/core/tests/fault_injection.rs",
     "crates/server/tests/policy_matrix.rs",
 ];
+/// TCP suites checked against `registered_error_kinds()`: a frame kind
+/// nothing provokes over a real socket is a frame kind clients cannot
+/// trust.
+pub const TCP_SUITE_PATHS: &[&str] =
+    &["crates/server/tests/tcp_chaos.rs", "crates/server/tests/tcp_soak.rs"];
 
 /// Extracts the string literals returned by `fn <fn_name>` in `src`.
 ///
@@ -266,6 +280,45 @@ pub fn check_r1(inputs: &RegistryInputs) -> Vec<Finding> {
             ));
         }
     }
+    // 5. Error-frame coverage: every wire error-frame kind the server can
+    //    emit is provoked by a TCP suite. Iterating the registry covers
+    //    everything by construction, like the policy/estimator rules.
+    let kinds = extract_registry(&inputs.wire_src, "registered_error_kinds");
+    if kinds.is_empty() {
+        out.push(r1(
+            WIRE_REGISTRY_PATH,
+            1,
+            "could not parse `registered_error_kinds()`; R1 needs the error-frame registry \
+             to cross-check"
+                .into(),
+            "registered_error_kinds".into(),
+        ));
+    }
+    let kind_driven = inputs
+        .tcp_suites
+        .iter()
+        .any(|(_, text)| text.contains("registered_error_kinds"));
+    for k in &kinds {
+        let covered = kind_driven
+            || inputs.tcp_suites.iter().any(|(_, text)| contains_ci(text, &k.name));
+        if !covered {
+            out.push(r1(
+                WIRE_REGISTRY_PATH,
+                k.line,
+                format!(
+                    "wire error-frame kind \"{}\" is not exercised by any TCP suite ({})",
+                    k.name,
+                    inputs
+                        .tcp_suites
+                        .iter()
+                        .map(|(p, _)| p.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                k.name.clone(),
+            ));
+        }
+    }
     out
 }
 
@@ -318,16 +371,27 @@ jobs:
           - revpred
 ";
 
+    const WIRE_SRC: &str = r#"
+        pub fn registered_error_kinds() -> [&'static str; 2] {
+            ["overloaded", "malformed"]
+        }
+    "#;
+
     fn inputs() -> RegistryInputs {
         RegistryInputs {
             policy_src: POLICY_SRC.into(),
             estimator_src: ESTIMATOR_SRC.into(),
+            wire_src: WIRE_SRC.into(),
             ci_yaml: CI.into(),
             suites: vec![(
                 "crates/core/tests/fault_injection.rs".into(),
                 "for name in Approach::registered_policies() {} \
                  for k in EstimatorSpec::registered_estimators() {}"
                     .into(),
+            )],
+            tcp_suites: vec![(
+                "crates/server/tests/tcp_chaos.rs".into(),
+                "assert_error_kind(\"overloaded\"); assert_error_kind(\"malformed\");".into(),
             )],
         }
     }
@@ -395,5 +459,34 @@ jobs:
         inp.policy_src = "fn something_else() {}".into();
         let f = check_r1(&inp);
         assert!(f.iter().any(|f| f.message.contains("registered_policies")), "{f:?}");
+    }
+
+    #[test]
+    fn uncovered_error_kind_fails_and_registry_iteration_covers_all() {
+        // Dropping "malformed" from the TCP suite leaves that kind naked.
+        let mut inp = inputs();
+        inp.tcp_suites =
+            vec![("crates/server/tests/tcp_chaos.rs".into(), "\"overloaded\"".into())];
+        let f = check_r1(&inp);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].file, WIRE_REGISTRY_PATH);
+        assert!(f[0].message.contains("malformed"), "{}", f[0].message);
+        // A suite that iterates the registry covers everything.
+        inp.tcp_suites = vec![(
+            "crates/server/tests/tcp_chaos.rs".into(),
+            "for kind in registered_error_kinds() {}".into(),
+        )];
+        assert_eq!(check_r1(&inp), vec![]);
+    }
+
+    #[test]
+    fn unparseable_error_kind_registry_is_itself_a_finding() {
+        let mut inp = inputs();
+        inp.wire_src = "fn something_else() {}".into();
+        let f = check_r1(&inp);
+        assert!(
+            f.iter().any(|f| f.message.contains("registered_error_kinds")),
+            "{f:?}"
+        );
     }
 }

@@ -94,16 +94,17 @@ on purpose.",
     },
     RuleInfo {
         id: "P1",
-        summary: "unwrap/expect/panic! in the server request path or wire decode",
+        summary: "unwrap/expect/panic! in the server request path, TCP front-end, wire decode, or client",
         explain: "\
 P1 — panics reachable from untrusted input.
 
 `spottune_core::wire` decodes bytes that arrive from outside the process,
-and `spottune_server` executes whatever decoded. A panic in either place
-turns one malformed request into a dropped worker, a poisoned lock, or a
-wedged client stream. The decode path must return `WireError` for every
-malformed input, and the request path must degrade per-request, never
-per-process.
+`spottune_server` (the core pool and the `net` TCP front-end) executes
+whatever decoded, and `spottune_client` parses whatever the server sent
+back. A panic in any of these places turns one malformed frame into a
+dropped worker, a poisoned lock, or a wedged client stream. The decode
+path must return `WireError` for every malformed input, and the request
+path must degrade per-request, never per-process.
 
 Instead: `?` with a typed error on the decode side; validation at the
 submission boundary (`CampaignRequest::validate`,
@@ -132,10 +133,15 @@ from source and cross-checks:
   4. every registered name is exercised by the equivalence/storm-survival
      suites — a suite that iterates `registered_policies()` /
      `registered_estimators()` covers the whole registry by construction,
-     which is the preferred pattern.
+     which is the preferred pattern;
+  5. every wire error-frame kind (`registered_error_kinds()` in
+     `crates/core/src/wire.rs`) is provoked by a TCP suite
+     (`tcp_chaos.rs` / `tcp_soak.rs`) — a frame kind nothing can trigger
+     over a real socket is a frame kind clients cannot trust.
 
-Registering a new policy or estimator without extending the CI matrix and
-the suites fails the lint, so coverage can never silently rot.",
+Registering a new policy, estimator, or error-frame kind without
+extending the CI matrix and the suites fails the lint, so coverage can
+never silently rot.",
     },
 ];
 

@@ -1,10 +1,11 @@
 //! Offline stand-in for `crossbeam`: the `thread::scope` and
-//! `channel::unbounded` APIs the workspace uses, implemented on
-//! `std::thread::scope` and a `Mutex<VecDeque>` + `Condvar` queue.
+//! `channel::{unbounded, bounded}` APIs the workspace uses, implemented
+//! on `std::thread::scope` and a `Mutex<VecDeque>` + `Condvar` queue.
 
 /// Multi-producer multi-consumer channels (the `crossbeam::channel`
-/// subset the campaign server uses: unbounded, cloneable endpoints,
-/// blocking `recv` that disconnects when every sender is gone).
+/// subset the campaign server uses: unbounded and bounded, cloneable
+/// endpoints, blocking `recv` that disconnects when every sender is
+/// gone, non-blocking `try_send` for backpressure).
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
@@ -14,6 +15,11 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a bounded queue frees a slot; unused (never
+        /// waited on) for unbounded channels.
+        space: Condvar,
+        /// `None` = unbounded; `Some(cap)` = at most `cap` queued messages.
+        cap: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -56,6 +62,36 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`]; the unsent message is
+    /// handed back in both variants.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
     /// The sending half; clone freely across producers.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -66,26 +102,84 @@ pub mod channel {
         shared: Arc<Shared<T>>,
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn shared_with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
         (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
     }
 
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        shared_with_cap(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` messages.
+    /// `send` blocks while full; `try_send` fails fast with
+    /// [`TrySendError::Full`]. A capacity of zero is treated as one (the
+    /// rendezvous semantics of real crossbeam are not needed here).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        shared_with_cap(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues a message, failing only if every receiver is gone.
+        /// Enqueues a message, blocking while a bounded channel is at
+        /// capacity; fails only if every receiver is gone.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             if self.shared.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendError(msg));
             }
-            self.shared.queue.lock().expect("channel lock").push_back(msg);
+            let mut queue = self.shared.queue.lock().expect("channel lock");
+            if let Some(cap) = self.shared.cap {
+                while queue.len() >= cap {
+                    if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                        return Err(SendError(msg));
+                    }
+                    queue = self.shared.space.wait(queue).expect("channel lock");
+                }
+            }
+            queue.push_back(msg);
+            drop(queue);
             self.shared.ready.notify_one();
             Ok(())
+        }
+
+        /// Non-blocking send: fails fast when a bounded channel is at
+        /// capacity instead of waiting for space.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            let mut queue = self.shared.queue.lock().expect("channel lock");
+            if let Some(cap) = self.shared.cap {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            queue.push_back(msg);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().expect("channel lock").len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The channel capacity (`None` for unbounded).
+        pub fn capacity(&self) -> Option<usize> {
+            self.shared.cap
         }
     }
 
@@ -117,6 +211,8 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().expect("channel lock");
             loop {
                 if let Some(msg) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.space.notify_one();
                     return Ok(msg);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -130,6 +226,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.queue.lock().expect("channel lock");
             if let Some(msg) = queue.pop_front() {
+                drop(queue);
+                self.shared.space.notify_one();
                 return Ok(msg);
             }
             if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -137,6 +235,16 @@ pub mod channel {
             } else {
                 Err(TryRecvError::Empty)
             }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().expect("channel lock").len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         /// Blocking iterator: yields until the channel disconnects.
@@ -154,7 +262,13 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last receiver gone: wake senders blocked on a full
+                // bounded queue so they can observe the disconnect (same
+                // lock-ordering argument as the last-sender Drop above).
+                let _queue = self.shared.queue.lock();
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -293,6 +407,86 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(3));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(super::channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_space_frees() {
+        let (tx, rx) = super::channel::bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(super::channel::TrySendError::Full(3))));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_disconnected() {
+        let (tx, rx) = super::channel::bounded::<u8>(4);
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(9),
+            Err(super::channel::TrySendError::Disconnected(9))
+        ));
+    }
+
+    #[test]
+    fn bounded_blocking_send_waits_for_space() {
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        tx.send(0).unwrap();
+        super::thread::scope(|s| {
+            let tx = tx.clone();
+            s.spawn(move |_| {
+                // Blocks until the main thread drains the single slot.
+                tx.send(1).unwrap();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(0));
+            assert_eq!(rx.recv(), Ok(1));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bounded_depth_never_exceeds_capacity_under_contention() {
+        let (tx, rx) = super::channel::bounded::<u64>(4);
+        super::thread::scope(|s| {
+            for w in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for i in 0..50u64 {
+                        tx.send(w * 50 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            loop {
+                assert!(rx.len() <= 4, "queue depth exceeded capacity");
+                match rx.recv() {
+                    Ok(v) => got.push(v),
+                    Err(_) => break,
+                }
+            }
+            got.sort_unstable();
+            assert_eq!(got, (0..200).collect::<Vec<_>>());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn len_visible_from_both_halves() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        assert!(tx.is_empty() && rx.is_empty());
+        assert_eq!(tx.capacity(), None);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        let (btx, _brx) = super::channel::bounded::<u8>(7);
+        assert_eq!(btx.capacity(), Some(7));
     }
 
     #[test]
