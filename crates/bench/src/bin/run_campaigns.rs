@@ -27,6 +27,11 @@
 //! shared curve tier to `N` resident curves (LRU, `0` = unbounded) for
 //! many-seed sweeps, and `--predictor-capacity N` bounds the trained-
 //! predictor tier the same way for scenario-heavy learned sweeps.
+//! `--batch` (the default) routes the sweep through the server's batched
+//! path — requests grouped by market scenario, pool/spine/predictors
+//! resolved once per group, engine scratch reused across each chunk —
+//! while `--no-batch` falls back to one request per work item for A/B
+//! comparison; both produce bit-identical reports.
 
 use spottune_bench::TRACE_DAYS;
 use spottune_core::prelude::*;
@@ -46,6 +51,7 @@ struct Args {
     days: u64,
     curve_capacity: usize,
     predictor_capacity: usize,
+    batch: bool,
     baselines: bool,
     quiet: bool,
 }
@@ -62,6 +68,7 @@ fn parse_args() -> Args {
         days: TRACE_DAYS,
         curve_capacity: 0,
         predictor_capacity: 0,
+        batch: true,
         baselines: false,
         quiet: false,
     };
@@ -120,6 +127,8 @@ fn parse_args() -> Args {
                 args.predictor_capacity =
                     value("--predictor-capacity").parse().expect("--predictor-capacity: usize");
             }
+            "--batch" => args.batch = true,
+            "--no-batch" => args.batch = false,
             "--baselines" => args.baselines = true,
             "--quiet" => args.quiet = true,
             other => panic!("unknown flag {other} (see the module docs for usage)"),
@@ -193,11 +202,13 @@ fn main() {
     let server = CampaignServer::start(
         ServerConfig::with_workers(args.workers)
             .with_curve_capacity(args.curve_capacity)
-            .with_predictor_capacity(args.predictor_capacity),
+            .with_predictor_capacity(args.predictor_capacity)
+            .with_batch(args.batch),
     );
     let workers = server.stats().workers;
+    let mode = if args.batch { "batched" } else { "serial" };
     println!(
-        "submitting {total} campaigns (estimator {}) to {workers} workers …",
+        "submitting {total} campaigns (estimator {}, {mode}) to {workers} workers …",
         args.estimator
     );
     let t0 = Instant::now();
@@ -246,4 +257,10 @@ fn main() {
         100.0 * stats.predictor_cache.hit_rate(),
         stats.predictor_cache.misses,
     );
+    if args.batch {
+        println!(
+            "spine tier   : {} resident, {} groups, {} spine queries",
+            stats.resident_spines, stats.batched_groups, stats.spine_queries,
+        );
+    }
 }

@@ -1,0 +1,218 @@
+//! Sweep-throughput bench: the batched sweep engine
+//! ([`Campaign::run_many`] via [`BatchRunner`]) vs the serial reference
+//! loop ([`CampaignRequest::run_serial`] per campaign), over a
+//! representative policy × estimator × seed grid.
+//!
+//! The batched path groups requests by market scenario, resolves the pool
+//! and event spine once per group, trains each learned estimator once per
+//! (kind, scenario) instead of once per campaign, and reuses one arena of
+//! job state across the whole group — the serial loop pays all of that
+//! per campaign. Both produce bit-identical reports (locked by
+//! `crates/core/tests/batch_equivalence.rs` and re-asserted here under
+//! `--check`).
+//!
+//! ```sh
+//! # CI check: 1k campaigns, full serial reference, bit-identity asserted.
+//! cargo run --release -p spottune-bench --bin sweep_throughput -- \
+//!     --campaigns 1000 --days 2 --check
+//!
+//! # Headline measurement: 100k campaigns, serial extrapolated from a
+//! # 2k-campaign sample (full serial would retrain ~50k estimators),
+//! # appended to the committed baseline.
+//! cargo run --release -p spottune-bench --bin sweep_throughput -- \
+//!     --campaigns 100000 --days 2 --serial-sample 2000 \
+//!     --write crates/bench/BENCH_sweep.json
+//! ```
+//!
+//! The JSON line schema is documented in `crates/bench/README.md`.
+
+use spottune_core::prelude::*;
+use spottune_market::{EstimatorSpec, MarketScenario};
+use spottune_mlsim::prelude::*;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::time::Instant;
+
+struct Args {
+    campaigns: usize,
+    days: u64,
+    scenarios: u64,
+    serial_sample: usize,
+    check: bool,
+    write: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        campaigns: 1000,
+        days: 2,
+        scenarios: 2,
+        serial_sample: 0,
+        check: false,
+        write: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--campaigns" => {
+                args.campaigns = value("--campaigns").parse().expect("--campaigns: usize");
+            }
+            "--days" => args.days = value("--days").parse().expect("--days: u64"),
+            "--scenarios" => {
+                args.scenarios = value("--scenarios").parse().expect("--scenarios: u64");
+            }
+            "--serial-sample" => {
+                args.serial_sample =
+                    value("--serial-sample").parse().expect("--serial-sample: usize");
+            }
+            "--check" => args.check = true,
+            "--write" => args.write = Some(value("--write")),
+            other => panic!("unknown flag {other} (see the module docs for usage)"),
+        }
+    }
+    args
+}
+
+/// The estimator mix the sweep cycles through: half learned (the case the
+/// predictor tier amortizes), the rest split between the oracle (spine
+/// lookups) and the constant baseline (pure engine cost).
+const ESTIMATOR_MIX: [&str; 4] = ["logistic", "oracle(0.9)", "logistic", "constant(0.2)"];
+const POLICY_MIX: [&str; 4] = ["spottune", "spottune", "hybrid", "migration-aware"];
+const THETA_MIX: [f64; 4] = [0.7, 1.0, 0.7, 0.7];
+
+fn build_requests(args: &Args) -> Vec<CampaignRequest> {
+    let base = Workload::benchmark(Algorithm::LoR);
+    let workload = Workload::custom(Algorithm::LoR, 15, base.hp_grid()[..2].to_vec());
+    (0..args.campaigns)
+        .map(|i| CampaignRequest {
+            id: i as u64,
+            approach: Approach::from_policy_name(POLICY_MIX[i % 4], THETA_MIX[i % 4])
+                .expect("mix names are registered"),
+            workload: workload.clone(),
+            // `i / 4` decorrelates the scenario from the mod-4 mixes so
+            // every estimator kind appears in every scenario.
+            scenario: MarketScenario::from_days(args.days, 42 + (i as u64 / 4) % args.scenarios),
+            seed: 42 + (i as u64 % 16),
+            estimator: EstimatorSpec::parse(ESTIMATOR_MIX[i % 4]).expect("mix specs parse"),
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    assert!(args.campaigns > 0 && args.scenarios > 0, "need a non-empty sweep");
+    let requests = build_requests(&args);
+    let n = requests.len();
+    println!(
+        "sweep_throughput: {n} campaigns, {} scenario(s) at {} day(s), mix {:?}",
+        args.scenarios, args.days, ESTIMATOR_MIX
+    );
+
+    // Batched: one runner, fresh tiers, full sweep.
+    let runner = BatchRunner::new();
+    let t0 = Instant::now();
+    let batched = runner.run_many(&requests);
+    let batched_secs = t0.elapsed().as_secs_f64();
+    let stats = runner.stats();
+    println!(
+        "batched : {batched_secs:>8.2}s total, {:>9.1} campaigns/s ({} groups, {} trainings, \
+         {} spine queries)",
+        n as f64 / batched_secs,
+        stats.groups,
+        stats.predictor_cache.misses,
+        stats.spine_queries,
+    );
+
+    // Serial reference: pools built once per scenario (as every serial
+    // sweep before the batched engine did), one shared curve memo, but
+    // estimator training and engine state paid per campaign. `--serial-
+    // sample M` measures a prefix and extrapolates — full serial at 100k
+    // campaigns retrains tens of thousands of estimators.
+    let sample = match args.serial_sample {
+        0 => n,
+        m => m.min(n),
+    };
+    assert!(
+        !args.check || sample == n,
+        "--check needs the full serial reference (drop --serial-sample)"
+    );
+    let mut pools = BTreeMap::new();
+    for request in &requests[..sample] {
+        pools.entry(request.scenario).or_insert_with(|| request.scenario.build());
+    }
+    let cache = CurveCache::new();
+    let t0 = Instant::now();
+    let serial: Vec<HptReport> = requests[..sample]
+        .iter()
+        .map(|request| request.run_serial(&pools[&request.scenario], &cache))
+        .collect();
+    let measured_secs = t0.elapsed().as_secs_f64();
+    let serial_secs = measured_secs * n as f64 / sample as f64;
+    if sample == n {
+        println!(
+            "serial  : {serial_secs:>8.2}s total, {:>9.1} campaigns/s",
+            n as f64 / serial_secs
+        );
+    } else {
+        println!(
+            "serial  : {serial_secs:>8.2}s extrapolated from {sample} campaigns in \
+             {measured_secs:.2}s ({:>9.1} campaigns/s)",
+            sample as f64 / measured_secs
+        );
+    }
+
+    let speedup = serial_secs / batched_secs;
+    println!("speedup : {speedup:>8.2}x (batched vs serial)");
+
+    for (i, (want, got)) in serial.iter().zip(&batched).enumerate() {
+        assert_eq!(got, want, "campaign {i}: batched report diverged from run_serial");
+    }
+    println!("bit-identity: {sample}/{n} campaigns verified against run_serial");
+    if args.check {
+        assert!(stats.spine_queries > 0, "batched sweep never queried the spine");
+        // One pool/spine build per scenario, one learned training per
+        // (kind, scenario) — the amortization the batched path exists for.
+        assert_eq!(stats.pool_cache.misses, args.scenarios, "{stats:?}");
+        assert_eq!(stats.spine_cache.misses, args.scenarios, "{stats:?}");
+        assert_eq!(stats.predictor_cache.misses, args.scenarios, "{stats:?}");
+        assert_eq!(stats.campaigns as usize, n);
+        println!("check ok: batched ≡ serial, spine queries {}", stats.spine_queries);
+    }
+
+    if let Some(path) = &args.write {
+        // One JSON line per run, appended (the BENCH_*.json convention;
+        // serde is stubbed workspace-wide, so format by hand).
+        let line = format!(
+            concat!(
+                "{{\"group\":\"sweep\",\"campaigns\":{},\"scenarios\":{},\"days\":{},",
+                "\"estimator_mix\":[\"logistic\",\"oracle(0.9)\",\"logistic\",",
+                "\"constant(0.2)\"],\"serial_secs\":{:.2},\"serial_sample\":{},",
+                "\"batched_secs\":{:.2},\"speedup\":{:.2},\"batched_campaigns_per_sec\":{:.1},",
+                "\"serial_campaigns_per_sec\":{:.1},\"groups\":{},\"trainings\":{},",
+                "\"spine_queries\":{}}}"
+            ),
+            n,
+            args.scenarios,
+            args.days,
+            serial_secs,
+            sample,
+            batched_secs,
+            speedup,
+            n as f64 / batched_secs,
+            n as f64 / serial_secs,
+            stats.groups,
+            stats.predictor_cache.misses,
+            stats.spine_queries,
+        );
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+        writeln!(file, "{line}").expect("write bench line");
+        println!("appended baseline line to {path}");
+    }
+}

@@ -2,10 +2,11 @@
 //! revocations and billing, driven by per-market price traces.
 
 use serde::{Deserialize, Serialize};
-use spottune_market::{MarketPool, SimDur, SimTime};
+use spottune_market::{MarketPool, PoolSpine, SimDur, SimTime, SpotMarket};
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::billing::{settle, settle_on_demand, BillRecord, EndCause, Ledger};
 use crate::fault::FaultPlan;
@@ -104,6 +105,11 @@ pub struct CloudProvider {
     /// Optional injected-fault schedule. `None` (the default) leaves every
     /// code path bit-identical to a fault-free provider.
     fault_plan: Option<FaultPlan>,
+    /// Optional shared per-scenario event spine. When present, market
+    /// lookups go through its name index and revocation instants through
+    /// its run-level agenda instead of the trace's minute scan — same bits,
+    /// built once per scenario instead of per query.
+    spine: Option<Arc<PoolSpine>>,
 }
 
 impl CloudProvider {
@@ -118,7 +124,18 @@ impl CloudProvider {
             launch_delay: DEFAULT_LAUNCH_DELAY,
             notice_lead: NOTICE_LEAD,
             fault_plan: None,
+            spine: None,
         }
+    }
+
+    /// Installs a shared event spine derived from this provider's pool
+    /// (callers resolve both through the same scenario key, typically via
+    /// [`spottune_market::SpineCache`]). Every answer the spine gives is
+    /// bit-identical to the trace queries it replaces, so this changes
+    /// wall-clock only, never results.
+    pub fn with_spine(mut self, spine: Arc<PoolSpine>) -> Self {
+        self.spine = Some(spine);
+        self
     }
 
     /// Overrides the request→running delay.
@@ -145,7 +162,7 @@ impl CloudProvider {
 
     /// Current market price for an instance type.
     pub fn market_price(&self, instance_name: &str, t: SimTime) -> Option<f64> {
-        self.pool.market(instance_name).map(|m| m.price_at(t))
+        lookup_market(&self.pool, self.spine.as_deref(), instance_name).map(|(m, _)| m.price_at(t))
     }
 
     /// Requests a spot VM at time `t` with the given maximum price.
@@ -164,9 +181,7 @@ impl CloudProvider {
         instance_name: &str,
         max_price: f64,
     ) -> Result<VmId, RequestSpotError> {
-        let market = self
-            .pool
-            .market(instance_name)
+        let (market, spine_idx) = lookup_market(&self.pool, self.spine.as_deref(), instance_name)
             .ok_or_else(|| RequestSpotError::UnknownInstance(instance_name.to_string()))?;
         let market_price = market.price_at(t);
         if market_price > max_price {
@@ -174,8 +189,15 @@ impl CloudProvider {
         }
         let launched_at = t + self.launch_delay;
         // Revocation is determined by the trace; search to the end of it.
+        // The spine's run-level agenda answers bit-identically to the
+        // trace's minute scan (its equivalence tests lock this).
         let horizon = market.trace().duration();
-        let trace_revoke = market.revocation_within(launched_at, horizon, max_price);
+        let trace_revoke = match (&self.spine, spine_idx) {
+            (Some(spine), Some(idx)) => {
+                spine.revocation_within(idx, launched_at, horizon, max_price)
+            }
+            _ => market.revocation_within(launched_at, horizon, max_price),
+        };
         let id = VmId::new(self.next_id);
         self.next_id += 1;
         // An injected storm reclaims the VM even if the trace never would;
@@ -414,10 +436,9 @@ impl CloudProvider {
         let vm = &self.vms[&id];
         match vm.pricing() {
             Pricing::Spot => {
-                let market = self
-                    .pool
-                    .market(vm.instance().name())
-                    .expect("vm market exists");
+                let (market, _) =
+                    lookup_market(&self.pool, self.spine.as_deref(), vm.instance().name())
+                        .expect("vm market exists");
                 settle(id, vm.instance().name(), market.trace(), vm.launched_at(), end, cause)
             }
             Pricing::OnDemand => settle_on_demand(
@@ -433,6 +454,24 @@ impl CloudProvider {
     /// The billing ledger.
     pub fn ledger(&self) -> &Ledger {
         &self.ledger
+    }
+}
+
+/// Resolves a market by instance name: through the spine's index when one
+/// is installed, else the pool's linear scan. A free function (not a
+/// method) so the returned borrow pins only the pool field and the caller
+/// can keep mutating the provider's other fields.
+fn lookup_market<'a>(
+    pool: &'a MarketPool,
+    spine: Option<&PoolSpine>,
+    name: &str,
+) -> Option<(&'a SpotMarket, Option<usize>)> {
+    match spine {
+        Some(spine) => {
+            let idx = spine.market_index(name)?;
+            Some((&pool.markets()[idx], Some(idx)))
+        }
+        None => pool.market(name).map(|m| (m, None)),
     }
 }
 
@@ -711,6 +750,33 @@ mod tests {
             let t = SimTime::from_mins(m);
             assert_eq!(a.poll(t), b.poll_scan(t), "diverged at minute {m}");
         }
+    }
+
+    #[test]
+    fn spine_backed_provider_is_bit_identical() {
+        // Same request/poll/terminate sequence with and without a spine:
+        // identical events, identical ledgers.
+        let pool = spike_pool();
+        let spine = Arc::new(PoolSpine::build(&pool));
+        let mut plain = CloudProvider::new(pool.clone()).with_launch_delay(SimDur::ZERO);
+        let mut spined = CloudProvider::new(pool)
+            .with_launch_delay(SimDur::ZERO)
+            .with_spine(Arc::clone(&spine));
+        for (launch, bid) in [(0u64, 10.0), (5, 0.2), (40, 0.3), (120, 10.0)] {
+            let t = SimTime::from_mins(launch);
+            let a = plain.request_spot(t, "t.spike", bid).unwrap();
+            let b = spined.request_spot(t, "t.spike", bid).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(plain.vm(a).unwrap().revoke_at, spined.vm(b).unwrap().revoke_at);
+        }
+        assert!(spined.market_price("t.spike", SimTime::ZERO).is_some());
+        assert!(spined.request_spot(SimTime::ZERO, "nope", 1.0).is_err());
+        for m in 0..240 {
+            let t = SimTime::from_mins(m);
+            assert_eq!(plain.poll(t), spined.poll(t), "diverged at minute {m}");
+        }
+        assert_eq!(plain.ledger().records(), spined.ledger().records());
+        assert!(spine.queries() > 0, "spine must have served the requests");
     }
 
     #[test]

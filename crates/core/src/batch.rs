@@ -1,0 +1,369 @@
+//! Batched sweep execution: scenario-grouped campaign fan-out over shared
+//! spines, pools, predictors and engine scratch.
+//!
+//! A sweep submits thousands of [`CampaignRequest`]s against a handful of
+//! market scenarios. Run one at a time ([`CampaignRequest::run_serial`]),
+//! every campaign rebuilds the pool, re-trains any learned predictor,
+//! re-derives the per-market SPE table and re-allocates the engine's job
+//! state. [`BatchRunner::run_many`] amortizes all of it: requests are
+//! grouped by scenario, each group resolves its pool, [`PoolSpine`] and
+//! predictors exactly once through shared tiers, and a [`GroupSession`]
+//! threads one [`EngineScratch`] through the group so the hot loop is
+//! allocation-free. Groups fan out across threads; within a group,
+//! campaigns run in submission order.
+//!
+//! The batched path is *bit-identical* to the serial reference: the spine
+//! mirrors [`spottune_market::PriceTrace::first_exceed`] exactly, predictor
+//! training is a pure function of `(scenario, kind)`, and the arena resets
+//! job slots to precisely what a fresh build would hold. The
+//! `batch_equivalence` suite locks this over the full policy × estimator
+//! matrix.
+
+use crate::arena::EngineScratch;
+use crate::campaign::{Campaign, CampaignRequest};
+use crate::engine::{compute_spe_means, Engine, SpeTable};
+use crate::provision::OracleEstimator;
+use crate::report::HptReport;
+use rayon::prelude::*;
+use spottune_cloud::FaultPlan;
+use spottune_market::{
+    CacheStats, ConstantEstimator, EstimatorSpec, MarketPool, MarketScenario, PoolCache,
+    PoolSpine, RevocationEstimator, SpineCache,
+};
+use spottune_mlsim::{CurveCache, Workload};
+use spottune_revpred::{MarketPredictorSet, PredictorCache, PredictorKind};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counter snapshot of one [`BatchRunner`]'s lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Scenario groups opened (one [`GroupSession`] each).
+    pub groups: u64,
+    /// Campaigns executed through the batched path.
+    pub campaigns: u64,
+    /// Pool-tier counters.
+    pub pool_cache: CacheStats,
+    /// Spine-tier counters.
+    pub spine_cache: CacheStats,
+    /// Trained-predictor-tier counters.
+    pub predictor_cache: CacheStats,
+    /// Revocation lookups answered by resident spines (the CI
+    /// sweep-throughput check asserts this is non-zero: the batched path
+    /// must actually route through the spine, not silently fall back to
+    /// the linear trace scan).
+    pub spine_queries: u64,
+}
+
+#[derive(Debug, Default)]
+struct BatchCounters {
+    groups: AtomicU64,
+    campaigns: AtomicU64,
+}
+
+/// Shared-tier batched campaign executor.
+///
+/// Cloning a runner clones handles to the same tiers, so a server can hand
+/// one to every worker and a `(scenario, kind)` predictor still trains
+/// once per process. Equal request slices produce equal report vectors
+/// regardless of thread count or grouping: scheduling only changes
+/// wall-clock, never bits.
+#[derive(Debug, Clone, Default)]
+pub struct BatchRunner {
+    pools: PoolCache,
+    spines: SpineCache,
+    curves: CurveCache,
+    predictors: PredictorCache,
+    /// Optional revocation-storm overlay applied to every engine (the
+    /// serial reference for fault-plan equivalence builds its engines with
+    /// the same plan).
+    fault_plan: Option<FaultPlan>,
+    counters: Arc<BatchCounters>,
+}
+
+impl BatchRunner {
+    /// Creates a runner with fresh, unbounded tiers.
+    pub fn new() -> Self {
+        BatchRunner::default()
+    }
+
+    /// Builder-style tier override: share a server's existing caches.
+    pub fn with_tiers(
+        mut self,
+        pools: PoolCache,
+        spines: SpineCache,
+        curves: CurveCache,
+        predictors: PredictorCache,
+    ) -> Self {
+        self.pools = pools;
+        self.spines = spines;
+        self.curves = curves;
+        self.predictors = predictors;
+        self
+    }
+
+    /// Builder-style fault-plan overlay, threaded into every engine.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Opens a session over one scenario: pool and spine resolved once,
+    /// scratch and memo tables empty. The server's worker loop drives this
+    /// directly so a group streams responses as campaigns finish.
+    pub fn session(&self, scenario: MarketScenario) -> GroupSession<'_> {
+        let pool = self.pools.get(scenario);
+        let spine = self.spines.get(scenario, &pool);
+        self.counters.groups.fetch_add(1, Ordering::Relaxed);
+        GroupSession {
+            runner: self,
+            scenario,
+            pool,
+            spine,
+            scratch: EngineScratch::new(),
+            estimators: Vec::new(),
+            spe_memos: Vec::new(),
+        }
+    }
+
+    /// Runs every request, batched: grouped by scenario, groups fanned out
+    /// across threads, reports returned in *request order* (index `i` of
+    /// the result is the report of `requests[i]`).
+    pub fn run_many(&self, requests: &[CampaignRequest]) -> Vec<HptReport> {
+        let mut groups: BTreeMap<MarketScenario, Vec<usize>> = BTreeMap::new();
+        for (i, req) in requests.iter().enumerate() {
+            groups.entry(req.scenario).or_default().push(i);
+        }
+        let groups: Vec<(MarketScenario, Vec<usize>)> = groups.into_iter().collect();
+        let per_group: Vec<Vec<(usize, HptReport)>> = groups
+            .into_par_iter()
+            .map(|(scenario, idxs)| {
+                let mut session = self.session(scenario);
+                idxs.into_iter().map(|i| (i, session.run_one(&requests[i]))).collect()
+            })
+            .collect();
+        let mut out: Vec<Option<HptReport>> = Vec::new();
+        out.resize_with(requests.len(), || None);
+        for (i, report) in per_group.into_iter().flatten() {
+            out[i] = Some(report);
+        }
+        out.into_iter().map(|r| r.expect("every request produces a report")).collect()
+    }
+
+    /// Counter snapshot across every session this runner (and its clones)
+    /// ever opened.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            groups: self.counters.groups.load(Ordering::Relaxed),
+            campaigns: self.counters.campaigns.load(Ordering::Relaxed),
+            pool_cache: self.pools.stats(),
+            spine_cache: self.spines.stats(),
+            predictor_cache: self.predictors.stats(),
+            spine_queries: self.spines.resident_queries(),
+        }
+    }
+}
+
+impl Campaign {
+    /// Batched counterpart of looping [`CampaignRequest::run_serial`]:
+    /// groups `requests` by scenario, shares pools/spines/predictors per
+    /// group and returns reports in request order. One-shot convenience
+    /// over a fresh [`BatchRunner`] — sweeps that run more than once
+    /// should hold a runner so its tiers persist.
+    pub fn run_many(requests: &[CampaignRequest]) -> Vec<HptReport> {
+        BatchRunner::new().run_many(requests)
+    }
+}
+
+/// A group-resident estimator, built at most once per `(spec)` per session.
+enum GroupEstimator {
+    Oracle(OracleEstimator),
+    Constant(ConstantEstimator),
+    Learned(Arc<MarketPredictorSet>),
+}
+
+impl GroupEstimator {
+    fn as_dyn(&self) -> &dyn RevocationEstimator {
+        match self {
+            GroupEstimator::Oracle(e) => e,
+            GroupEstimator::Constant(e) => e,
+            GroupEstimator::Learned(e) => e.as_ref(),
+        }
+    }
+}
+
+/// One scenario group's execution state: the resolved pool and spine plus
+/// the memo tables ([`EstimatorSpec`] → built estimator, [`Workload`] →
+/// SPE table) and the reusable [`EngineScratch`].
+///
+/// Campaigns submitted through [`GroupSession::run_one`] are bit-identical
+/// to [`CampaignRequest::run_serial`] over the session's scenario — the
+/// memos only change what is recomputed, never an answer.
+pub struct GroupSession<'a> {
+    runner: &'a BatchRunner,
+    scenario: MarketScenario,
+    pool: MarketPool,
+    spine: Arc<PoolSpine>,
+    scratch: EngineScratch,
+    /// Spec-keyed estimator memo; linear probe (a sweep uses a handful of
+    /// specs, and `EstimatorSpec` is a tiny `Copy` enum).
+    estimators: Vec<(EstimatorSpec, GroupEstimator)>,
+    /// Workload-keyed per-market SPE tables shared across the group's
+    /// engines via [`Engine::with_spe_means`].
+    spe_memos: Vec<(Workload, Arc<SpeTable>)>,
+}
+
+impl GroupSession<'_> {
+    /// Runs one campaign of this session's scenario. `req.scenario` must
+    /// equal the scenario the session was opened for (debug-asserted; the
+    /// pool is resolved once at session open).
+    pub fn run_one(&mut self, req: &CampaignRequest) -> HptReport {
+        debug_assert_eq!(
+            req.scenario, self.scenario,
+            "request submitted to a session of a different scenario"
+        );
+        self.runner.counters.campaigns.fetch_add(1, Ordering::Relaxed);
+        let est_idx = self.estimator_index(req.estimator);
+        let spe_idx = self.spe_index(&req.workload);
+        let estimator = self.estimators[est_idx].1.as_dyn();
+        let cfg = req.approach.config(req.seed);
+        let mut policy = req.approach.build_policy(estimator, &cfg);
+        let mut engine = Engine::new(cfg, req.workload.clone(), self.pool.clone())
+            .with_curve_cache(self.runner.curves.clone())
+            .with_spine(Arc::clone(&self.spine))
+            .with_spe_means(Arc::clone(&self.spe_memos[spe_idx].1));
+        if let Some(plan) = &self.runner.fault_plan {
+            engine = engine.with_fault_plan(plan.clone());
+        }
+        engine.run_with_scratch(policy.as_mut(), &mut self.scratch)
+    }
+
+    /// Index of the memoized estimator for `spec`, building it on first
+    /// use. Resolution mirrors [`CampaignRequest::run_serial`] exactly:
+    /// learned families train for this session's scenario (through the
+    /// shared predictor tier — a pure memo of `train_for_scenario`),
+    /// ground-truth specs are built from the pool. The oracle additionally
+    /// routes its trace lookups through the session spine, which answers
+    /// bit-identically to the linear scan.
+    fn estimator_index(&mut self, spec: EstimatorSpec) -> usize {
+        if let Some(i) = self.estimators.iter().position(|(s, _)| *s == spec) {
+            return i;
+        }
+        let built = match PredictorKind::from_spec(&spec) {
+            Some(kind) => GroupEstimator::Learned(self.runner.predictors.get(
+                kind,
+                self.scenario,
+                &self.pool,
+            )),
+            None => match spec {
+                EstimatorSpec::Oracle { confidence } => GroupEstimator::Oracle(
+                    OracleEstimator::new(self.pool.clone(), confidence)
+                        .with_spine(Arc::clone(&self.spine)),
+                ),
+                EstimatorSpec::Constant { p } => {
+                    GroupEstimator::Constant(ConstantEstimator::new(p))
+                }
+                _ => unreachable!("learned specs resolve through PredictorKind::from_spec"),
+            },
+        };
+        self.estimators.push((spec, built));
+        self.estimators.len() - 1
+    }
+
+    /// Index of the memoized SPE table for `workload`, deriving it on
+    /// first use ([`compute_spe_means`] is a pure function of
+    /// `(pool, workload)`, so sharing the table is bit-identical to each
+    /// engine deriving its own).
+    fn spe_index(&mut self, workload: &Workload) -> usize {
+        if let Some(i) = self.spe_memos.iter().position(|(w, _)| w == workload) {
+            return i;
+        }
+        let table = Arc::new(compute_spe_means(&self.pool, workload));
+        self.spe_memos.push((workload.clone(), table));
+        self.spe_memos.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::SingleSpotKind;
+    use crate::campaign::Approach;
+    use spottune_mlsim::Algorithm;
+
+    fn tiny_workload() -> Workload {
+        let base = Workload::benchmark(Algorithm::LoR);
+        Workload::custom(Algorithm::LoR, 30, base.hp_grid()[..2].to_vec())
+    }
+
+    fn request(id: u64, approach: Approach, scenario: MarketScenario, seed: u64) -> CampaignRequest {
+        CampaignRequest {
+            id,
+            approach,
+            workload: tiny_workload(),
+            scenario,
+            seed,
+            estimator: EstimatorSpec::default(),
+        }
+    }
+
+    #[test]
+    fn run_many_matches_serial_and_preserves_order() {
+        let near = MarketScenario::from_days(1, 3);
+        let far = MarketScenario::from_days(1, 4);
+        // Interleave two scenarios so grouping must scatter back by index.
+        let reqs: Vec<CampaignRequest> = (0..6)
+            .map(|i| {
+                let scenario = if i % 2 == 0 { near } else { far };
+                request(i, Approach::SpotTune { theta: 0.7 }, scenario, 10 + i)
+            })
+            .collect();
+        let runner = BatchRunner::new();
+        let batched = runner.run_many(&reqs);
+        let curve_cache = CurveCache::new();
+        for (req, got) in reqs.iter().zip(&batched) {
+            let want = req.run_serial(&req.scenario.build(), &curve_cache);
+            assert_eq!(*got, want, "request {} must match its serial report", req.id);
+        }
+        let stats = runner.stats();
+        assert_eq!(stats.campaigns, 6);
+        assert_eq!(stats.groups, 2);
+        assert_eq!(stats.pool_cache.misses, 2, "one pool build per scenario");
+        assert_eq!(stats.spine_cache.misses, 2, "one spine build per scenario");
+        assert!(stats.spine_queries > 0, "campaigns must route through the spine");
+    }
+
+    #[test]
+    fn session_memoizes_estimators_and_spe_tables() {
+        let scenario = MarketScenario::from_days(1, 5);
+        let runner = BatchRunner::new();
+        let mut session = runner.session(scenario);
+        let specs =
+            [EstimatorSpec::default(), EstimatorSpec::Constant { p: 0.2 }, EstimatorSpec::default()];
+        for (i, spec) in specs.into_iter().enumerate() {
+            let req = CampaignRequest {
+                estimator: spec,
+                ..request(i as u64, Approach::SpotTune { theta: 0.7 }, scenario, 9)
+            };
+            session.run_one(&req);
+        }
+        assert_eq!(session.estimators.len(), 2, "equal specs share one estimator");
+        assert_eq!(session.spe_memos.len(), 1, "equal workloads share one SPE table");
+    }
+
+    #[test]
+    fn dedicated_policies_run_through_the_batched_path() {
+        let scenario = MarketScenario::from_days(1, 6);
+        let reqs = vec![
+            request(0, Approach::OnDemand(SingleSpotKind::Cheapest), scenario, 2),
+            request(1, Approach::SingleSpot(SingleSpotKind::Fastest), scenario, 2),
+        ];
+        let batched = Campaign::run_many(&reqs);
+        let curve_cache = CurveCache::new();
+        let pool = scenario.build();
+        for (req, got) in reqs.iter().zip(&batched) {
+            assert_eq!(*got, req.run_serial(&pool, &curve_cache));
+        }
+    }
+}

@@ -26,6 +26,7 @@
 //!   bit-identical to the closed-form reference implementations in
 //!   [`crate::baseline`] by the `policy_equivalence` tests.
 
+use crate::arena::EngineScratch;
 use crate::config::{DriveMode, SpotTuneConfig};
 use crate::job::{FinishReason, Job};
 use crate::perfmatrix::PerfMatrix;
@@ -38,8 +39,9 @@ use rand::SeedableRng;
 use spottune_cloud::storage::{checkpoint_speed_mbps, transfer_time};
 use spottune_cloud::{CloudEvent, CloudProvider, FaultPlan, ObjectStore, VmId};
 use spottune_earlycurve::EarlyCurveConfig;
-use spottune_market::{MarketPool, SimDur, SimTime};
+use spottune_market::{MarketPool, PoolSpine, SimDur, SimTime};
 use spottune_mlsim::{CurveCache, PerfModel, TrainingRun, Workload};
+use std::sync::Arc;
 
 /// One entry of the campaign timeline (the lifecycle of paper Fig. 4).
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +103,13 @@ pub struct Engine {
     ec_config: EarlyCurveConfig,
     curve_cache: CurveCache,
     fault_plan: Option<FaultPlan>,
+    /// Optional shared per-scenario event spine, handed through to the
+    /// transient drive's provider (see [`CloudProvider::with_spine`]).
+    spine: Option<Arc<PoolSpine>>,
+    /// Optional precomputed seconds-per-step means (the exact value of
+    /// [`compute_spe_means`] for this engine's pool and workload), shared
+    /// across a scenario group by the batch runner.
+    spe_means: Option<Arc<SpeTable>>,
 }
 
 impl Engine {
@@ -115,7 +124,28 @@ impl Engine {
             ec_config: EarlyCurveConfig::default(),
             curve_cache: CurveCache::global(),
             fault_plan: None,
+            spine: None,
+            spe_means: None,
         }
+    }
+
+    /// Installs a shared event spine built from this engine's pool: the
+    /// transient drive's provider resolves markets and revocation instants
+    /// through it instead of re-scanning traces. Bit-identical either way;
+    /// wall-clock only.
+    pub fn with_spine(mut self, spine: Arc<PoolSpine>) -> Self {
+        self.spine = Some(spine);
+        self
+    }
+
+    /// Installs precomputed per-(market, configuration) step-time means.
+    /// Callers must pass exactly [`compute_spe_means`]`(&pool, &workload)`
+    /// for this engine's pool and workload — the batch runner derives them
+    /// once per (scenario, workload) and shares the `Arc` — so the values
+    /// are the ones the engine would have derived itself.
+    pub fn with_spe_means(mut self, spe_means: Arc<SpeTable>) -> Self {
+        self.spe_means = Some(spe_means);
+        self
     }
 
     /// Installs a seeded fault schedule (correlated revocation storms,
@@ -152,22 +182,41 @@ impl Engine {
 
     /// Runs the campaign under `policy` to completion and reports.
     pub fn run(&self, policy: &mut dyn ProvisionPolicy) -> HptReport {
-        self.run_traced(policy).0
+        self.run_with_scratch(policy, &mut EngineScratch::new())
     }
 
     /// Runs the campaign and additionally returns the event timeline
     /// (deployments, notices, revocations, recycles, finishes — the
     /// lifecycle of paper Fig. 4).
     pub fn run_traced(&self, policy: &mut dyn ProvisionPolicy) -> (HptReport, Vec<TraceEvent>) {
+        let mut scratch = EngineScratch::new();
+        let report = self.run_with_scratch(policy, &mut scratch);
+        (report, std::mem::take(&mut scratch.events))
+    }
+
+    /// Runs the campaign reusing `scratch`'s job slots and buffers — the
+    /// batched-sweep entry point. The scratch only recycles allocations
+    /// (every slot is reset to exactly the fresh-job state), so the report
+    /// is bit-identical to [`Engine::run`] with a fresh scratch.
+    pub fn run_with_scratch(
+        &self,
+        policy: &mut dyn ProvisionPolicy,
+        scratch: &mut EngineScratch,
+    ) -> HptReport {
+        scratch.events.clear();
         match policy.mode() {
-            PolicyMode::Transient => self.run_transient(policy),
-            PolicyMode::Dedicated => self.run_dedicated(policy),
+            PolicyMode::Transient => self.run_transient(policy, scratch),
+            PolicyMode::Dedicated => self.run_dedicated(policy, scratch),
         }
     }
 
     /// The transient drive: Algorithm 1 with the policy consulted at every
     /// deployment, revocation, progress and recycle decision.
-    fn run_transient(&self, policy: &mut dyn ProvisionPolicy) -> (HptReport, Vec<TraceEvent>) {
+    fn run_transient(
+        &self,
+        policy: &mut dyn ProvisionPolicy,
+        scratch: &mut EngineScratch,
+    ) -> HptReport {
         let cfg = &self.config;
         let max_steps = self.workload.max_trial_steps();
         let target = cfg.target_steps(max_steps);
@@ -176,39 +225,38 @@ impl Engine {
         if let Some(plan) = &self.fault_plan {
             provider = provider.with_fault_plan(plan.clone());
         }
+        if let Some(spine) = &self.spine {
+            provider = provider.with_spine(Arc::clone(spine));
+        }
         let mut store = ObjectStore::new();
         let mut matrix = PerfMatrix::new(cfg.c0, cfg.ewma_alpha);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ ORCH_SALT);
-        let mut jobs: Vec<Job> = (0..self.workload.hp_grid().len())
-            .map(|i| {
-                Job::new(&self.workload, i, target, self.ec_config, cfg.seed, &self.curve_cache)
-            })
-            .collect();
+        let jobs = scratch.arena.prepare(
+            &self.workload,
+            target,
+            self.ec_config,
+            cfg.seed,
+            &self.curve_cache,
+        );
         // True seconds-per-step means per (market, configuration): the
-        // model is deterministic, so derive it once instead of hashing
-        // names and re-reading string-keyed hyper-parameters on every
-        // sampled step.
-        let spe_means: Vec<(String, Vec<f64>)> = self
-            .pool
-            .iter()
-            .map(|m| {
-                let inst = m.instance();
-                let means = self
-                    .workload
-                    .hp_grid()
-                    .iter()
-                    .map(|hp| self.perf_model.true_spe(inst, &self.workload, hp))
-                    .collect();
-                (inst.name().to_string(), means)
-            })
-            .collect();
+        // model is deterministic, so derive it once per campaign instead of
+        // hashing names and re-reading string-keyed hyper-parameters on
+        // every sampled step — or once per (scenario, workload) when the
+        // batch runner shares them via `with_spe_means`.
+        let derived;
+        let spe_means: &[(String, Vec<f64>)] = match &self.spe_means {
+            Some(shared) => shared,
+            None => {
+                derived = compute_spe_means(&self.pool, &self.workload);
+                &derived
+            }
+        };
 
-        let mut events = Vec::new();
+        let events = &mut scratch.events;
         let mut t = cfg.start;
         // ---- Phase 1: all configurations to θ·max_trial_steps. ----
         t = self.drive(
-            &mut jobs, t, &mut provider, &mut store, &mut matrix, policy, &mut rng, &mut events,
-            &spe_means,
+            jobs, t, &mut provider, &mut store, &mut matrix, policy, &mut rng, events, spe_means,
         );
 
         // ---- Prediction & selection (Algorithm 1 lines 48–53). ----
@@ -244,8 +292,8 @@ impl Engine {
                 }
             }
             t = self.drive(
-                &mut jobs, t, &mut provider, &mut store, &mut matrix, policy, &mut rng,
-                &mut events, &spe_means,
+                jobs, t, &mut provider, &mut store, &mut matrix, policy, &mut rng, events,
+                spe_means,
             );
         }
 
@@ -278,7 +326,7 @@ impl Engine {
             lost_steps: jobs.iter().map(|j| j.lost_steps).sum(),
             migrations: jobs.iter().map(|j| j.migrations).sum(),
         };
-        (report, events)
+        report
     }
 
     /// The dedicated drive: one never-revoked VM per configuration, placed
@@ -289,16 +337,23 @@ impl Engine {
     /// and [`crate::baseline::run_on_demand_with_cache`]: the same
     /// [`DEDICATED_SALT`] seeds the step-time stream, and policies whose
     /// placements match the closed forms reproduce their reports exactly.
-    fn run_dedicated(&self, policy: &mut dyn ProvisionPolicy) -> (HptReport, Vec<TraceEvent>) {
+    fn run_dedicated(
+        &self,
+        policy: &mut dyn ProvisionPolicy,
+        scratch: &mut EngineScratch,
+    ) -> HptReport {
         let cfg = &self.config;
         let start = cfg.start;
         let workload = &self.workload;
         let mut provider = CloudProvider::new(self.pool.clone());
+        if let Some(spine) = &self.spine {
+            provider = provider.with_spine(Arc::clone(spine));
+        }
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ DEDICATED_SALT);
         let matrix = PerfMatrix::new(cfg.c0, cfg.ewma_alpha);
         let warmup = SimDur::from_secs(workload.restore_warmup_secs());
 
-        let mut events = Vec::new();
+        let events = &mut scratch.events;
         let mut end_latest = start;
         let mut charged_steps = 0u64;
         let mut train_time = SimDur::ZERO;
@@ -384,7 +439,7 @@ impl Engine {
             lost_steps: 0,
             migrations: 0,
         };
-        (report, events)
+        report
     }
 
     /// The Algorithm-1 loop; returns the time when every job in the current
@@ -996,6 +1051,31 @@ impl Engine {
         events.push(TraceEvent::Deployed { job: job.hp_index, instance, max_price, at: t });
         true
     }
+}
+
+/// Per-market rows of per-configuration true seconds-per-step means —
+/// the table [`compute_spe_means`] produces and
+/// [`Engine::with_spe_means`] accepts.
+pub type SpeTable = Vec<(String, Vec<f64>)>;
+
+/// The per-(market, configuration) true seconds-per-step means the
+/// transient drive samples around. A pure function of `(pool, workload)` —
+/// the batch runner computes it once per (scenario, workload) pair and
+/// shares it via [`Engine::with_spe_means`]; a lone engine derives it
+/// per campaign.
+pub fn compute_spe_means(pool: &MarketPool, workload: &Workload) -> SpeTable {
+    let perf_model = PerfModel::new();
+    pool.iter()
+        .map(|m| {
+            let inst = m.instance();
+            let means = workload
+                .hp_grid()
+                .iter()
+                .map(|hp| perf_model.true_spe(inst, workload, hp))
+                .collect();
+            (inst.name().to_string(), means)
+        })
+        .collect()
 }
 
 fn job_on_vm(jobs: &mut [Job], vm: VmId) -> Option<&mut Job> {

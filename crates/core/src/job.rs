@@ -145,6 +145,48 @@ impl Job {
         }
     }
 
+    /// Re-initializes this slot for a fresh campaign on the same grid
+    /// point of the same workload — field-for-field what
+    /// [`Job::new`]`(workload, self.hp_index, …)` would build, but keeping
+    /// the slot's allocations (`ckpt_key`, `hp`, the curve's point
+    /// buffer). The arena guarantees the workload invariant by rebuilding
+    /// its slots whenever the workload changes.
+    pub fn reset(
+        &mut self,
+        workload: &Workload,
+        target_steps: u64,
+        ec_config: EarlyCurveConfig,
+        seed: u64,
+        curve_cache: &CurveCache,
+    ) {
+        self.run = TrainingRun::with_cache(workload, &self.hp, seed, curve_cache);
+        self.curve.reset(ec_config);
+        self.steps_done = 0;
+        self.target_steps = target_steps;
+        self.assigned = None;
+        self.exec_ready_at = SimTime::ZERO;
+        self.ready_tick = SimTime::ZERO;
+        self.recycle_tick = SimTime::ZERO;
+        self.step_complete_tick = SimTime::ZERO;
+        self.recyclable = true;
+        self.halted = false;
+        self.steps_on_vm = 0;
+        self.step_ticks = 0;
+        self.step_carry = 0.0;
+        self.current_spe = None;
+        self.finished = None;
+        self.free_steps = 0;
+        self.charged_steps = 0;
+        self.overhead = SimDur::ZERO;
+        self.train_time = SimDur::ZERO;
+        self.deployments = 0;
+        self.revocations = 0;
+        self.durable_steps = 0;
+        self.pending_capture = None;
+        self.lost_steps = 0;
+        self.migrations = 0;
+    }
+
     /// Whether the job still needs scheduling in the current phase.
     pub fn is_active(&self) -> bool {
         self.finished.is_none()

@@ -26,7 +26,9 @@
 //! println!("{}", report.summary());
 //! ```
 
+pub mod arena;
 pub mod baseline;
+pub mod batch;
 pub mod campaign;
 pub mod config;
 pub mod engine;
@@ -43,6 +45,8 @@ pub use baseline::{
     run_on_demand, run_on_demand_with_cache, run_single_spot, run_single_spot_with_cache,
     SingleSpotKind,
 };
+pub use arena::{EngineScratch, JobArena};
+pub use batch::{BatchRunner, BatchStats, GroupSession};
 pub use campaign::{Approach, Campaign, CampaignRequest, CampaignResponse};
 pub use config::{DriveMode, SpotTuneConfig};
 pub use engine::Engine;
@@ -62,6 +66,8 @@ pub mod prelude {
         run_on_demand, run_on_demand_with_cache, run_single_spot, run_single_spot_with_cache,
         SingleSpotKind,
     };
+    pub use crate::arena::{EngineScratch, JobArena};
+    pub use crate::batch::{BatchRunner, BatchStats, GroupSession};
     pub use crate::campaign::{Approach, Campaign, CampaignRequest, CampaignResponse};
     pub use crate::config::{DriveMode, SpotTuneConfig};
     pub use crate::engine::Engine;

@@ -7,7 +7,8 @@ use crate::perfmatrix::PerfMatrix;
 use rand::rngs::StdRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
-use spottune_market::{MarketPool, RevocationEstimator, SimDur, SimTime};
+use spottune_market::{MarketPool, PoolSpine, RevocationEstimator, SimDur, SimTime};
+use std::sync::Arc;
 
 /// Result of one provisioning decision.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -168,6 +169,11 @@ pub const REWORK_SECS: f64 = 150.0;
 pub struct OracleEstimator {
     pool: MarketPool,
     confidence: f64,
+    /// Optional shared event spine over the same pool: the one-hour window
+    /// query descends the spine's run tree instead of scanning trace
+    /// minutes. Same bits either way (the spine's equivalence tests lock
+    /// this), so the estimate never depends on which path answered.
+    spine: Option<Arc<PoolSpine>>,
 }
 
 impl OracleEstimator {
@@ -181,23 +187,32 @@ impl OracleEstimator {
             (0.5..=1.0).contains(&confidence),
             "confidence must be in [0.5, 1], got {confidence}"
         );
-        OracleEstimator { pool, confidence }
+        OracleEstimator { pool, confidence, spine: None }
+    }
+
+    /// Installs a shared event spine derived from this oracle's pool (the
+    /// batch runner resolves both through the same scenario key).
+    pub fn with_spine(mut self, spine: Arc<PoolSpine>) -> Self {
+        self.spine = Some(spine);
+        self
     }
 }
 
 impl RevocationEstimator for OracleEstimator {
     fn revocation_probability(&self, instance_name: &str, t: SimTime, max_price: f64) -> f64 {
-        match self.pool.market(instance_name) {
-            Some(market) => {
-                if market
-                    .revocation_within(t, SimDur::from_hours(1), max_price)
-                    .is_some()
-                {
-                    self.confidence
-                } else {
-                    1.0 - self.confidence
-                }
-            }
+        let hour = SimDur::from_hours(1);
+        let revoked = match &self.spine {
+            Some(spine) => spine
+                .market_index(instance_name)
+                .map(|idx| spine.revocation_within(idx, t, hour, max_price).is_some()),
+            None => self
+                .pool
+                .market(instance_name)
+                .map(|market| market.revocation_within(t, hour, max_price).is_some()),
+        };
+        match revoked {
+            Some(true) => self.confidence,
+            Some(false) => 1.0 - self.confidence,
             None => 0.5,
         }
     }

@@ -1,0 +1,163 @@
+//! Batched-sweep acceptance (spotlint R1 batch coverage): the batched
+//! path — [`BatchRunner::run_many`] grouping requests by scenario over
+//! shared spines, arenas and predictor tiers — must be **bit-identical**
+//! to looping the serial reference [`CampaignRequest::run_serial`], over
+//! the full registered policy × estimator matrix, under a seeded fault
+//! plan with revocation storms, and across interleaved scenarios with
+//! request order preserved.
+
+use spottune_cloud::FaultPlan;
+use spottune_core::prelude::*;
+use spottune_market::prelude::*;
+use spottune_market::{EstimatorSpec, MarketScenario};
+use spottune_mlsim::prelude::*;
+
+fn tiny_workload() -> Workload {
+    let base = Workload::benchmark(Algorithm::LoR);
+    Workload::custom(Algorithm::LoR, 15, base.hp_grid()[..2].to_vec())
+}
+
+/// Registry name → canonical runnable spec: argless where the name parses
+/// directly (`oracle`, the learned kinds), parameterized for `constant`.
+fn spec_for(name: &str) -> EstimatorSpec {
+    EstimatorSpec::parse(name)
+        .or_else(|| EstimatorSpec::parse(&format!("{name}(0.2)")))
+        .unwrap_or_else(|| panic!("registered estimator {name} must parse"))
+}
+
+/// Registry-driven full matrix: every registered policy under every
+/// registered estimator kind, batched vs serial, bit for bit. Iterating
+/// both registries means a newly registered policy or estimator fails
+/// here (and spotlint R1) until the batched path genuinely covers it.
+#[test]
+fn full_policy_estimator_matrix_is_bit_identical_to_serial() {
+    // Short traces keep the learned kinds' training windows tiny; the
+    // serial reference retrains per campaign, so the matrix would
+    // otherwise spend minutes inside LSTM training.
+    let scenario = MarketScenario::new(SimDur::from_hours(5), 31);
+    let workload = tiny_workload();
+    let mut requests = Vec::new();
+    for name in Approach::registered_policies() {
+        let approach = Approach::from_policy_name(name, 0.7).expect("registered");
+        for est_name in EstimatorSpec::registered_estimators() {
+            requests.push(CampaignRequest {
+                id: requests.len() as u64,
+                approach,
+                workload: workload.clone(),
+                scenario,
+                seed: 7,
+                estimator: spec_for(est_name),
+            });
+        }
+    }
+    assert_eq!(requests.len(), 7 * 5, "registry sizes changed; widen the matrix");
+
+    let runner = BatchRunner::new();
+    let batched = runner.run_many(&requests);
+
+    let pool = scenario.build();
+    let curve_cache = CurveCache::new();
+    for (request, got) in requests.iter().zip(&batched) {
+        let want = request.run_serial(&pool, &curve_cache);
+        assert_eq!(
+            *got, want,
+            "{} × {} must be bit-identical to the serial reference",
+            request.approach.policy_name(),
+            request.estimator
+        );
+    }
+    let stats = runner.stats();
+    assert_eq!(stats.campaigns, requests.len() as u64);
+    assert_eq!(stats.groups, 1, "one scenario, one group session");
+    assert!(
+        stats.spine_queries > 0,
+        "batched campaigns must answer revocation lookups through the spine"
+    );
+    // The batched path trains each learned kind once per scenario; the
+    // serial loop above retrained it per campaign.
+    assert_eq!(stats.predictor_cache.misses, 3, "{:?}", stats.predictor_cache);
+    assert_eq!(stats.pool_cache.misses, 1);
+    assert_eq!(stats.spine_cache.misses, 1);
+}
+
+/// `migration-aware` under a seeded fault plan with correlated revocation
+/// storms, delayed notices and failing checkpoint writes: the batched
+/// runner threads the plan into every engine and must reproduce the
+/// serial per-campaign engines bit for bit.
+#[test]
+fn migration_aware_matches_serial_under_a_storm_plan() {
+    let scenario = MarketScenario::from_days(1, 13);
+    let pool = scenario.build();
+    let market = pool.iter().next().expect("non-empty pool").instance().name().to_string();
+    let plan = FaultPlan::new(77)
+        .with_periodic_storms(&market, SimTime::from_hours(5), SimDur::from_mins(40), 6)
+        .with_delayed_notices(0.33, SimDur::from_secs(20))
+        .with_checkpoint_failures(0.1);
+
+    let requests: Vec<CampaignRequest> = (0..4u64)
+        .map(|i| CampaignRequest {
+            id: i,
+            approach: Approach::MigrationAware { theta: 0.7 },
+            workload: tiny_workload(),
+            scenario,
+            seed: 11 + i,
+            estimator: EstimatorSpec::default(),
+        })
+        .collect();
+
+    let runner = BatchRunner::new().with_fault_plan(plan.clone());
+    let batched = runner.run_many(&requests);
+
+    // Serial reference: one fresh engine per campaign, same plan, no
+    // shared spine or scratch (mirrors `Campaign::run_with_cache` with
+    // the fault plan threaded in).
+    let curve_cache = CurveCache::new();
+    for (request, got) in requests.iter().zip(&batched) {
+        let oracle = OracleEstimator::new(pool.clone(), 0.9);
+        let cfg = SpotTuneConfig::new(0.7, 3).with_seed(request.seed);
+        let mut policy = request.approach.build_policy(&oracle, &cfg);
+        let want = Engine::new(cfg, request.workload.clone(), pool.clone())
+            .with_curve_cache(curve_cache.clone())
+            .with_fault_plan(plan.clone())
+            .run(policy.as_mut());
+        assert_eq!(
+            *got, want,
+            "seed {}: batched storm campaign must match the serial engine",
+            request.seed
+        );
+    }
+    // The plan was actually consulted, not dropped on the batched path.
+    assert!(
+        batched.iter().any(|r| r.revocations > 0),
+        "storm plan produced no revocations; the fault plan is not being threaded"
+    );
+}
+
+/// Requests interleaved across two scenarios come back in request order:
+/// grouping is an internal scheduling detail, never an observable
+/// reordering.
+#[test]
+fn interleaved_scenarios_preserve_request_order() {
+    let near = MarketScenario::from_days(1, 3);
+    let far = MarketScenario::from_days(1, 4);
+    let requests: Vec<CampaignRequest> = (0..8u64)
+        .map(|i| CampaignRequest {
+            id: i,
+            approach: Approach::SpotTune { theta: 0.7 },
+            workload: tiny_workload(),
+            scenario: if i % 2 == 0 { near } else { far },
+            seed: 100 + i,
+            estimator: EstimatorSpec::Constant { p: 0.2 },
+        })
+        .collect();
+    let batched = Campaign::run_many(&requests);
+    assert_eq!(batched.len(), requests.len());
+    let curve_cache = CurveCache::new();
+    let near_pool = near.build();
+    let far_pool = far.build();
+    for (i, (request, got)) in requests.iter().zip(&batched).enumerate() {
+        let pool = if i % 2 == 0 { &near_pool } else { &far_pool };
+        let want = request.run_serial(pool, &curve_cache);
+        assert_eq!(*got, want, "slot {i} must hold request {i}'s report");
+    }
+}

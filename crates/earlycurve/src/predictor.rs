@@ -121,6 +121,14 @@ impl EarlyCurve {
         &self.points
     }
 
+    /// Discards every observation, keeping the allocation. Equivalent to
+    /// `*self = EarlyCurve::new(config)` — used by the batch engine's job
+    /// arena to reuse a slot across campaigns without reallocating.
+    pub fn reset(&mut self, config: EarlyCurveConfig) {
+        self.config = config;
+        self.points.clear();
+    }
+
     /// Discards every observation past step `step`, keeping the prefix at
     /// or below it. Used when work is rolled back to an older checkpoint
     /// after a failed transfer: the re-executed steps will be re-observed,

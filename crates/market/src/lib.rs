@@ -30,6 +30,7 @@ pub mod market;
 pub mod poolcache;
 pub mod price;
 pub mod seeding;
+pub mod spine;
 pub mod stats;
 pub mod synth;
 pub mod time;
@@ -41,6 +42,7 @@ pub use instance::InstanceType;
 pub use market::{MarketPool, SpotMarket};
 pub use poolcache::{CacheStats, MarketScenario, PoolCache};
 pub use price::{PricePoint, PriceTrace};
+pub use spine::{PoolSpine, SpineCache};
 pub use time::{SimDur, SimTime};
 
 /// Convenient glob-import surface.
@@ -52,6 +54,7 @@ pub mod prelude {
     pub use crate::market::{MarketPool, SpotMarket};
     pub use crate::poolcache::{CacheStats, MarketScenario, PoolCache};
     pub use crate::price::{PricePoint, PriceTrace};
+    pub use crate::spine::{PoolSpine, SpineCache};
     pub use crate::synth::{Regime, TraceGenerator};
     pub use crate::time::{SimDur, SimTime};
 }

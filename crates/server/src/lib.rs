@@ -76,10 +76,11 @@
 
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use serde::{Deserialize, Serialize};
-use spottune_core::{CampaignRequest, CampaignResponse};
-use spottune_market::{CacheStats, PoolCache};
+use spottune_core::{BatchRunner, CampaignRequest, CampaignResponse};
+use spottune_market::{CacheStats, MarketScenario, PoolCache, SpineCache};
 use spottune_mlsim::CurveCache;
 use spottune_revpred::{PredictorCache, PredictorKind};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -88,8 +89,17 @@ use std::time::Instant;
 pub mod net;
 
 /// Campaign-server configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServerConfig {
+    /// Whether sweep submissions ride the batched path: requests grouped
+    /// by market scenario and chunked into [`WorkPayload::Group`] items,
+    /// so a worker resolves the group's pool, [`spine`](SpineCache) and
+    /// predictors once and reuses one engine scratch across the chunk.
+    /// Default `true`; `false` restores the one-request-per-work-item
+    /// serial path (the `run_campaigns --no-batch` A/B reference).
+    /// Bit-identity between the two is locked by the core
+    /// `batch_equivalence` suite.
+    pub batch: bool,
     /// Worker-pool size; `0` (the default) means one worker per available
     /// core. Campaigns are single-threaded and CPU-bound, so more workers
     /// than cores only adds contention on the shared tiers.
@@ -115,10 +125,29 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
 }
 
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            batch: true,
+            workers: 0,
+            curve_capacity: 0,
+            predictor_capacity: 0,
+            queue_capacity: 0,
+        }
+    }
+}
+
 impl ServerConfig {
     /// Config with an explicit worker count.
     pub fn with_workers(workers: usize) -> Self {
         ServerConfig { workers, ..ServerConfig::default() }
+    }
+
+    /// Builder-style batched-sweep toggle (`true` is the default; `false`
+    /// is the serial A/B reference path).
+    pub fn with_batch(mut self, batch: bool) -> Self {
+        self.batch = batch;
+        self
     }
 
     /// Builder-style curve-tier capacity override (`0` = unbounded).
@@ -163,12 +192,23 @@ pub struct ServerStats {
     /// Hit/miss counters of the `(scenario × kind)`-keyed trained-predictor
     /// tier (every miss is one full training run).
     pub predictor_cache: CacheStats,
+    /// Hit/miss counters of the scenario-keyed price-spine tier (every
+    /// miss builds one event spine over the scenario's pool).
+    pub spine_cache: CacheStats,
     /// Distinct market scenarios currently resident.
     pub resident_pools: usize,
     /// Completed training curves currently resident.
     pub resident_curves: usize,
     /// Trained predictor sets currently resident.
     pub resident_predictors: usize,
+    /// Price spines currently resident.
+    pub resident_spines: usize,
+    /// Revocation lookups answered by resident spines across every batched
+    /// campaign — non-zero whenever the batched path actually ran (the CI
+    /// sweep-throughput check asserts this).
+    pub spine_queries: u64,
+    /// Scenario-group sessions opened by the batched sweep path.
+    pub batched_groups: u64,
     /// Spot revocations absorbed across every completed campaign — the
     /// server-level view of how hostile the swept markets were.
     pub revocations: u64,
@@ -252,10 +292,29 @@ enum ReplyLane {
     Outcome(Sender<WorkOutcome>),
 }
 
-/// One queued unit of work: the request, its optional queue deadline and
+/// What one queue slot carries: a lone request, or a same-scenario chunk
+/// of a batched sweep (see [`ServerConfig::batch`]).
+enum WorkPayload {
+    /// One campaign (the non-batched and deadline-aware paths).
+    Single(CampaignRequest),
+    /// A same-scenario chunk of a sweep; the worker opens one
+    /// [`GroupSession`](spottune_core::GroupSession) for the whole chunk.
+    Group(Vec<CampaignRequest>),
+}
+
+impl WorkPayload {
+    fn len(&self) -> usize {
+        match self {
+            WorkPayload::Single(_) => 1,
+            WorkPayload::Group(reqs) => reqs.len(),
+        }
+    }
+}
+
+/// One queued unit of work: the payload, its optional queue deadline and
 /// the submission's reply lane.
 struct WorkItem {
-    request: CampaignRequest,
+    payload: WorkPayload,
     deadline: Option<Instant>,
     reply: ReplyLane,
 }
@@ -310,10 +369,17 @@ pub struct CampaignServer {
     /// disconnect, not receiver count.
     queue_probe: Receiver<WorkItem>,
     queue_capacity: usize,
+    /// Whether sweeps ride the batched ([`WorkPayload::Group`]) path.
+    batch: bool,
     workers: Vec<JoinHandle<()>>,
     pools: PoolCache,
     curves: CurveCache,
     predictors: PredictorCache,
+    spines: SpineCache,
+    /// Shared-tier batched executor the workers drive group items
+    /// through; its counters feed the `batched_groups`/`spine_queries`
+    /// stats.
+    runner: BatchRunner,
     submitted: AtomicU64,
     completed: Arc<AtomicU64>,
     degradation: Arc<DegradationCounters>,
@@ -350,31 +416,32 @@ impl CampaignServer {
         } else {
             channel::unbounded::<WorkItem>()
         };
+        let spines = SpineCache::new();
+        let runner = BatchRunner::new().with_tiers(
+            pools.clone(),
+            spines.clone(),
+            curves.clone(),
+            predictors.clone(),
+        );
         let completed = Arc::new(AtomicU64::new(0));
         let degradation = Arc::new(DegradationCounters::default());
         let queue = Arc::new(QueueCounters::default());
+        let shared = WorkerShared {
+            runner: runner.clone(),
+            pools: pools.clone(),
+            curves: curves.clone(),
+            predictors: predictors.clone(),
+            completed: Arc::clone(&completed),
+            degradation: Arc::clone(&degradation),
+            queue: Arc::clone(&queue),
+        };
         let handles = (0..workers)
             .map(|i| {
                 let rx = req_rx.clone();
-                let pools = pools.clone();
-                let curves = curves.clone();
-                let predictors = predictors.clone();
-                let completed = Arc::clone(&completed);
-                let degradation = Arc::clone(&degradation);
-                let queue = Arc::clone(&queue);
+                let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("campaign-worker-{i}"))
-                    .spawn(move || {
-                        worker_loop(
-                            &rx,
-                            &pools,
-                            &curves,
-                            &predictors,
-                            &completed,
-                            &degradation,
-                            &queue,
-                        )
-                    })
+                    .spawn(move || worker_loop(&rx, &shared))
                     .expect("spawn campaign worker")
             })
             .collect();
@@ -382,10 +449,13 @@ impl CampaignServer {
             req_tx: Mutex::new(Some(req_tx)),
             queue_probe: req_rx,
             queue_capacity: config.queue_capacity,
+            batch: config.batch,
             workers: handles,
             pools,
             curves,
             predictors,
+            spines,
+            runner,
             submitted: AtomicU64::new(0),
             completed,
             degradation,
@@ -439,13 +509,45 @@ impl CampaignServer {
             return reply_rx;
         };
         self.submitted.fetch_add(requests.len() as u64, Ordering::Relaxed);
-        for request in requests {
-            let item =
-                WorkItem { request, deadline: None, reply: ReplyLane::Plain(reply_tx.clone()) };
-            if req_tx.send(item).is_err() {
-                break;
+        if self.batch {
+            // Batched path: group by scenario, chunk each group so the
+            // sweep still shards across the pool (≈4 chunks per worker),
+            // and enqueue whole chunks. A worker resolves each chunk's
+            // pool/spine/predictors once and reuses one engine scratch
+            // across it — bit-identical to the serial path below (locked
+            // by the core batch_equivalence suite).
+            let chunk = requests.len().div_ceil(self.workers.len().max(1) * 4).max(1);
+            let mut groups: BTreeMap<MarketScenario, Vec<CampaignRequest>> = BTreeMap::new();
+            for request in requests {
+                groups.entry(request.scenario).or_default().push(request);
             }
-            self.queue.note_enqueued(self.queue_probe.len() as u64);
+            'groups: for (_, mut group) in groups {
+                while !group.is_empty() {
+                    let rest = group.split_off(group.len().min(chunk));
+                    let batch = std::mem::replace(&mut group, rest);
+                    let item = WorkItem {
+                        payload: WorkPayload::Group(batch),
+                        deadline: None,
+                        reply: ReplyLane::Plain(reply_tx.clone()),
+                    };
+                    if req_tx.send(item).is_err() {
+                        break 'groups;
+                    }
+                    self.queue.note_enqueued(self.queue_probe.len() as u64);
+                }
+            }
+        } else {
+            for request in requests {
+                let item = WorkItem {
+                    payload: WorkPayload::Single(request),
+                    deadline: None,
+                    reply: ReplyLane::Plain(reply_tx.clone()),
+                };
+                if req_tx.send(item).is_err() {
+                    break;
+                }
+                self.queue.note_enqueued(self.queue_probe.len() as u64);
+            }
         }
         // Workers hold the only remaining clones: the stream disconnects
         // exactly when the sweep's last response has been sent.
@@ -477,7 +579,11 @@ impl CampaignServer {
             return Err(SubmitError::Draining);
         };
         let (reply_tx, reply_rx) = channel::unbounded();
-        let item = WorkItem { request, deadline, reply: ReplyLane::Outcome(reply_tx) };
+        let item = WorkItem {
+            payload: WorkPayload::Single(request),
+            deadline,
+            reply: ReplyLane::Outcome(reply_tx),
+        };
         match req_tx.try_send(item) {
             Ok(()) => {
                 self.queue.note_enqueued(self.queue_probe.len() as u64);
@@ -519,7 +625,7 @@ impl CampaignServer {
         let mut queued = 0usize;
         for request in requests {
             let item = WorkItem {
-                request,
+                payload: WorkPayload::Single(request),
                 deadline,
                 reply: ReplyLane::Outcome(reply_tx.clone()),
             };
@@ -609,6 +715,11 @@ impl CampaignServer {
         &self.predictors
     }
 
+    /// Handle to the scenario-keyed price-spine tier.
+    pub fn spine_cache(&self) -> &SpineCache {
+        &self.spines
+    }
+
     /// Counters and shared-tier state.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
@@ -618,9 +729,13 @@ impl CampaignServer {
             pool_cache: self.pools.stats(),
             curve_cache: self.curves.stats(),
             predictor_cache: self.predictors.stats(),
+            spine_cache: self.spines.stats(),
             resident_pools: self.pools.len(),
             resident_curves: self.curves.len(),
             resident_predictors: self.predictors.len(),
+            resident_spines: self.spines.len(),
+            spine_queries: self.spines.resident_queries(),
+            batched_groups: self.runner.stats().groups,
             revocations: self.degradation.revocations.load(Ordering::Relaxed),
             lost_steps: self.degradation.lost_steps.load(Ordering::Relaxed),
             migrations: self.degradation.migrations.load(Ordering::Relaxed),
@@ -687,66 +802,119 @@ impl Drop for CampaignServer {
 /// response and lives on to serve the rest of the queue. Letting the
 /// worker die instead would strand every queued request holding a reply
 /// lane, hanging their clients forever.
-fn worker_loop(
-    rx: &Receiver<WorkItem>,
-    pools: &PoolCache,
-    curves: &CurveCache,
-    predictors: &PredictorCache,
-    completed: &AtomicU64,
-    degradation: &DegradationCounters,
-    queue: &QueueCounters,
-) {
-    while let Ok(WorkItem { request, deadline, reply }) = rx.recv() {
-        let id = request.id;
-        // Deadline check happens at dequeue: an expired request is
-        // cancelled before its campaign ever starts.
+fn worker_loop(rx: &Receiver<WorkItem>, shared: &WorkerShared) {
+    let WorkerShared { runner, pools, curves, predictors, completed, degradation, queue } =
+        shared;
+    while let Ok(WorkItem { payload, deadline, reply }) = rx.recv() {
+        // Deadline check happens at dequeue: an expired payload is
+        // cancelled before any of its campaigns start.
         if let Some(deadline) = deadline {
             if Instant::now() > deadline {
-                queue.expired.fetch_add(1, Ordering::Relaxed);
+                queue.expired.fetch_add(payload.len() as u64, Ordering::Relaxed);
                 if let ReplyLane::Outcome(tx) = &reply {
-                    let _ = tx.send(WorkOutcome::Expired { id });
+                    match &payload {
+                        WorkPayload::Single(request) => {
+                            let _ = tx.send(WorkOutcome::Expired { id: request.id });
+                        }
+                        WorkPayload::Group(requests) => {
+                            for request in requests {
+                                let _ = tx.send(WorkOutcome::Expired { id: request.id });
+                            }
+                        }
+                    }
                 }
                 continue;
             }
         }
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let pool = pools.get(request.scenario);
-            let campaign = request.campaign();
-            match PredictorKind::from_spec(&request.estimator) {
-                Some(kind) => {
-                    let trained = predictors.get(kind, request.scenario, &pool);
-                    campaign.run_with_estimator(&pool, curves, trained.as_ref())
-                }
-                None => campaign.run_with_cache(&pool, curves),
-            }
-        }));
-        match outcome {
-            Ok(report) => {
-                completed.fetch_add(1, Ordering::Relaxed);
-                if queue.draining.load(Ordering::SeqCst) {
-                    queue.drained.fetch_add(1, Ordering::Relaxed);
-                }
-                degradation.revocations.fetch_add(report.revocations, Ordering::Relaxed);
-                degradation.lost_steps.fetch_add(report.lost_steps, Ordering::Relaxed);
-                degradation.migrations.fetch_add(report.migrations, Ordering::Relaxed);
-                // A client that dropped its receiver no longer wants the
-                // report; that is not a server error.
-                let response = CampaignResponse { id, report };
-                match reply {
-                    ReplyLane::Plain(tx) => {
-                        let _ = tx.send(response);
+        match payload {
+            WorkPayload::Single(request) => {
+                let id = request.id;
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let pool = pools.get(request.scenario);
+                    let campaign = request.campaign();
+                    match PredictorKind::from_spec(&request.estimator) {
+                        Some(kind) => {
+                            let trained = predictors.get(kind, request.scenario, &pool);
+                            campaign.run_with_estimator(&pool, curves, trained.as_ref())
+                        }
+                        None => campaign.run_with_cache(&pool, curves),
                     }
-                    ReplyLane::Outcome(tx) => {
-                        let _ = tx.send(WorkOutcome::Done(Box::new(response)));
-                    }
+                }));
+                settle_outcome(id, outcome, &reply, completed, degradation, queue);
+            }
+            WorkPayload::Group(requests) => {
+                let Some(first) = requests.first() else {
+                    continue;
+                };
+                // One session for the whole chunk: pool and spine
+                // resolved once, estimators and SPE tables memoized,
+                // engine scratch reused across every campaign.
+                let mut session = runner.session(first.scenario);
+                for request in &requests {
+                    // Panics stay confined to one campaign: the session's
+                    // scratch is fully re-prepared on the next run, so a
+                    // poisoned request never taints its chunk-mates.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || session.run_one(request),
+                    ));
+                    settle_outcome(request.id, outcome, &reply, completed, degradation, queue);
                 }
             }
-            // The panic message has already been printed by the default
-            // hook; dropping `reply` shortens the sweep's stream by one,
-            // which streaming clients observe as a missing id and
-            // `run_sweep` reports by panicking.
-            Err(_) => eprintln!("campaign request {id} panicked; dropping its response"),
         }
+    }
+}
+
+/// Everything a worker thread shares with its siblings: the tier handles
+/// it resolves requests through and the server-wide counters it folds
+/// results into. Cloning is cheap — every field is a handle.
+#[derive(Clone)]
+struct WorkerShared {
+    runner: BatchRunner,
+    pools: PoolCache,
+    curves: CurveCache,
+    predictors: PredictorCache,
+    completed: Arc<AtomicU64>,
+    degradation: Arc<DegradationCounters>,
+    queue: Arc<QueueCounters>,
+}
+
+/// Folds one campaign's result into the server counters and streams the
+/// response (or drops it on a panic) — shared by the single and batched
+/// worker paths.
+fn settle_outcome(
+    id: u64,
+    outcome: std::thread::Result<spottune_core::HptReport>,
+    reply: &ReplyLane,
+    completed: &AtomicU64,
+    degradation: &DegradationCounters,
+    queue: &QueueCounters,
+) {
+    match outcome {
+        Ok(report) => {
+            completed.fetch_add(1, Ordering::Relaxed);
+            if queue.draining.load(Ordering::SeqCst) {
+                queue.drained.fetch_add(1, Ordering::Relaxed);
+            }
+            degradation.revocations.fetch_add(report.revocations, Ordering::Relaxed);
+            degradation.lost_steps.fetch_add(report.lost_steps, Ordering::Relaxed);
+            degradation.migrations.fetch_add(report.migrations, Ordering::Relaxed);
+            // A client that dropped its receiver no longer wants the
+            // report; that is not a server error.
+            let response = CampaignResponse { id, report };
+            match reply {
+                ReplyLane::Plain(tx) => {
+                    let _ = tx.send(response);
+                }
+                ReplyLane::Outcome(tx) => {
+                    let _ = tx.send(WorkOutcome::Done(Box::new(response)));
+                }
+            }
+        }
+        // The panic message has already been printed by the default
+        // hook; withholding the response shortens the sweep's stream by
+        // one, which streaming clients observe as a missing id and
+        // `run_sweep` reports by panicking.
+        Err(_) => eprintln!("campaign request {id} panicked; dropping its response"),
     }
 }
 

@@ -220,12 +220,17 @@ impl Inner {
             ("resident_pools", s.resident_pools as u64),
             ("resident_curves", s.resident_curves as u64),
             ("resident_predictors", s.resident_predictors as u64),
+            ("resident_spines", s.resident_spines as u64),
             ("pool_hits", s.pool_cache.hits),
             ("pool_misses", s.pool_cache.misses),
             ("curve_hits", s.curve_cache.hits),
             ("curve_misses", s.curve_cache.misses),
             ("predictor_hits", s.predictor_cache.hits),
             ("predictor_misses", s.predictor_cache.misses),
+            ("spine_hits", s.spine_cache.hits),
+            ("spine_misses", s.spine_cache.misses),
+            ("spine_queries", s.spine_queries),
+            ("batched_groups", s.batched_groups),
             ("connections", self.counters.connections.load(Ordering::Relaxed)),
             ("connections_active", self.counters.connections_active.load(Ordering::Relaxed)),
             ("throttled", self.counters.throttled.load(Ordering::Relaxed)),

@@ -58,8 +58,18 @@ fn sweep_1000_is_bit_identical_to_serial_with_memo_hits() {
     assert_eq!(stats.completed, 1000);
     // Two scenarios serve a thousand campaigns.
     assert_eq!(stats.resident_pools, 2);
+    assert_eq!(stats.resident_spines, 2);
+    // The batched path resolves its pool and spine once per scenario
+    // *chunk*, not once per campaign: one build per scenario, one lookup
+    // per group session.
     assert_eq!(stats.pool_cache.misses, 2);
-    assert_eq!(stats.pool_cache.hits, 998);
+    assert_eq!(stats.spine_cache.misses, 2);
+    assert!(stats.batched_groups > 0, "default config must take the batched path");
+    assert_eq!(stats.pool_cache.lookups(), stats.batched_groups);
+    assert!(
+        stats.spine_queries > 0,
+        "batched campaigns must answer revocation lookups through the spine"
+    );
     // The three θ values per (workload, seed) share ground-truth curves:
     // the cross-request memo tier must be doing real work.
     assert!(
@@ -67,6 +77,19 @@ fn sweep_1000_is_bit_identical_to_serial_with_memo_hits() {
         "curve-memo hit rate must be positive, got {:?}",
         stats.curve_cache
     );
+
+    // A/B: the non-batched server runs the same sweep one request per
+    // work item (one pool lookup per campaign) and must agree bit-for-bit.
+    let serial_server = CampaignServer::start(ServerConfig::default().with_batch(false));
+    let serial_responses = serial_server.run_sweep(requests.clone());
+    let serial_stats = serial_server.stats();
+    serial_server.shutdown();
+    assert_eq!(serial_stats.pool_cache.misses, 2);
+    assert_eq!(serial_stats.pool_cache.hits, 998);
+    assert_eq!(serial_stats.batched_groups, 0, "no-batch config must stay serial");
+    for (batched, serial) in responses.iter().zip(&serial_responses) {
+        assert_eq!(batched, serial, "batched and serial server paths must agree");
+    }
 
     // Serial reference: same campaigns, same seeds, fresh per-run state.
     // Build each distinct scenario's pool once; the comparison is about

@@ -149,6 +149,7 @@ pub fn registry_inputs(root: &Path) -> Result<RegistryInputs, String> {
         ci_yaml: read(&root.join(CI_PATH))?,
         suites,
         tcp_suites,
+        batch_suite: read(&root.join(registry::BATCH_SUITE_PATH))?,
     })
 }
 

@@ -8,7 +8,11 @@
 //! registries don't know (renames, typos). The wire error-frame registry
 //! (`registered_error_kinds` in crates/core/src/wire.rs) gets the same
 //! treatment against the TCP suites: every frame kind the server can send
-//! must be provoked by at least one socket-level test.
+//! must be provoked by at least one socket-level test. Finally, every
+//! registered policy must be covered by the batch-equivalence suite
+//! (crates/core/tests/batch_equivalence.rs) so the server's batched
+//! default can never ship a policy whose batched and serial paths were
+//! not proven bit-identical.
 
 use crate::lexer::{lex, Tok};
 use crate::rules::Finding;
@@ -36,6 +40,9 @@ pub struct RegistryInputs {
     /// `(workspace-relative path, content)` of the TCP front-end suites
     /// that must exercise every wire error-frame kind.
     pub tcp_suites: Vec<(String, String)>,
+    /// Content of the batch-equivalence suite: every registered policy
+    /// must be locked bit-identical through the batched sweep path.
+    pub batch_suite: String,
 }
 
 /// Workspace-relative paths R1 reads in a real run.
@@ -54,6 +61,10 @@ pub const SUITE_PATHS: &[&str] = &[
 /// trust.
 pub const TCP_SUITE_PATHS: &[&str] =
     &["crates/server/tests/tcp_chaos.rs", "crates/server/tests/tcp_soak.rs"];
+/// The batched-sweep equivalence suite: every registered policy must be
+/// proven bit-identical between `BatchRunner::run_many` and the serial
+/// reference, or the batched default silently diverges for that policy.
+pub const BATCH_SUITE_PATH: &str = "crates/core/tests/batch_equivalence.rs";
 
 /// Extracts the string literals returned by `fn <fn_name>` in `src`.
 ///
@@ -280,7 +291,29 @@ pub fn check_r1(inputs: &RegistryInputs) -> Vec<Finding> {
             ));
         }
     }
-    // 5. Error-frame coverage: every wire error-frame kind the server can
+    // 5. Batched-path coverage: every registered policy is locked
+    //    bit-identical through the batched sweep path. The suite iterating
+    //    `registered_policies()` covers every name by construction;
+    //    otherwise the literal name must appear. Without this, a new
+    //    policy can ship exercised only by the serial reference while the
+    //    server's default path runs it batched.
+    let batch_driven = inputs.batch_suite.contains("registered_policies");
+    for p in &policies {
+        let covered = batch_driven || contains_ci(&inputs.batch_suite, &p.name);
+        if !covered {
+            out.push(r1(
+                POLICY_REGISTRY_PATH,
+                p.line,
+                format!(
+                    "registered policy \"{}\" is not locked batched≡serial by the \
+                     batch-equivalence suite ({BATCH_SUITE_PATH})",
+                    p.name
+                ),
+                p.name.clone(),
+            ));
+        }
+    }
+    // 6. Error-frame coverage: every wire error-frame kind the server can
     //    emit is provoked by a TCP suite. Iterating the registry covers
     //    everything by construction, like the policy/estimator rules.
     let kinds = extract_registry(&inputs.wire_src, "registered_error_kinds");
@@ -393,6 +426,7 @@ jobs:
                 "crates/server/tests/tcp_chaos.rs".into(),
                 "assert_error_kind(\"overloaded\"); assert_error_kind(\"malformed\");".into(),
             )],
+            batch_suite: "for name in Approach::registered_policies() { run_many(...) }".into(),
         }
     }
 
@@ -476,6 +510,22 @@ jobs:
             "crates/server/tests/tcp_chaos.rs".into(),
             "for kind in registered_error_kinds() {}".into(),
         )];
+        assert_eq!(check_r1(&inp), vec![]);
+    }
+
+    #[test]
+    fn policy_missing_from_batch_suite_fails() {
+        // A batch suite that only names "spottune" literally leaves
+        // "hybrid" without a batched≡serial lock.
+        let mut inp = inputs();
+        inp.batch_suite = "Approach::SpotTune { theta: 0.7 }".into();
+        let f = check_r1(&inp);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].file, POLICY_REGISTRY_PATH);
+        assert!(f[0].message.contains("hybrid"), "{}", f[0].message);
+        assert!(f[0].message.contains(BATCH_SUITE_PATH), "{}", f[0].message);
+        // Iterating the registry covers every policy by construction.
+        inp.batch_suite = "for name in Approach::registered_policies() {}".into();
         assert_eq!(check_r1(&inp), vec![]);
     }
 
