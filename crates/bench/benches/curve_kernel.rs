@@ -1,0 +1,72 @@
+//! Criterion micro-benchmark: scalar staged-curve prediction (one
+//! `fit_stage` + `predict` per campaign, the pre-SoA hot loop) vs the
+//! cross-campaign lane kernel (`fit_into` + `CurveLanes`), across group
+//! sizes from a single campaign through a full sweep chunk. The lane path
+//! is bit-identical to the scalar one (locked by
+//! `crates/earlycurve/tests/kernel_proptests.rs`); this bench measures
+//! what that identity costs or saves at each width.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spottune_earlycurve::kernel::{extrapolation_stage, CurveLanes, FitScratch};
+use spottune_earlycurve::prelude::*;
+
+const HORIZON: u64 = 1000;
+
+/// One synthetic decaying curve per group member, decorrelated by index so
+/// stage detection does real work on every lane.
+fn curves(n: usize) -> Vec<EarlyCurve> {
+    (0..n)
+        .map(|i| {
+            let mut ec = EarlyCurve::new(EarlyCurveConfig::default());
+            let base = 0.3 + 0.01 * (i % 7) as f64;
+            let scale = 1.0 + 0.05 * (i % 5) as f64;
+            let decay = 0.2 + 0.02 * (i % 3) as f64;
+            for k in 1..=40u64 {
+                let jitter = 0.01 * (((i as u64 + k) % 9) as f64 - 4.0) / 4.0;
+                ec.push(k, base + scale / (decay * k as f64 + 1.0) + jitter);
+            }
+            ec
+        })
+        .collect()
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curve_kernel");
+    for n in [1usize, 7, 8, 64, 1000] {
+        let ecs = curves(n);
+
+        // Scalar reference: the per-campaign loop the engine ran before the
+        // SoA path — allocate, fit, predict, one curve at a time.
+        group.bench_function(format!("scalar_predict_{n}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for ec in &ecs {
+                    acc += ec.predict_final(HORIZON).unwrap_or(f64::INFINITY);
+                }
+                acc
+            })
+        });
+
+        // Lane path: allocation-free fits into shared scratch, stage
+        // selection, then one chunked kernel pass over all n campaigns.
+        group.bench_function(format!("lane_kernel_{n}"), |b| {
+            b.iter_batched(
+                || (FitScratch::new(), CurveLanes::new()),
+                |(mut fit, mut lanes)| {
+                    for ec in &ecs {
+                        if ec.fit_into(&mut fit) {
+                            lanes.push(extrapolation_stage(fit.stages(), HORIZON), HORIZON);
+                        }
+                    }
+                    lanes.evaluate();
+                    lanes.out().iter().sum::<f64>()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -31,7 +31,10 @@
 //! path — requests grouped by market scenario, pool/spine/predictors
 //! resolved once per group, engine scratch reused across each chunk —
 //! while `--no-batch` falls back to one request per work item for A/B
-//! comparison; both produce bit-identical reports.
+//! comparison; both produce bit-identical reports. Within the batched
+//! path, `--no-soa` disables the SoA cohort staging (the cross-campaign
+//! lane kernel plus probe-cached estimators) so the scalar per-campaign
+//! loop can be A/B'd the same way — again bit-identical by construction.
 
 use spottune_bench::TRACE_DAYS;
 use spottune_core::prelude::*;
@@ -52,6 +55,7 @@ struct Args {
     curve_capacity: usize,
     predictor_capacity: usize,
     batch: bool,
+    soa: bool,
     baselines: bool,
     quiet: bool,
 }
@@ -69,6 +73,7 @@ fn parse_args() -> Args {
         curve_capacity: 0,
         predictor_capacity: 0,
         batch: true,
+        soa: true,
         baselines: false,
         quiet: false,
     };
@@ -129,6 +134,7 @@ fn parse_args() -> Args {
             }
             "--batch" => args.batch = true,
             "--no-batch" => args.batch = false,
+            "--no-soa" => args.soa = false,
             "--baselines" => args.baselines = true,
             "--quiet" => args.quiet = true,
             other => panic!("unknown flag {other} (see the module docs for usage)"),
@@ -203,10 +209,15 @@ fn main() {
         ServerConfig::with_workers(args.workers)
             .with_curve_capacity(args.curve_capacity)
             .with_predictor_capacity(args.predictor_capacity)
-            .with_batch(args.batch),
+            .with_batch(args.batch)
+            .with_soa(args.soa),
     );
     let workers = server.stats().workers;
-    let mode = if args.batch { "batched" } else { "serial" };
+    let mode = match (args.batch, args.soa) {
+        (true, true) => "batched+soa",
+        (true, false) => "batched",
+        (false, _) => "serial",
+    };
     println!(
         "submitting {total} campaigns (estimator {}, {mode}) to {workers} workers …",
         args.estimator
@@ -261,6 +272,17 @@ fn main() {
         println!(
             "spine tier   : {} resident, {} groups, {} spine queries",
             stats.resident_spines, stats.batched_groups, stats.spine_queries,
+        );
+    }
+    if args.batch && args.soa {
+        let occupancy = if stats.lane_slots > 0 {
+            100.0 * stats.lane_jobs as f64 / stats.lane_slots as f64
+        } else {
+            0.0
+        };
+        println!(
+            "lane kernel  : {} passes, {} jobs over {} slots ({occupancy:.1}% occupancy)",
+            stats.kernel_invocations, stats.lane_jobs, stats.lane_slots,
         );
     }
 }

@@ -39,6 +39,7 @@ struct Args {
     scenarios: u64,
     serial_sample: usize,
     check: bool,
+    soa: bool,
     write: Option<String>,
 }
 
@@ -49,6 +50,7 @@ fn parse_args() -> Args {
         scenarios: 2,
         serial_sample: 0,
         check: false,
+        soa: true,
         write: None,
     };
     let mut it = std::env::args().skip(1);
@@ -69,6 +71,7 @@ fn parse_args() -> Args {
                     value("--serial-sample").parse().expect("--serial-sample: usize");
             }
             "--check" => args.check = true,
+            "--no-soa" => args.soa = false,
             "--write" => args.write = Some(value("--write")),
             other => panic!("unknown flag {other} (see the module docs for usage)"),
         }
@@ -111,19 +114,28 @@ fn main() {
         args.scenarios, args.days, ESTIMATOR_MIX
     );
 
-    // Batched: one runner, fresh tiers, full sweep.
-    let runner = BatchRunner::new();
+    // Batched: one runner, fresh tiers, full sweep. SoA cohort staging
+    // (cross-campaign lane kernel, probe-cached estimators) is on unless
+    // `--no-soa` selects the scalar A/B reference.
+    let runner = BatchRunner::new().with_soa(args.soa);
     let t0 = Instant::now();
     let batched = runner.run_many(&requests);
     let batched_secs = t0.elapsed().as_secs_f64();
     let stats = runner.stats();
     println!(
         "batched : {batched_secs:>8.2}s total, {:>9.1} campaigns/s ({} groups, {} trainings, \
-         {} spine queries)",
+         {} spine queries, soa={}, {} kernel passes, lane occupancy {}, probes {}/{})",
         n as f64 / batched_secs,
         stats.groups,
         stats.predictor_cache.misses,
         stats.spine_queries,
+        args.soa,
+        stats.kernel_invocations,
+        stats
+            .lane_occupancy()
+            .map_or("n/a".to_string(), |o| format!("{:.3}", o)),
+        stats.probe_hits,
+        stats.probe_hits + stats.probe_misses,
     );
 
     // Serial reference: pools built once per scenario (as every serial
@@ -179,6 +191,14 @@ fn main() {
         assert_eq!(stats.spine_cache.misses, args.scenarios, "{stats:?}");
         assert_eq!(stats.predictor_cache.misses, args.scenarios, "{stats:?}");
         assert_eq!(stats.campaigns as usize, n);
+        if args.soa {
+            assert!(
+                stats.kernel_invocations > 0,
+                "SoA sweep never invoked the lane kernel: {stats:?}"
+            );
+        } else {
+            assert_eq!(stats.kernel_invocations, 0, "--no-soa must skip the kernel");
+        }
         println!("check ok: batched ≡ serial, spine queries {}", stats.spine_queries);
     }
 
@@ -192,7 +212,8 @@ fn main() {
                 "\"constant(0.2)\"],\"serial_secs\":{:.2},\"serial_sample\":{},",
                 "\"batched_secs\":{:.2},\"speedup\":{:.2},\"batched_campaigns_per_sec\":{:.1},",
                 "\"serial_campaigns_per_sec\":{:.1},\"groups\":{},\"trainings\":{},",
-                "\"spine_queries\":{}}}"
+                "\"spine_queries\":{},\"soa\":{},\"lane_width\":{},",
+                "\"kernel_invocations\":{}}}"
             ),
             n,
             args.scenarios,
@@ -206,6 +227,9 @@ fn main() {
             stats.groups,
             stats.predictor_cache.misses,
             stats.spine_queries,
+            args.soa,
+            spottune_earlycurve::LANE_WIDTH,
+            stats.kernel_invocations,
         );
         let mut file = std::fs::OpenOptions::new()
             .create(true)

@@ -64,6 +64,17 @@ impl JobArena {
         &mut self.slots
     }
 
+    /// The resident slots — the jobs of the campaign most recently
+    /// [`prepare`](JobArena::prepare)d.
+    pub(crate) fn slots(&self) -> &[Job] {
+        &self.slots
+    }
+
+    /// Mutable view of the resident slots.
+    pub(crate) fn slots_mut(&mut self) -> &mut [Job] {
+        &mut self.slots
+    }
+
     /// Number of resident slots.
     pub fn len(&self) -> usize {
         self.slots.len()

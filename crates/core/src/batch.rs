@@ -21,9 +21,11 @@
 
 use crate::arena::EngineScratch;
 use crate::campaign::{Campaign, CampaignRequest};
-use crate::engine::{compute_spe_means, Engine, SpeTable};
+use crate::engine::{compute_spe_means, Engine, SpeTable, TransientExec};
+use crate::policy::PolicyMode;
 use crate::provision::OracleEstimator;
 use crate::report::HptReport;
+use crate::soa::{JobLanes, COHORT_WIDTH};
 use rayon::prelude::*;
 use spottune_cloud::FaultPlan;
 use spottune_market::{
@@ -31,7 +33,7 @@ use spottune_market::{
     PoolSpine, RevocationEstimator, SpineCache,
 };
 use spottune_mlsim::{CurveCache, Workload};
-use spottune_revpred::{MarketPredictorSet, PredictorCache, PredictorKind};
+use spottune_revpred::{MarketPredictorSet, PredictorCache, PredictorKind, ProbeCachedPredictors};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -54,12 +56,40 @@ pub struct BatchStats {
     /// must actually route through the spine, not silently fall back to
     /// the linear trace scan).
     pub spine_queries: u64,
+    /// Cross-campaign lane-kernel passes (one per cohort barrier with at
+    /// least one extrapolating job).
+    pub kernel_invocations: u64,
+    /// Kernel lane slots processed, including ragged-remainder padding to
+    /// the 8-wide chunk boundary. `lane_jobs / lane_slots` is the lane
+    /// occupancy.
+    pub lane_slots: u64,
+    /// Jobs whose final-metric extrapolation ran through kernel lanes.
+    pub lane_jobs: u64,
+    /// Probe-context memo hits across the SoA path's learned estimators
+    /// (each hit skips one full sample assembly).
+    pub probe_hits: u64,
+    /// Probe-context memo misses (one sample assembly + context build each).
+    pub probe_misses: u64,
+}
+
+impl BatchStats {
+    /// Fraction of processed lane slots that carried a real job
+    /// (1.0 when every 8-wide chunk was full); `None` before any kernel
+    /// work.
+    pub fn lane_occupancy(&self) -> Option<f64> {
+        (self.lane_slots > 0).then(|| self.lane_jobs as f64 / self.lane_slots as f64)
+    }
 }
 
 #[derive(Debug, Default)]
 struct BatchCounters {
     groups: AtomicU64,
     campaigns: AtomicU64,
+    kernel_invocations: AtomicU64,
+    lane_slots: AtomicU64,
+    lane_jobs: AtomicU64,
+    probe_hits: AtomicU64,
+    probe_misses: AtomicU64,
 }
 
 /// Shared-tier batched campaign executor.
@@ -69,7 +99,7 @@ struct BatchCounters {
 /// once per process. Equal request slices produce equal report vectors
 /// regardless of thread count or grouping: scheduling only changes
 /// wall-clock, never bits.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BatchRunner {
     pools: PoolCache,
     spines: SpineCache,
@@ -79,13 +109,43 @@ pub struct BatchRunner {
     /// serial reference for fault-plan equivalence builds its engines with
     /// the same plan).
     fault_plan: Option<FaultPlan>,
+    /// SoA hot path: cohort-staged campaigns, cross-campaign lane
+    /// prediction, probe-cached learned estimators. On by default;
+    /// `with_soa(false)` is the A/B reference (the historical one-campaign-
+    /// at-a-time group loop). Both produce bit-identical reports.
+    soa: bool,
     counters: Arc<BatchCounters>,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner {
+            pools: PoolCache::default(),
+            spines: SpineCache::default(),
+            curves: CurveCache::default(),
+            predictors: PredictorCache::default(),
+            fault_plan: None,
+            soa: true,
+            counters: Arc::default(),
+        }
+    }
 }
 
 impl BatchRunner {
     /// Creates a runner with fresh, unbounded tiers.
     pub fn new() -> Self {
         BatchRunner::default()
+    }
+
+    /// Toggles the SoA cohort path (default on).
+    pub fn with_soa(mut self, soa: bool) -> Self {
+        self.soa = soa;
+        self
+    }
+
+    /// Whether the SoA cohort path is active.
+    pub fn soa(&self) -> bool {
+        self.soa
     }
 
     /// Builder-style tier override: share a server's existing caches.
@@ -124,12 +184,18 @@ impl BatchRunner {
             scratch: EngineScratch::new(),
             estimators: Vec::new(),
             spe_memos: Vec::new(),
+            truth_memos: BTreeMap::new(),
+            lane_scratch: Vec::new(),
+            lanes: JobLanes::new(),
         }
     }
 
     /// Runs every request, batched: grouped by scenario, groups fanned out
     /// across threads, reports returned in *request order* (index `i` of
-    /// the result is the report of `requests[i]`).
+    /// the result is the report of `requests[i]`). With the SoA path on
+    /// (the default), each group's requests are staged through
+    /// [`GroupSession::run_cohort`] in [`COHORT_WIDTH`] chunks; either way
+    /// the report vector is bit-identical.
     pub fn run_many(&self, requests: &[CampaignRequest]) -> Vec<HptReport> {
         let mut groups: BTreeMap<MarketScenario, Vec<usize>> = BTreeMap::new();
         for (i, req) in requests.iter().enumerate() {
@@ -140,7 +206,18 @@ impl BatchRunner {
             .into_par_iter()
             .map(|(scenario, idxs)| {
                 let mut session = self.session(scenario);
-                idxs.into_iter().map(|i| (i, session.run_one(&requests[i]))).collect()
+                if self.soa {
+                    let mut out = Vec::with_capacity(idxs.len());
+                    for chunk in idxs.chunks(COHORT_WIDTH) {
+                        let cohort: Vec<&CampaignRequest> =
+                            chunk.iter().map(|&i| &requests[i]).collect();
+                        let reports = session.run_cohort(&cohort);
+                        out.extend(chunk.iter().copied().zip(reports));
+                    }
+                    out
+                } else {
+                    idxs.into_iter().map(|i| (i, session.run_one(&requests[i]))).collect()
+                }
             })
             .collect();
         let mut out: Vec<Option<HptReport>> = Vec::new();
@@ -161,6 +238,11 @@ impl BatchRunner {
             spine_cache: self.spines.stats(),
             predictor_cache: self.predictors.stats(),
             spine_queries: self.spines.resident_queries(),
+            kernel_invocations: self.counters.kernel_invocations.load(Ordering::Relaxed),
+            lane_slots: self.counters.lane_slots.load(Ordering::Relaxed),
+            lane_jobs: self.counters.lane_jobs.load(Ordering::Relaxed),
+            probe_hits: self.counters.probe_hits.load(Ordering::Relaxed),
+            probe_misses: self.counters.probe_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -181,6 +263,10 @@ enum GroupEstimator {
     Oracle(OracleEstimator),
     Constant(ConstantEstimator),
     Learned(Arc<MarketPredictorSet>),
+    /// Learned predictors behind the `(market, t)`-keyed probe-context
+    /// memo — the SoA path's estimator (bit-identical probabilities, one
+    /// sample assembly per distinct probe site instead of one per probe).
+    Probed(ProbeCachedPredictors),
 }
 
 impl GroupEstimator {
@@ -189,6 +275,7 @@ impl GroupEstimator {
             GroupEstimator::Oracle(e) => e,
             GroupEstimator::Constant(e) => e,
             GroupEstimator::Learned(e) => e.as_ref(),
+            GroupEstimator::Probed(e) => e,
         }
     }
 }
@@ -212,6 +299,32 @@ pub struct GroupSession<'a> {
     /// Workload-keyed per-market SPE tables shared across the group's
     /// engines via [`Engine::with_spe_means`].
     spe_memos: Vec<(Workload, Arc<SpeTable>)>,
+    /// (workload-memo index, seed) → ground-truth finals. A pure function
+    /// of its key, so the cohort path hands every campaign a shared copy
+    /// instead of re-deriving the finals (two curve-memo lookups plus key
+    /// formatting) per report.
+    truth_memos: BTreeMap<(usize, u64), Arc<Vec<f64>>>,
+    /// One [`EngineScratch`] per cohort slot (slot `i` always serves
+    /// cohort position `i`, so arena reuse works exactly as in the serial
+    /// session loop).
+    lane_scratch: Vec<EngineScratch>,
+    /// The cohort's SoA prediction barrier.
+    lanes: JobLanes,
+}
+
+impl Drop for GroupSession<'_> {
+    /// Flushes the group's probe-memo counters into the runner (each
+    /// [`GroupEstimator::Probed`] is session-resident, so its lifetime
+    /// totals are this group's deltas).
+    fn drop(&mut self) {
+        for (_, estimator) in &self.estimators {
+            if let GroupEstimator::Probed(probed) = estimator {
+                let (hits, misses) = probed.probe_stats();
+                self.runner.counters.probe_hits.fetch_add(hits, Ordering::Relaxed);
+                self.runner.counters.probe_misses.fetch_add(misses, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 impl GroupSession<'_> {
@@ -239,6 +352,106 @@ impl GroupSession<'_> {
         engine.run_with_scratch(policy.as_mut(), &mut self.scratch)
     }
 
+    /// Runs a cohort of campaigns of this session's scenario through the
+    /// SoA hot path: phase 1 of every transient campaign first, then one
+    /// cross-campaign lane-kernel pass over all of their final-metric
+    /// extrapolations, then each campaign's selection/phase-2/report.
+    /// Dedicated-mode campaigns (no prediction stage) run scalar in place.
+    /// Reports are returned in cohort order and are bit-identical to
+    /// [`GroupSession::run_one`] per request — the barrier reorders work
+    /// only *between* independent campaigns.
+    pub fn run_cohort(&mut self, reqs: &[&CampaignRequest]) -> Vec<HptReport> {
+        // Resolve the memo indices up front (needs `&mut self`; the rest
+        // of the cohort borrows session fields disjointly).
+        let resolved: Vec<(usize, usize, Arc<Vec<f64>>)> = reqs
+            .iter()
+            .map(|req| {
+                debug_assert_eq!(
+                    req.scenario, self.scenario,
+                    "request submitted to a session of a different scenario"
+                );
+                let est_idx = self.estimator_index(req.estimator);
+                let spe_idx = self.spe_index(&req.workload);
+                let truth = self.truth_for(spe_idx, req);
+                (est_idx, spe_idx, truth)
+            })
+            .collect();
+        self.runner.counters.campaigns.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+        if self.lane_scratch.len() < reqs.len() {
+            self.lane_scratch.resize_with(reqs.len(), EngineScratch::new);
+        }
+        let GroupSession { runner, pool, spine, estimators, spe_memos, lane_scratch, lanes, .. } =
+            self;
+
+        // Stage every campaign's engine and policy.
+        let mut engines = Vec::with_capacity(reqs.len());
+        let mut policies = Vec::with_capacity(reqs.len());
+        for (req, &(est_idx, spe_idx, _)) in reqs.iter().zip(&resolved) {
+            let estimator = estimators[est_idx].1.as_dyn();
+            let cfg = req.approach.config(req.seed);
+            let policy = req.approach.build_policy(estimator, &cfg);
+            let mut engine = Engine::new(cfg, req.workload.clone(), pool.clone())
+                .with_curve_cache(runner.curves.clone())
+                .with_spine(Arc::clone(spine))
+                .with_spe_means(Arc::clone(&spe_memos[spe_idx].1));
+            if let Some(plan) = &runner.fault_plan {
+                engine = engine.with_fault_plan(plan.clone());
+            }
+            engines.push(engine);
+            policies.push(policy);
+        }
+
+        // Phase 1 per campaign (dedicated campaigns complete here).
+        let mut reports: Vec<Option<HptReport>> = Vec::new();
+        reports.resize_with(reqs.len(), || None);
+        let mut execs: Vec<Option<TransientExec<'_>>> = Vec::with_capacity(reqs.len());
+        for (i, (engine, policy)) in engines.iter().zip(policies.iter_mut()).enumerate() {
+            let scratch = &mut lane_scratch[i];
+            if policy.mode() == PolicyMode::Dedicated {
+                reports[i] = Some(engine.run_with_scratch(policy.as_mut(), scratch));
+                execs.push(None);
+            } else {
+                let mut exec = TransientExec::new(engine, scratch);
+                exec.phase1(policy.as_mut(), scratch);
+                execs.push(Some(exec));
+            }
+        }
+
+        // The barrier: gather every campaign's prediction inputs into the
+        // SoA lanes, one kernel pass, scatter back.
+        lanes.clear();
+        let handles: Vec<Option<usize>> = execs
+            .iter()
+            .enumerate()
+            .map(|(i, exec)| {
+                exec.as_ref().map(|exec| {
+                    lanes.gather(lane_scratch[i].arena.slots(), exec.theta(), exec.max_steps)
+                })
+            })
+            .collect();
+        lanes.evaluate();
+
+        // Selection, phase 2 and report per campaign.
+        for (i, exec) in execs.into_iter().enumerate() {
+            let Some(exec) = exec else { continue };
+            let handle = handles[i].expect("transient campaigns were gathered");
+            let predicted = lanes.scatter(handle);
+            let truth = resolved[i].2.as_ref().clone();
+            reports[i] = Some(exec.finish(
+                policies[i].as_mut(),
+                &mut lane_scratch[i],
+                predicted,
+                Some(truth),
+            ));
+        }
+
+        let (invocations, slots, jobs) = lanes.flush_counters();
+        runner.counters.kernel_invocations.fetch_add(invocations, Ordering::Relaxed);
+        runner.counters.lane_slots.fetch_add(slots, Ordering::Relaxed);
+        runner.counters.lane_jobs.fetch_add(jobs, Ordering::Relaxed);
+        reports.into_iter().map(|r| r.expect("every cohort campaign reports")).collect()
+    }
+
     /// Index of the memoized estimator for `spec`, building it on first
     /// use. Resolution mirrors [`CampaignRequest::run_serial`] exactly:
     /// learned families train for this session's scenario (through the
@@ -251,11 +464,14 @@ impl GroupSession<'_> {
             return i;
         }
         let built = match PredictorKind::from_spec(&spec) {
-            Some(kind) => GroupEstimator::Learned(self.runner.predictors.get(
-                kind,
-                self.scenario,
-                &self.pool,
-            )),
+            Some(kind) => {
+                let set = self.runner.predictors.get(kind, self.scenario, &self.pool);
+                if self.runner.soa {
+                    GroupEstimator::Probed(ProbeCachedPredictors::new(set))
+                } else {
+                    GroupEstimator::Learned(set)
+                }
+            }
             None => match spec {
                 EstimatorSpec::Oracle { confidence } => GroupEstimator::Oracle(
                     OracleEstimator::new(self.pool.clone(), confidence)
@@ -269,6 +485,25 @@ impl GroupSession<'_> {
         };
         self.estimators.push((spec, built));
         self.estimators.len() - 1
+    }
+
+    /// The memoized ground-truth finals for `(workload, seed)`, keyed by
+    /// the workload's memo index. [`ground_truth_finals_with_cache`] is a
+    /// pure function of the key, so sharing one copy across the cohort
+    /// path's reports is bit-identical to each campaign deriving its own.
+    ///
+    /// [`ground_truth_finals_with_cache`]: spottune_mlsim::runner::ground_truth_finals_with_cache
+    fn truth_for(&mut self, spe_idx: usize, req: &CampaignRequest) -> Arc<Vec<f64>> {
+        if let Some(truth) = self.truth_memos.get(&(spe_idx, req.seed)) {
+            return Arc::clone(truth);
+        }
+        let truth = Arc::new(spottune_mlsim::runner::ground_truth_finals_with_cache(
+            &req.workload,
+            req.seed,
+            &self.runner.curves,
+        ));
+        self.truth_memos.insert((spe_idx, req.seed), Arc::clone(&truth));
+        truth
     }
 
     /// Index of the memoized SPE table for `workload`, deriving it on

@@ -211,122 +211,19 @@ impl Engine {
     }
 
     /// The transient drive: Algorithm 1 with the policy consulted at every
-    /// deployment, revocation, progress and recycle decision.
+    /// deployment, revocation, progress and recycle decision. Staged
+    /// through [`TransientExec`] — the serial path runs the stages
+    /// back-to-back; the batched sweep's SoA path interleaves many
+    /// campaigns' stages around a shared lane-prediction barrier.
     fn run_transient(
         &self,
         policy: &mut dyn ProvisionPolicy,
         scratch: &mut EngineScratch,
     ) -> HptReport {
-        let cfg = &self.config;
-        let max_steps = self.workload.max_trial_steps();
-        let target = cfg.target_steps(max_steps);
-
-        let mut provider = CloudProvider::new(self.pool.clone());
-        if let Some(plan) = &self.fault_plan {
-            provider = provider.with_fault_plan(plan.clone());
-        }
-        if let Some(spine) = &self.spine {
-            provider = provider.with_spine(Arc::clone(spine));
-        }
-        let mut store = ObjectStore::new();
-        let mut matrix = PerfMatrix::new(cfg.c0, cfg.ewma_alpha);
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ ORCH_SALT);
-        let jobs = scratch.arena.prepare(
-            &self.workload,
-            target,
-            self.ec_config,
-            cfg.seed,
-            &self.curve_cache,
-        );
-        // True seconds-per-step means per (market, configuration): the
-        // model is deterministic, so derive it once per campaign instead of
-        // hashing names and re-reading string-keyed hyper-parameters on
-        // every sampled step — or once per (scenario, workload) when the
-        // batch runner shares them via `with_spe_means`.
-        let derived;
-        let spe_means: &[(String, Vec<f64>)] = match &self.spe_means {
-            Some(shared) => shared,
-            None => {
-                derived = compute_spe_means(&self.pool, &self.workload);
-                &derived
-            }
-        };
-
-        let events = &mut scratch.events;
-        let mut t = cfg.start;
-        // ---- Phase 1: all configurations to θ·max_trial_steps. ----
-        t = self.drive(
-            jobs, t, &mut provider, &mut store, &mut matrix, policy, &mut rng, events, spe_means,
-        );
-
-        // ---- Prediction & selection (Algorithm 1 lines 48–53). ----
-        let predicted: Vec<f64> = jobs
-            .iter()
-            .map(|j| {
-                let last = j.last_metric().unwrap_or(f64::INFINITY);
-                if cfg.theta >= 1.0 || j.finished == Some(FinishReason::ConvergedEarly) {
-                    last
-                } else {
-                    j.curve.predict_final(max_steps).unwrap_or(last)
-                }
-            })
-            .collect();
-        let mut ranking: Vec<usize> = (0..jobs.len()).collect();
-        ranking.sort_by(|&a, &b| predicted[a].partial_cmp(&predicted[b]).expect("finite"));
-        let selected: Vec<usize> = ranking.iter().take(cfg.mcnt).copied().collect();
-
-        // Paper-reported cost/JCT end at model selection (§IV.B.1).
-        let selection_cost = provider.ledger().total_charged();
-        let selection_refunded = provider.ledger().total_refunded();
-        let selection_gross = provider.ledger().total_gross();
-        let selection_jct = t - cfg.start;
-
-        // ---- Phase 2: continue the top-mcnt from checkpoints. ----
-        if cfg.theta < 1.0 {
-            for &i in &selected {
-                let job = &mut jobs[i];
-                if job.finished == Some(FinishReason::TargetReached) && job.steps_done < max_steps
-                {
-                    job.finished = None;
-                    job.target_steps = max_steps;
-                }
-            }
-            t = self.drive(
-                jobs, t, &mut provider, &mut store, &mut matrix, policy, &mut rng, events,
-                spe_means,
-            );
-        }
-
-        // ---- Report. ----
-        let true_finals = spottune_mlsim::runner::ground_truth_finals_with_cache(
-            &self.workload,
-            cfg.seed,
-            &self.curve_cache,
-        );
-        let ledger = provider.ledger();
-        let report = HptReport {
-            approach: policy.name(),
-            workload: self.workload.algorithm().name().to_string(),
-            theta: cfg.theta,
-            cost: selection_cost,
-            refunded: selection_refunded,
-            gross: selection_gross,
-            jct: selection_jct,
-            cost_with_continuation: ledger.total_charged(),
-            jct_with_continuation: t - cfg.start,
-            train_time: sum_dur(jobs.iter().map(|j| j.train_time)),
-            overhead_time: sum_dur(jobs.iter().map(|j| j.overhead)),
-            free_steps: jobs.iter().map(|j| j.free_steps).sum(),
-            charged_steps: jobs.iter().map(|j| j.charged_steps).sum(),
-            predicted_finals: predicted,
-            true_finals,
-            selected,
-            deployments: jobs.iter().map(|j| j.deployments).sum(),
-            revocations: jobs.iter().map(|j| j.revocations).sum(),
-            lost_steps: jobs.iter().map(|j| j.lost_steps).sum(),
-            migrations: jobs.iter().map(|j| j.migrations).sum(),
-        };
-        report
+        let mut exec = TransientExec::new(self, scratch);
+        exec.phase1(policy, scratch);
+        let predicted = exec.predict_scalar(scratch);
+        exec.finish(policy, scratch, predicted, None)
     }
 
     /// The dedicated drive: one never-revoked VM per configuration, placed
@@ -1050,6 +947,222 @@ impl Engine {
         job.deployments += 1;
         events.push(TraceEvent::Deployed { job: job.hp_index, instance, max_price, at: t });
         true
+    }
+}
+
+/// One transient campaign staged into its Algorithm-1 phases, so callers
+/// can interpose between phase 1 and selection. [`Engine::run`] composes
+/// the stages sequentially; the batched sweep's SoA path
+/// ([`crate::soa`]) runs phase 1 for a whole cohort of campaigns, batches
+/// every cohort job's final-metric extrapolation through the cross-campaign
+/// lane kernel, and only then finishes each campaign — the same operations
+/// in the same per-campaign order, so reports stay bit-identical.
+///
+/// The exec owns the campaign's mutable machinery (provider, store,
+/// matrix, decision RNG, clock); job state lives in the caller's
+/// [`EngineScratch`], which must be the same scratch across every stage
+/// of one exec.
+pub(crate) struct TransientExec<'e> {
+    engine: &'e Engine,
+    provider: CloudProvider,
+    store: ObjectStore,
+    matrix: PerfMatrix,
+    rng: StdRng,
+    t: SimTime,
+    /// Full-training step target (the prediction horizon and phase-2 goal).
+    pub(crate) max_steps: u64,
+    /// SPE table derived locally when the engine was not handed a shared
+    /// one (see [`Engine::with_spe_means`]).
+    derived_spe: Option<SpeTable>,
+}
+
+impl<'e> TransientExec<'e> {
+    /// Sets up one campaign: provider (with spine/fault overlays), fresh
+    /// store/matrix/RNG, job slots prepared in `scratch`, SPE means
+    /// resolved. Identical construction order to the historical inline
+    /// `run_transient` body.
+    pub(crate) fn new(engine: &'e Engine, scratch: &mut EngineScratch) -> Self {
+        let cfg = &engine.config;
+        let max_steps = engine.workload.max_trial_steps();
+        let target = cfg.target_steps(max_steps);
+
+        let mut provider = CloudProvider::new(engine.pool.clone());
+        if let Some(plan) = &engine.fault_plan {
+            provider = provider.with_fault_plan(plan.clone());
+        }
+        if let Some(spine) = &engine.spine {
+            provider = provider.with_spine(Arc::clone(spine));
+        }
+        let store = ObjectStore::new();
+        let matrix = PerfMatrix::new(cfg.c0, cfg.ewma_alpha);
+        let rng = StdRng::seed_from_u64(cfg.seed ^ ORCH_SALT);
+        scratch.events.clear();
+        scratch.arena.prepare(
+            &engine.workload,
+            target,
+            engine.ec_config,
+            cfg.seed,
+            &engine.curve_cache,
+        );
+        // True seconds-per-step means per (market, configuration): the
+        // model is deterministic, so derive it once per campaign instead of
+        // hashing names and re-reading string-keyed hyper-parameters on
+        // every sampled step — or once per (scenario, workload) when the
+        // batch runner shares them via `with_spe_means`.
+        let derived_spe = match &engine.spe_means {
+            Some(_) => None,
+            None => Some(compute_spe_means(&engine.pool, &engine.workload)),
+        };
+        TransientExec {
+            engine,
+            provider,
+            store,
+            matrix,
+            rng,
+            t: cfg.start,
+            max_steps,
+            derived_spe,
+        }
+    }
+
+    /// Phase 1: every configuration to θ·max_trial_steps.
+    pub(crate) fn phase1(&mut self, policy: &mut dyn ProvisionPolicy, scratch: &mut EngineScratch) {
+        let engine = self.engine;
+        let EngineScratch { arena, events } = scratch;
+        let jobs = arena.slots_mut();
+        let spe_means: &[(String, Vec<f64>)] = match (&engine.spe_means, &self.derived_spe) {
+            (Some(shared), _) => shared,
+            (None, Some(derived)) => derived,
+            (None, None) => unreachable!("derived at construction"),
+        };
+        self.t = engine.drive(
+            jobs,
+            self.t,
+            &mut self.provider,
+            &mut self.store,
+            &mut self.matrix,
+            policy,
+            &mut self.rng,
+            events,
+            spe_means,
+        );
+    }
+
+    /// The scalar prediction stage (Algorithm 1 line 50): one final-metric
+    /// extrapolation per job. The lane path computes exactly these values
+    /// through [`spottune_earlycurve::CurveLanes`] instead.
+    pub(crate) fn predict_scalar(&self, scratch: &EngineScratch) -> Vec<f64> {
+        let cfg = &self.engine.config;
+        scratch
+            .arena
+            .slots()
+            .iter()
+            .map(|j| {
+                let last = j.last_metric().unwrap_or(f64::INFINITY);
+                if cfg.theta >= 1.0 || j.finished == Some(FinishReason::ConvergedEarly) {
+                    last
+                } else {
+                    j.curve.predict_final(self.max_steps).unwrap_or(last)
+                }
+            })
+            .collect()
+    }
+
+    /// Selection, phase 2 (top-`mcnt` continuation) and the report.
+    /// `predicted` must be this exec's prediction vector (scalar or lane —
+    /// they are bit-identical). `true_finals`, when supplied, must be the
+    /// campaign's ground-truth finals (a pure function of `(workload,
+    /// seed)` — the cohort path shares one memoized copy per key instead
+    /// of re-deriving it per campaign).
+    pub(crate) fn finish(
+        mut self,
+        policy: &mut dyn ProvisionPolicy,
+        scratch: &mut EngineScratch,
+        predicted: Vec<f64>,
+        true_finals: Option<Vec<f64>>,
+    ) -> HptReport {
+        let engine = self.engine;
+        let cfg = &engine.config;
+        let max_steps = self.max_steps;
+        let EngineScratch { arena, events } = scratch;
+        let jobs = arena.slots_mut();
+
+        // ---- Selection (Algorithm 1 lines 48–53). ----
+        let mut ranking: Vec<usize> = (0..jobs.len()).collect();
+        ranking.sort_by(|&a, &b| predicted[a].partial_cmp(&predicted[b]).expect("finite"));
+        let selected: Vec<usize> = ranking.iter().take(cfg.mcnt).copied().collect();
+
+        // Paper-reported cost/JCT end at model selection (§IV.B.1).
+        let selection_cost = self.provider.ledger().total_charged();
+        let selection_refunded = self.provider.ledger().total_refunded();
+        let selection_gross = self.provider.ledger().total_gross();
+        let selection_jct = self.t - cfg.start;
+
+        // ---- Phase 2: continue the top-mcnt from checkpoints. ----
+        if cfg.theta < 1.0 {
+            for &i in &selected {
+                let job = &mut jobs[i];
+                if job.finished == Some(FinishReason::TargetReached) && job.steps_done < max_steps
+                {
+                    job.finished = None;
+                    job.target_steps = max_steps;
+                }
+            }
+            let spe_means: &[(String, Vec<f64>)] = match (&engine.spe_means, &self.derived_spe) {
+                (Some(shared), _) => shared,
+                (None, Some(derived)) => derived,
+                (None, None) => unreachable!("derived at construction"),
+            };
+            self.t = engine.drive(
+                jobs,
+                self.t,
+                &mut self.provider,
+                &mut self.store,
+                &mut self.matrix,
+                policy,
+                &mut self.rng,
+                events,
+                spe_means,
+            );
+        }
+
+        // ---- Report. ----
+        let true_finals = true_finals.unwrap_or_else(|| {
+            spottune_mlsim::runner::ground_truth_finals_with_cache(
+                &engine.workload,
+                cfg.seed,
+                &engine.curve_cache,
+            )
+        });
+        let ledger = self.provider.ledger();
+        HptReport {
+            approach: policy.name(),
+            workload: engine.workload.algorithm().name().to_string(),
+            theta: cfg.theta,
+            cost: selection_cost,
+            refunded: selection_refunded,
+            gross: selection_gross,
+            jct: selection_jct,
+            cost_with_continuation: ledger.total_charged(),
+            jct_with_continuation: self.t - cfg.start,
+            train_time: sum_dur(jobs.iter().map(|j| j.train_time)),
+            overhead_time: sum_dur(jobs.iter().map(|j| j.overhead)),
+            free_steps: jobs.iter().map(|j| j.free_steps).sum(),
+            charged_steps: jobs.iter().map(|j| j.charged_steps).sum(),
+            predicted_finals: predicted,
+            true_finals,
+            selected,
+            deployments: jobs.iter().map(|j| j.deployments).sum(),
+            revocations: jobs.iter().map(|j| j.revocations).sum(),
+            lost_steps: jobs.iter().map(|j| j.lost_steps).sum(),
+            migrations: jobs.iter().map(|j| j.migrations).sum(),
+        }
+    }
+
+    /// θ of the campaign's configuration (the lane gather needs the
+    /// take-last gate).
+    pub(crate) fn theta(&self) -> f64 {
+        self.engine.config.theta
     }
 }
 

@@ -23,6 +23,10 @@ pub struct Job {
     pub hp_index: usize,
     /// The configuration itself.
     pub hp: HpSetting,
+    /// Cached `hp.id()` — the curve-memo key component. Formatting it
+    /// involves per-entry float formatting, so the arena reset path clones
+    /// this instead of re-deriving it every campaign.
+    pub hp_id: String,
     /// Object-store key of this job's checkpoint (computed once; the
     /// orchestrator checkpoints on every notice, recycle and finish).
     pub ckpt_key: String,
@@ -111,12 +115,14 @@ impl Job {
         curve_cache: &CurveCache,
     ) -> Self {
         let hp = workload.hp_grid()[hp_index].clone();
+        let hp_id = hp.id();
         Job {
             hp_index,
             ckpt_key: format!("ckpt/{}/{}", workload.algorithm().name(), hp_index),
             model_size_mb: workload.model_size_mb(&hp),
-            run: TrainingRun::with_cache(workload, &hp, seed, curve_cache),
+            run: TrainingRun::with_cache_keyed(workload, &hp, hp_id.clone(), seed, curve_cache),
             hp,
+            hp_id,
             curve: EarlyCurve::new(ec_config),
             steps_done: 0,
             target_steps,
@@ -159,7 +165,13 @@ impl Job {
         seed: u64,
         curve_cache: &CurveCache,
     ) {
-        self.run = TrainingRun::with_cache(workload, &self.hp, seed, curve_cache);
+        self.run = TrainingRun::with_cache_keyed(
+            workload,
+            &self.hp,
+            self.hp_id.clone(),
+            seed,
+            curve_cache,
+        );
         self.curve.reset(ec_config);
         self.steps_done = 0;
         self.target_steps = target_steps;

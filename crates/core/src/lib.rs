@@ -39,6 +39,7 @@ pub mod perfmatrix;
 pub mod policy;
 pub mod provision;
 pub mod report;
+pub mod soa;
 pub mod wire;
 
 pub use baseline::{
@@ -59,6 +60,7 @@ pub use policy::{
 };
 pub use provision::{InstChoice, OracleEstimator, Provisioner};
 pub use report::HptReport;
+pub use soa::{JobLanes, COHORT_WIDTH};
 
 /// Convenient glob-import surface.
 pub mod prelude {

@@ -57,6 +57,18 @@ impl StageFit {
 ///
 /// Panics if `points` is empty or any metric is non-finite.
 pub fn fit_stage(points: &[(u64, f64)], start: u64) -> StageFit {
+    fit_stage_scratch(points, start, &mut Vec::new())
+}
+
+/// [`fit_stage`] with a caller-owned row buffer, so the batched sweep's
+/// per-selection fits reuse one allocation across every job of a cohort.
+/// The buffer is cleared and refilled; the arithmetic (and therefore the
+/// returned fit) is bit-identical to [`fit_stage`].
+pub fn fit_stage_scratch(
+    points: &[(u64, f64)],
+    start: u64,
+    rows: &mut Vec<[f64; 3]>,
+) -> StageFit {
     assert!(!points.is_empty(), "cannot fit an empty stage");
     for &(_, m) in points {
         assert!(m.is_finite(), "metrics must be finite");
@@ -83,17 +95,16 @@ pub fn fit_stage(points: &[(u64, f64)], start: u64) -> StageFit {
     };
     // The regression rows depend only on the step offsets, not on the
     // plateau candidate — build them once for the whole line search.
-    let rows: Vec<[f64; 3]> = points
-        .iter()
-        .map(|&(k, _)| {
-            let rel = k.saturating_sub(start) as f64;
-            [rel * rel, rel, 1.0]
-        })
-        .collect();
+    rows.clear();
+    rows.extend(points.iter().map(|&(k, _)| {
+        let rel = k.saturating_sub(start) as f64;
+        [rel * rel, rel, 1.0]
+    }));
+    let rows: &[[f64; 3]] = rows;
     let mut best: Option<StageFit> = None;
     let mut best_j = 0usize;
     for j in 0..=COARSE {
-        if let Some(fit) = fit_with_plateau(points, &rows, start, coarse_a3(j)) {
+        if let Some(fit) = fit_with_plateau(points, rows, start, coarse_a3(j)) {
             if best.as_ref().is_none_or(|b| fit.mse < b.mse) {
                 best = Some(fit);
                 best_j = j;
@@ -106,7 +117,7 @@ pub fn fit_stage(points: &[(u64, f64)], start: u64) -> StageFit {
         let hi_a3 = coarse_a3(best_j.saturating_sub(1));
         for i in 1..=FINE {
             let a3 = lo_a3 + (hi_a3 - lo_a3) * i as f64 / (FINE + 1) as f64;
-            if let Some(fit) = fit_with_plateau(points, &rows, start, a3) {
+            if let Some(fit) = fit_with_plateau(points, rows, start, a3) {
                 if best.as_ref().is_none_or(|b| fit.mse < b.mse) {
                     best = Some(fit);
                 }

@@ -1,0 +1,353 @@
+//! Cross-campaign lane kernel: fixed-width f64 evaluation of EarlyCurve
+//! stage predictions and SPE step-cost decisions for a whole cohort of
+//! campaigns at once.
+//!
+//! The batched sweep engine pauses W campaigns at their prediction barrier
+//! (Algorithm 1 lines 48–53), gathers every job's extrapolation-stage
+//! coefficients into structure-of-arrays lanes, and evaluates the rational
+//! model for all of them in chunked `[f64; 8]` blocks the compiler can
+//! auto-vectorize — no external SIMD crates, no `unsafe`.
+//!
+//! **Bit-identity by construction.** Lanes run *across* campaigns, never
+//! within one: each lane holds one `(campaign, job)` prediction, and every
+//! lane evaluates the exact scalar expression of
+//! [`StageFit::predict`](crate::fit::StageFit::predict) —
+//! `denom = a0·rel² + a1·rel + a2`, then `a3 + 1/denom` with the same
+//! `denom ≤ 1e-12` plateau guard. Reordering *independent* IEEE-754
+//! computations does not change any of their bits, so the lane path is
+//! bit-identical to calling `predict` per job in a loop. The
+//! `kernel_equivalence` proptests and the core `batch_equivalence` suite
+//! lock this.
+//!
+//! [`FitScratch`] is the companion allocation-free staged-fit path: the
+//! same boundary-detection → segment-merge → per-stage line search as
+//! [`EarlyCurve::fit`](crate::predictor::EarlyCurve::fit), writing into
+//! reusable buffers instead of fresh `Vec`s (same arithmetic, same fits).
+
+use crate::fit::StageFit;
+
+/// Lanes per evaluation block. Eight f64 lanes fill one AVX-512 register
+/// or two AVX2 registers; the remainder loop handles ragged tails so any
+/// group size (including 1) is valid.
+pub const LANE_WIDTH: usize = 8;
+
+/// Reusable buffers for one allocation-free staged fit
+/// ([`EarlyCurve::fit_into`](crate::predictor::EarlyCurve::fit_into)):
+/// the metric scan, detected boundaries, the short-segment merge buffer
+/// and the regression rows, plus the output stages.
+#[derive(Debug, Default)]
+pub struct FitScratch {
+    /// Metric values of the observed points (boundary detection input).
+    pub(crate) metrics: Vec<f64>,
+    /// Detected stage-boundary indices.
+    pub(crate) boundaries: Vec<usize>,
+    /// Short segments carried into the next stage (the `min_fit_points`
+    /// merge of `EarlyCurve::fit`).
+    pub(crate) pending: Vec<(u64, f64)>,
+    /// The merged points one stage is fitted over.
+    pub(crate) merged: Vec<(u64, f64)>,
+    /// Regression rows reused across the plateau line search.
+    pub(crate) rows: Vec<[f64; 3]>,
+    /// The fitted stages of the most recent `fit_into` call.
+    stages: Vec<StageFit>,
+}
+
+impl FitScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        FitScratch::default()
+    }
+
+    /// The stages fitted by the most recent
+    /// [`EarlyCurve::fit_into`](crate::predictor::EarlyCurve::fit_into).
+    pub fn stages(&self) -> &[StageFit] {
+        &self.stages
+    }
+
+    /// Clears and returns the stage buffer for a fresh fit (crate-internal:
+    /// `fit_into` owns the filling protocol).
+    pub(crate) fn stages_mut(&mut self) -> &mut Vec<StageFit> {
+        &mut self.stages
+    }
+}
+
+/// The stage a staged fit extrapolates step `k` from: the last stage whose
+/// start is at or before `k`, falling back to the first. Exactly the
+/// selection rule of [`StagedFit::predict`](crate::predictor::StagedFit::
+/// predict), exposed so the lane path can pick the stage without
+/// materializing a `StagedFit`.
+///
+/// # Panics
+///
+/// Panics if `stages` is empty.
+pub fn extrapolation_stage(stages: &[StageFit], k: u64) -> &StageFit {
+    stages
+        .iter()
+        .rev()
+        .find(|s| s.start <= k)
+        .unwrap_or(stages.first().expect("at least one stage"))
+}
+
+/// Structure-of-arrays lanes of per-job stage predictions: one slot per
+/// `(campaign, job)` pair of a cohort, evaluated together by
+/// [`predict_lanes`].
+#[derive(Debug, Default)]
+pub struct CurveLanes {
+    a0: Vec<f64>,
+    a1: Vec<f64>,
+    a2: Vec<f64>,
+    a3: Vec<f64>,
+    rel: Vec<f64>,
+    out: Vec<f64>,
+    /// Lifetime counters (see the batched engine's stats): kernel
+    /// evaluations, lane slots spanned (occupied rounded up to whole
+    /// blocks), and lanes actually occupied.
+    invocations: u64,
+    slots: u64,
+    occupied: u64,
+}
+
+impl CurveLanes {
+    /// Creates empty lanes.
+    pub fn new() -> Self {
+        CurveLanes::default()
+    }
+
+    /// Drops every queued lane (counters persist).
+    pub fn clear(&mut self) {
+        self.a0.clear();
+        self.a1.clear();
+        self.a2.clear();
+        self.a3.clear();
+        self.rel.clear();
+        self.out.clear();
+    }
+
+    /// Queued lane count.
+    pub fn len(&self) -> usize {
+        self.a0.len()
+    }
+
+    /// Whether no lane is queued.
+    pub fn is_empty(&self) -> bool {
+        self.a0.is_empty()
+    }
+
+    /// Queues one prediction — `stage.predict(k)` — and returns its lane
+    /// index into [`CurveLanes::out`].
+    pub fn push(&mut self, stage: &StageFit, k: u64) -> usize {
+        let rel = k.saturating_sub(stage.start) as f64;
+        self.a0.push(stage.a0);
+        self.a1.push(stage.a1);
+        self.a2.push(stage.a2);
+        self.a3.push(stage.a3);
+        self.rel.push(rel);
+        self.a0.len() - 1
+    }
+
+    /// Evaluates every queued lane through [`predict_lanes`]. Each output
+    /// is bit-identical to the corresponding scalar `stage.predict(k)`.
+    pub fn evaluate(&mut self) {
+        let n = self.len();
+        self.out.clear();
+        self.out.resize(n, 0.0);
+        predict_lanes(&self.a0, &self.a1, &self.a2, &self.a3, &self.rel, &mut self.out);
+        self.invocations += 1;
+        self.occupied += n as u64;
+        self.slots += (n as u64).div_ceil(LANE_WIDTH as u64) * LANE_WIDTH as u64;
+    }
+
+    /// Predictions of the most recent [`CurveLanes::evaluate`], indexed by
+    /// the lane numbers [`CurveLanes::push`] returned.
+    pub fn out(&self) -> &[f64] {
+        &self.out
+    }
+
+    /// `(invocations, slots, occupied)` lifetime counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.invocations, self.slots, self.occupied)
+    }
+}
+
+/// Evaluates the Eq. 4 rational model for every lane:
+/// `out[i] = a3[i] + 1 / (a0[i]·rel[i]² + a1[i]·rel[i] + a2[i])`, with the
+/// scalar path's `denom ≤ 1e-12 → a3` plateau guard. Runs in `[f64; 8]`
+/// blocks with a scalar remainder loop; every lane computes the exact
+/// [`StageFit::predict`] expression, so results are bit-identical to the
+/// scalar loop for any slice length (ragged tails included).
+///
+/// # Panics
+///
+/// Panics if the slices disagree on length.
+pub fn predict_lanes(a0: &[f64], a1: &[f64], a2: &[f64], a3: &[f64], rel: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    assert!(
+        a0.len() == n && a1.len() == n && a2.len() == n && a3.len() == n && rel.len() == n,
+        "lane slices must agree on length"
+    );
+    let mut blocks = a0
+        .chunks_exact(LANE_WIDTH)
+        .zip(a1.chunks_exact(LANE_WIDTH))
+        .zip(a2.chunks_exact(LANE_WIDTH))
+        .zip(a3.chunks_exact(LANE_WIDTH))
+        .zip(rel.chunks_exact(LANE_WIDTH))
+        .zip(out.chunks_exact_mut(LANE_WIDTH));
+    for (((((c0, c1), c2), c3), cr), co) in &mut blocks {
+        let c0: &[f64; LANE_WIDTH] = c0.try_into().expect("exact chunk");
+        let c1: &[f64; LANE_WIDTH] = c1.try_into().expect("exact chunk");
+        let c2: &[f64; LANE_WIDTH] = c2.try_into().expect("exact chunk");
+        let c3: &[f64; LANE_WIDTH] = c3.try_into().expect("exact chunk");
+        let cr: &[f64; LANE_WIDTH] = cr.try_into().expect("exact chunk");
+        let co: &mut [f64; LANE_WIDTH] = co.try_into().expect("exact chunk");
+        for l in 0..LANE_WIDTH {
+            let r = cr[l];
+            let denom = c0[l] * r * r + c1[l] * r + c2[l];
+            // Branchless select: the full value is computed in every lane
+            // (an out-of-range divide just yields an unused inf) and the
+            // guard picks exactly what the scalar branch would return.
+            let full = c3[l] + 1.0 / denom;
+            co[l] = if denom <= 1e-12 { c3[l] } else { full };
+        }
+    }
+    let head = n - n % LANE_WIDTH;
+    for i in head..n {
+        let r = rel[i];
+        let denom = a0[i] * r * r + a1[i] * r + a2[i];
+        out[i] = if denom <= 1e-12 { a3[i] } else { a3[i] + 1.0 / denom };
+    }
+}
+
+/// Expected-step-cost lanes (the paper's Eq. 2 decision the provisioner
+/// evaluates per market): `out[i] = spe[i] · (1 − p[i]) · price[i]`,
+/// chunked like [`predict_lanes`]. Each lane is the exact scalar
+/// expression, so a provisioner that gathers its per-market terms and
+/// evaluates them here gets the same bits as the scalar loop.
+///
+/// # Panics
+///
+/// Panics if the slices disagree on length.
+pub fn step_cost_lanes(spe: &[f64], p: &[f64], price: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    assert!(
+        spe.len() == n && p.len() == n && price.len() == n,
+        "lane slices must agree on length"
+    );
+    let mut blocks = spe
+        .chunks_exact(LANE_WIDTH)
+        .zip(p.chunks_exact(LANE_WIDTH))
+        .zip(price.chunks_exact(LANE_WIDTH))
+        .zip(out.chunks_exact_mut(LANE_WIDTH));
+    for (((cs, cp), cc), co) in &mut blocks {
+        let cs: &[f64; LANE_WIDTH] = cs.try_into().expect("exact chunk");
+        let cp: &[f64; LANE_WIDTH] = cp.try_into().expect("exact chunk");
+        let cc: &[f64; LANE_WIDTH] = cc.try_into().expect("exact chunk");
+        let co: &mut [f64; LANE_WIDTH] = co.try_into().expect("exact chunk");
+        for l in 0..LANE_WIDTH {
+            co[l] = cs[l] * (1.0 - cp[l]) * cc[l];
+        }
+    }
+    let head = n - n % LANE_WIDTH;
+    for i in head..n {
+        out[i] = spe[i] * (1.0 - p[i]) * price[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{EarlyCurve, EarlyCurveConfig};
+
+    fn curve(n: u64, f: impl Fn(u64) -> f64) -> EarlyCurve {
+        let mut ec = EarlyCurve::new(EarlyCurveConfig::default());
+        for k in 1..=n {
+            ec.push(k, f(k));
+        }
+        ec
+    }
+
+    #[test]
+    fn fit_into_matches_fit() {
+        let curves = [
+            curve(60, |k| 0.5 + 2.0 / (0.2 * k as f64 + 1.0)),
+            curve(70, |k| {
+                if k <= 40 {
+                    1.0 + 1.5 / (0.3 * k as f64 + 1.0)
+                } else {
+                    0.45 + 0.2 / (0.4 * (k - 40) as f64 + 1.0)
+                }
+            }),
+            curve(3, |k| 1.0 / k as f64),
+            curve(5, |_| 0.25),
+        ];
+        let mut scratch = FitScratch::new();
+        for ec in &curves {
+            let want = ec.fit().expect("≥3 points");
+            assert!(ec.fit_into(&mut scratch), "fit_into must fit ≥3 points");
+            assert_eq!(scratch.stages(), want.stages(), "scratch fit must match fit()");
+        }
+        // Under three points: both decline.
+        let short = curve(2, |k| 1.0 / k as f64);
+        assert!(short.fit().is_none());
+        assert!(!short.fit_into(&mut scratch));
+    }
+
+    #[test]
+    fn lanes_match_scalar_predict() {
+        let ec = curve(60, |k| 0.4 + 1.8 / (0.25 * k as f64 + 1.0));
+        let fit = ec.fit().unwrap();
+        let stage = extrapolation_stage(fit.stages(), 400);
+        assert_eq!(stage.predict(400).to_bits(), fit.predict(400).to_bits());
+        // 17 lanes: two full blocks plus a ragged tail of one.
+        let mut lanes = CurveLanes::new();
+        let ks: Vec<u64> = (0..17).map(|i| 100 + 37 * i).collect();
+        for &k in &ks {
+            lanes.push(extrapolation_stage(fit.stages(), k), k);
+        }
+        lanes.evaluate();
+        for (i, &k) in ks.iter().enumerate() {
+            let want = fit.predict(k);
+            assert_eq!(lanes.out()[i].to_bits(), want.to_bits(), "lane {i} at k={k}");
+        }
+        let (inv, slots, occupied) = lanes.counters();
+        assert_eq!(inv, 1);
+        assert_eq!(occupied, 17);
+        assert_eq!(slots, 24, "17 lanes span three 8-wide blocks");
+    }
+
+    #[test]
+    fn degenerate_denominator_takes_the_plateau() {
+        let stage = StageFit { a0: 0.0, a1: 0.0, a2: 0.0, a3: 0.75, start: 0, mse: 0.0 };
+        let mut lanes = CurveLanes::new();
+        lanes.push(&stage, 1000);
+        lanes.evaluate();
+        assert_eq!(lanes.out()[0].to_bits(), stage.predict(1000).to_bits());
+        assert_eq!(lanes.out()[0], 0.75);
+    }
+
+    #[test]
+    fn step_cost_lanes_match_scalar() {
+        let n = 13; // one block + ragged tail of five
+        let spe: Vec<f64> = (0..n).map(|i| 1.5 + i as f64 * 0.3).collect();
+        let p: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07) % 1.0).collect();
+        let price: Vec<f64> = (0..n).map(|i| 0.09 + i as f64 * 0.011).collect();
+        let mut out = vec![0.0; n];
+        step_cost_lanes(&spe, &p, &price, &mut out);
+        for i in 0..n {
+            let want = spe[i] * (1.0 - p[i]) * price[i];
+            assert_eq!(out[i].to_bits(), want.to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn lane_clear_keeps_counters() {
+        let stage = StageFit { a0: 0.0, a1: 0.1, a2: 1.0, a3: 0.2, start: 0, mse: 0.0 };
+        let mut lanes = CurveLanes::new();
+        lanes.push(&stage, 10);
+        lanes.evaluate();
+        lanes.clear();
+        assert!(lanes.is_empty());
+        assert_eq!(lanes.len(), 0);
+        let (inv, _, occupied) = lanes.counters();
+        assert_eq!((inv, occupied), (1, 1));
+    }
+}

@@ -19,6 +19,7 @@
 //! ```
 
 pub mod fit;
+pub mod kernel;
 pub mod predictor;
 pub mod slaq;
 pub mod solver;
@@ -26,6 +27,7 @@ pub mod stage;
 pub mod superlinear;
 
 pub use fit::StageFit;
+pub use kernel::{CurveLanes, FitScratch, LANE_WIDTH};
 pub use predictor::{EarlyCurve, EarlyCurveConfig, StagedFit};
 pub use slaq::Slaq;
 pub use stage::StageConfig;

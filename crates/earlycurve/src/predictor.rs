@@ -1,8 +1,9 @@
 //! The EarlyCurve predictor: online metric collection, staged fitting,
 //! convergence detection and final-metric prediction.
 
-use crate::fit::{fit_stage, StageFit};
-use crate::stage::{detect_boundaries, split_stages, StageConfig};
+use crate::fit::{fit_stage, fit_stage_scratch, StageFit};
+use crate::kernel::FitScratch;
+use crate::stage::{detect_boundaries, detect_boundaries_into, split_stages, StageConfig};
 use serde::{Deserialize, Serialize};
 
 /// Full configuration of the predictor.
@@ -178,6 +179,53 @@ impl EarlyCurve {
     /// EarlyCurve(hp, max_trial_steps) call, Algorithm 1 line 50).
     pub fn predict_final(&self, max_trial_steps: u64) -> Option<f64> {
         Some(self.fit()?.predict(max_trial_steps))
+    }
+
+    /// Allocation-free [`EarlyCurve::fit`]: the same boundary detection,
+    /// short-segment merging and per-stage fitting, written into
+    /// `scratch`'s reusable buffers ([`FitScratch::stages`] holds the
+    /// result). Returns `false` — with no stages fitted — under three
+    /// points, exactly when [`EarlyCurve::fit`] returns `None`; otherwise
+    /// the stages equal `self.fit().unwrap().stages()` bit for bit (every
+    /// buffer reuse is a cleared-and-refilled `Vec`, never a change of
+    /// arithmetic). The batched sweep's lane path fits every job of a
+    /// cohort through one scratch.
+    pub fn fit_into(&self, scratch: &mut FitScratch) -> bool {
+        scratch.stages_mut().clear();
+        if self.points.len() < 3 {
+            return false;
+        }
+        scratch.metrics.clear();
+        scratch.metrics.extend(self.points.iter().map(|&(_, m)| m));
+        detect_boundaries_into(&scratch.metrics, &self.config.stage, &mut scratch.boundaries);
+        scratch.pending.clear();
+        // Segments are the `split_stages` partition, iterated in place:
+        // [prev boundary, boundary) per detected boundary, then the tail.
+        let mut seg_start = 0usize;
+        for bi in 0..=scratch.boundaries.len() {
+            let seg_end =
+                scratch.boundaries.get(bi).copied().unwrap_or(self.points.len());
+            let segment = &self.points[seg_start..seg_end];
+            seg_start = seg_end;
+            // Merge too-short segments into the next stage rather than
+            // extrapolating from a handful of points (as in `fit`).
+            if segment.len() + scratch.pending.len() < self.config.min_fit_points {
+                scratch.pending.extend_from_slice(segment);
+                continue;
+            }
+            scratch.merged.clear();
+            scratch.merged.append(&mut scratch.pending);
+            scratch.merged.extend_from_slice(segment);
+            let start = scratch.merged[0].0;
+            let fitted = fit_stage_scratch(&scratch.merged, start, &mut scratch.rows);
+            scratch.stages_mut().push(fitted);
+        }
+        if !scratch.pending.is_empty() {
+            let start = scratch.pending[0].0;
+            let fitted = fit_stage_scratch(&scratch.pending, start, &mut scratch.rows);
+            scratch.stages_mut().push(fitted);
+        }
+        true
     }
 
     /// Whether the curve has plateaued ("the model comes to convergence …

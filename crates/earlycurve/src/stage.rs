@@ -44,8 +44,17 @@ impl StageConfig {
 /// the slice. Boundaries honor `min_stage_len` spacing.
 pub fn detect_boundaries(metrics: &[f64], cfg: &StageConfig) -> Vec<usize> {
     let mut boundaries = Vec::new();
+    detect_boundaries_into(metrics, cfg, &mut boundaries);
+    boundaries
+}
+
+/// [`detect_boundaries`] into a caller-owned buffer (cleared first), so the
+/// batched sweep's per-selection fits reuse one allocation. Same indices,
+/// same order.
+pub fn detect_boundaries_into(metrics: &[f64], cfg: &StageConfig, boundaries: &mut Vec<usize>) {
+    boundaries.clear();
     if metrics.len() < cfg.window + 2 {
-        return boundaries;
+        return;
     }
     let mut last_start = 0usize;
     for i in 1..metrics.len() {
@@ -70,7 +79,6 @@ pub fn detect_boundaries(metrics: &[f64], cfg: &StageConfig) -> Vec<usize> {
             last_start = i;
         }
     }
-    boundaries
 }
 
 /// Splits `points` (absolute step, metric) into per-stage slices according

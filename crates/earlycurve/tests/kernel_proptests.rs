@@ -1,0 +1,157 @@
+//! Property tests locking the SoA lane kernel bit-identical to the scalar
+//! staged-curve path: arbitrary lane counts (full chunks, ragged
+//! remainders, single lanes), arbitrary coefficients including degenerate
+//! plateau denominators, and end-to-end `fit_into` + stage selection +
+//! lane evaluation against [`EarlyCurve::predict_final`].
+
+use proptest::prelude::*;
+use spottune_earlycurve::kernel::{
+    extrapolation_stage, predict_lanes, step_cost_lanes, CurveLanes, FitScratch,
+};
+use spottune_earlycurve::prelude::*;
+
+/// The scalar reference of one lane: exactly [`StageFit::predict`]'s
+/// arithmetic on raw coefficients.
+fn scalar_predict(a0: f64, a1: f64, a2: f64, a3: f64, rel: f64) -> f64 {
+    let denom = a0 * rel * rel + a1 * rel + a2;
+    if denom <= 1e-12 {
+        a3
+    } else {
+        a3 + 1.0 / denom
+    }
+}
+
+/// Coefficients drawn near the plateau threshold often enough to exercise
+/// both branches: raw entropy in `[-1, 1]` with a third of the mass mapped
+/// onto `[0, 2e-12]`.
+fn coeff(raw: f64) -> f64 {
+    if raw.abs() < 1.0 / 3.0 {
+        (raw.abs() * 3.0) * 2e-12
+    } else {
+        raw
+    }
+}
+
+/// A NaN-free synthetic learning curve: decaying rational trend plus
+/// bounded deterministic jitter, optionally flattened into a plateau tail.
+fn curve_points(n: usize, base: f64, scale: f64, decay: f64, noise: &[f64]) -> Vec<(u64, f64)> {
+    (1..=n as u64)
+        .map(|k| {
+            let trend = base + scale / (decay * k as f64 + 1.0);
+            let jitter = 0.02 * (noise[(k as usize - 1) % noise.len()] - 0.5);
+            (k, trend + jitter)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `predict_lanes` over any width — 1 lane, exact 8-wide chunks,
+    /// ragged remainders — is the scalar formula per lane, bit for bit.
+    #[test]
+    fn lane_kernel_is_bit_identical_to_scalar_predict(
+        n in 1usize..70,
+        flat in prop::collection::vec(-1.0f64..1.0, 350..351),
+    ) {
+        let a0: Vec<f64> = (0..n).map(|i| coeff(flat[i])).collect();
+        let a1: Vec<f64> = (0..n).map(|i| coeff(flat[70 + i])).collect();
+        let a2: Vec<f64> = (0..n).map(|i| coeff(flat[140 + i])).collect();
+        let a3: Vec<f64> = (0..n).map(|i| flat[210 + i]).collect();
+        let rel: Vec<f64> = (0..n).map(|i| (flat[280 + i] + 1.0) * 500.0).collect();
+        let mut out = vec![0.0; n];
+        predict_lanes(&a0, &a1, &a2, &a3, &rel, &mut out);
+        for i in 0..n {
+            let want = scalar_predict(a0[i], a1[i], a2[i], a3[i], rel[i]);
+            prop_assert_eq!(out[i].to_bits(), want.to_bits(), "lane {}", i);
+        }
+    }
+
+    /// `step_cost_lanes` matches the provisioner's scalar expected-cost
+    /// expression per lane.
+    #[test]
+    fn step_cost_lanes_are_bit_identical_to_scalar(
+        n in 1usize..40,
+        flat in prop::collection::vec(0.0f64..1.0, 120..121),
+    ) {
+        let spe: Vec<f64> = (0..n).map(|i| flat[i] * 30.0).collect();
+        let p: Vec<f64> = (0..n).map(|i| flat[40 + i]).collect();
+        let price: Vec<f64> = (0..n).map(|i| flat[80 + i] * 3.0).collect();
+        let mut out = vec![0.0; n];
+        step_cost_lanes(&spe, &p, &price, &mut out);
+        for i in 0..n {
+            let want = spe[i] * (1.0 - p[i]) * price[i];
+            prop_assert_eq!(out[i].to_bits(), want.to_bits(), "lane {}", i);
+        }
+    }
+
+    /// End to end: random curves fit through `fit_into`, extrapolation
+    /// stage selected, evaluated in shared lanes — bit-identical to the
+    /// allocating scalar `predict_final`, across group sizes (including a
+    /// group of one when `curves == 1`).
+    #[test]
+    fn lane_path_matches_predict_final_on_random_curves(
+        curves in 1usize..9,
+        lens in prop::collection::vec(3usize..60, 8..9),
+        bases in prop::collection::vec(0.1f64..2.0, 8..9),
+        scales in prop::collection::vec(0.0f64..3.0, 8..9),
+        decays in prop::collection::vec(0.05f64..0.6, 8..9),
+        noise in prop::collection::vec(0.0f64..1.0, 64..65),
+        horizon in 100u64..2000,
+    ) {
+        let mut ecs = Vec::new();
+        for c in 0..curves {
+            let mut ec = EarlyCurve::new(EarlyCurveConfig::default());
+            for (k, m) in curve_points(lens[c], bases[c], scales[c], decays[c], &noise) {
+                ec.push(k, m);
+            }
+            ecs.push(ec);
+        }
+        let mut fit = FitScratch::new();
+        let mut lanes = CurveLanes::new();
+        let mut lane_of = Vec::new();
+        for ec in &ecs {
+            if ec.fit_into(&mut fit) {
+                lane_of.push(Some(lanes.push(extrapolation_stage(fit.stages(), horizon), horizon)));
+            } else {
+                lane_of.push(None);
+            }
+        }
+        lanes.evaluate();
+        for (ec, lane) in ecs.iter().zip(&lane_of) {
+            let want = ec.predict_final(horizon);
+            match (want, lane) {
+                (Some(want), Some(lane)) => {
+                    prop_assert_eq!(lanes.out()[*lane].to_bits(), want.to_bits());
+                }
+                (None, None) => {}
+                (want, lane) => {
+                    prop_assert!(false, "fit disagreement: scalar {:?}, lane {:?}", want, lane);
+                }
+            }
+        }
+    }
+
+    /// Degenerate plateaus — constant and near-constant curves whose fit
+    /// collapses the rational denominator — still match the scalar path
+    /// exactly (the lane select must take the plateau branch on the same
+    /// inputs the scalar early-return does).
+    #[test]
+    fn degenerate_plateau_curves_stay_bit_identical(
+        n in 3usize..40,
+        level in 0.2f64..1.5,
+        horizon in 50u64..500,
+    ) {
+        let mut ec = EarlyCurve::new(EarlyCurveConfig::default());
+        for k in 1..=n as u64 {
+            ec.push(k, level);
+        }
+        let mut fit = FitScratch::new();
+        let mut lanes = CurveLanes::new();
+        prop_assert!(ec.fit_into(&mut fit), "constant curves of three+ points fit");
+        let lane = lanes.push(extrapolation_stage(fit.stages(), horizon), horizon);
+        lanes.evaluate();
+        let want = ec.predict_final(horizon).expect("fit exists");
+        prop_assert_eq!(lanes.out()[lane].to_bits(), want.to_bits());
+    }
+}

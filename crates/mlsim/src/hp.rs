@@ -120,13 +120,20 @@ impl HpSetting {
     /// Stable 64-bit hash of the setting (FNV-1a over the id), used to
     /// derive per-configuration seeds.
     pub fn stable_hash(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.id().bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
+        fnv1a(self.id().as_bytes())
     }
+}
+
+/// FNV-1a over `bytes` — the hash [`HpSetting::stable_hash`] applies to
+/// the formatted id. Exposed so callers that already hold the id string
+/// can hash it without re-formatting the setting.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl fmt::Display for HpSetting {

@@ -260,9 +260,24 @@ impl TrainingRun {
         seed: u64,
         cache: &CurveCache,
     ) -> Self {
-        let run_seed = seed ^ hp.stable_hash();
+        TrainingRun::with_cache_keyed(workload, hp, hp.id(), seed, cache)
+    }
+
+    /// [`TrainingRun::with_cache`] with the configuration's id string
+    /// supplied by the caller. `hp_id` must equal `hp.id()` — the job
+    /// arena caches it per slot so a campaign reset on the memo-hit path
+    /// never re-formats the setting (float formatting dominated the old
+    /// per-reset cost).
+    pub fn with_cache_keyed(
+        workload: &Workload,
+        hp: &HpSetting,
+        hp_id: String,
+        seed: u64,
+        cache: &CurveCache,
+    ) -> Self {
+        debug_assert_eq!(hp_id, hp.id(), "hp_id must be the setting's own id");
         let max_steps = workload.max_trial_steps();
-        let key: CurveKey = (workload.algorithm().name(), max_steps, seed, hp.id());
+        let key: CurveKey = (workload.algorithm().name(), max_steps, seed, hp_id);
         if let Some(curve) = cache.lookup(&key) {
             return TrainingRun {
                 backend: Backend::Cached(curve),
@@ -273,6 +288,10 @@ impl TrainingRun {
                 smoothed: None,
             };
         }
+        // Only the trainer backends consume the derived per-configuration
+        // seed; hashing the id already formatted into the key is exactly
+        // `seed ^ hp.stable_hash()`.
+        let run_seed = seed ^ crate::hp::fnv1a(key.3.as_bytes());
         let backend = match workload.algorithm() {
             Algorithm::LoR => {
                 let data = Arc::new(dataset::two_blobs(800, 40, 1.6, seed ^ LOR_SALT));

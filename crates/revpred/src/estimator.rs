@@ -121,6 +121,16 @@ impl fmt::Debug for MarketPredictorSet {
 }
 
 impl MarketPredictorSet {
+    /// The market pool the predictors were trained against.
+    pub(crate) fn pool(&self) -> &MarketPool {
+        &self.pool
+    }
+
+    /// The per-market model, if this market was trained.
+    pub(crate) fn model(&self, name: &str) -> Option<&dyn ProbModel> {
+        self.models.get(name).map(|b| b.as_ref())
+    }
+
     /// Trains one predictor per market on `[train_from, train_to)` with the
     /// given sampling stride.
     ///

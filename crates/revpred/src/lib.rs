@@ -19,6 +19,7 @@ pub mod eval;
 pub mod features;
 pub mod logistic;
 pub mod model;
+pub mod probe;
 pub mod tributary;
 
 pub use cache::PredictorCache;
@@ -27,6 +28,7 @@ pub use estimator::{train_for_pool, train_for_scenario, MarketPredictorSet, Pred
 pub use eval::BinaryEval;
 pub use logistic::LogisticModel;
 pub use model::{ProbModel, RevPredNet, TrainConfig, TrainStats};
+pub use probe::{ProbeCachedPredictors, ProbeCtx};
 pub use tributary::TributaryNet;
 
 /// Convenient glob-import surface.

@@ -4,6 +4,7 @@
 use crate::dataset::{Sample, HISTORY_LEN, PRESENT_FEATURES};
 use crate::features::RECORD_FEATURES;
 use crate::model::{calibrate, ProbModel, TrainConfig, TrainStats};
+use crate::probe::ProbeCtx;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -98,6 +99,34 @@ impl ProbModel for LogisticModel {
 
     fn name(&self) -> &'static str {
         "LogisticRegression"
+    }
+
+    /// The bid is the last flattened feature, so the dot product's 360-term
+    /// left-fold prefix is bid-independent. Accumulated in flatten order
+    /// (history records, then the leading present features) so the fold is
+    /// the same one `predict` computes.
+    fn probe_ctx(&self, sample: &Sample) -> ProbeCtx {
+        let mut prefix = 0.0f64;
+        let mut weights = self.w.iter();
+        for rec in &sample.history {
+            for &x in rec {
+                prefix += weights.next().expect("weight per feature") * x;
+            }
+        }
+        for &x in &sample.present[..RECORD_FEATURES] {
+            prefix += weights.next().expect("weight per feature") * x;
+        }
+        ProbeCtx::Logistic { prefix }
+    }
+
+    /// `(prefix + w_bid·bid) + b` continues the cached fold exactly where
+    /// `predict`'s full fold would have been after 360 terms — bit-identical.
+    fn predict_probe(&self, ctx: &ProbeCtx, bid_feature: f64) -> f64 {
+        let ProbeCtx::Logistic { prefix } = ctx else {
+            unreachable!("probe context from a different model family");
+        };
+        let z = prefix + self.w[FLAT_FEATURES - 1] * bid_feature + self.b;
+        calibrate(sigmoid(z), self.phi_pos, self.phi_neg)
     }
 }
 

@@ -5,6 +5,7 @@
 
 use crate::dataset::{Sample, HISTORY_LEN, PRESENT_FEATURES};
 use crate::features::RECORD_FEATURES;
+use crate::probe::ProbeCtx;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -23,6 +24,30 @@ pub trait ProbModel: std::fmt::Debug + Send + Sync {
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
+
+    /// The bid-independent part of a prediction at `sample`'s market and
+    /// instant, reusable across probes that differ only in their bid (see
+    /// [`crate::probe`]). The default keeps the whole sample and replays
+    /// per probe — correct for any model; models with a bid-free sub-path
+    /// override this to cache that sub-path's result.
+    fn probe_ctx(&self, sample: &Sample) -> ProbeCtx {
+        ProbeCtx::Replay { sample: sample.clone() }
+    }
+
+    /// Completes a prediction from a context this model built (same market,
+    /// same instant) and a normalized bid feature (`max_price / od`, the
+    /// value `build_input` writes into the present record's bid slot).
+    /// Bit-identical to `predict` over the samely-bidded full sample.
+    fn predict_probe(&self, ctx: &ProbeCtx, bid_feature: f64) -> f64 {
+        match ctx {
+            ProbeCtx::Replay { sample } => {
+                let mut s = sample.clone();
+                s.present[RECORD_FEATURES] = bid_feature;
+                self.predict(&s)
+            }
+            _ => unreachable!("probe context from a different model family"),
+        }
+    }
 }
 
 /// Training hyper-parameters for the neural predictors.
@@ -242,6 +267,31 @@ impl ProbModel for RevPredNet {
 
     fn name(&self) -> &'static str {
         "RevPred"
+    }
+
+    /// The recurrent path consumes only the (bid-independent) history, so
+    /// its final hidden state is the reusable half of a prediction.
+    fn probe_ctx(&self, sample: &Sample) -> ProbeCtx {
+        let hs = self.lstm.forward_inference(&batch_history(&[sample]));
+        let h_last = hs.last().expect("non-empty history").clone();
+        ProbeCtx::Hidden { h_last, sample: sample.clone() }
+    }
+
+    /// Replays only the dense path over the re-bidded present record and
+    /// joins it with the cached hidden state — the exact operations of
+    /// [`RevPredNet::predict_raw`] on the re-bidded sample, with the two
+    /// independent sub-paths evaluated at different times (which changes
+    /// no bits).
+    fn predict_probe(&self, ctx: &ProbeCtx, bid_feature: f64) -> f64 {
+        let ProbeCtx::Hidden { h_last, sample } = ctx else {
+            unreachable!("probe context from a different model family");
+        };
+        let present = crate::probe::rebid_present(sample, bid_feature);
+        let p = self.fc3.forward_inference(
+            &self.fc2.forward_inference(&self.fc1.forward_inference(&present)),
+        );
+        let logits = self.head.forward_inference(&h_last.hconcat(&p));
+        calibrate(sigmoid(logits[(0, 0)]), self.phi_pos, self.phi_neg)
     }
 }
 

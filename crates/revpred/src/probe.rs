@@ -1,0 +1,224 @@
+//! Bid-split probe contexts and the probe-caching estimator wrapper.
+//!
+//! The provisioner probes `revocation_probability(market, t, max_price)`
+//! once per market per deployment decision, and a batched sweep makes
+//! hundreds of thousands of such probes. For the learned predictors each
+//! probe rebuilt the full [`Sample`] — 59 history records, ~240 price-trace
+//! window queries — even though only the *bid* (`max_price`) differs
+//! between probes at the same `(market, t)`: the history and the six "now"
+//! features are pure functions of the market and the instant.
+//!
+//! [`ProbeCtx`] is the bid-independent remainder of a prediction, computed
+//! once and replayed per bid:
+//!
+//! * **Logistic** — `z = Σᵢ wᵢxᵢ + b` is a left fold whose final term is
+//!   the bid feature, so the fold's 360-term prefix is cacheable and
+//!   `(prefix + w_bid·x_bid) + b` re-associates nothing: the sum is
+//!   bit-identical to the full fold.
+//! * **RevPred** — the LSTM path consumes only the history, so its final
+//!   hidden state is cacheable; the dense path (which sees the bid) is a
+//!   handful of tiny matrix products replayed per probe. The two paths are
+//!   independent sub-expressions, and reordering independent IEEE-754
+//!   computations changes no bits.
+//! * **Tributary** — the bid is replicated into every LSTM timestep, so
+//!   only the assembled base sample is reusable; the forward pass replays
+//!   per probe (still skipping the trace-window scans).
+//!
+//! [`ProbeCachedPredictors`] wraps a [`MarketPredictorSet`] with a
+//! `(market, t)`-keyed context memo behind an (uncontended) mutex; the
+//! batched sweep's SoA path installs it per scenario group, and the core
+//! `batch_equivalence` suite locks the wrapped path bit-identical to the
+//! plain one.
+
+use crate::dataset::{build_input, Sample, PRESENT_FEATURES};
+use crate::estimator::MarketPredictorSet;
+use crate::features::RECORD_FEATURES;
+use spottune_market::{RevocationEstimator, SimTime};
+use spottune_nn::matrix::Matrix;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The bid-independent part of one `(model, market, t)` prediction. Only
+/// meaningful for the model that built it (via [`ProbModel::probe_ctx`]) at
+/// the same market and instant.
+#[derive(Debug, Clone)]
+pub enum ProbeCtx {
+    /// Left-fold prefix of the logistic dot product over every feature
+    /// except the trailing bid.
+    Logistic {
+        /// `Σᵢ<bid wᵢxᵢ`, accumulated in flatten order.
+        prefix: f64,
+    },
+    /// LSTM hidden state over the history plus the base sample whose
+    /// present record is re-bidded per probe.
+    Hidden {
+        /// Final hidden state of the (bid-independent) recurrent path.
+        h_last: Matrix,
+        /// The sample the context was built from (bid slot is overwritten).
+        sample: Sample,
+    },
+    /// Full per-probe replay over a reusable base sample (models whose
+    /// recurrent path consumes the bid, e.g. Tributary).
+    Replay {
+        /// The sample to re-bid and re-run.
+        sample: Sample,
+    },
+}
+
+/// One cached context: the model's bid-independent work plus the market's
+/// on-demand price (the bid normalizer).
+struct ProbeEntry {
+    ctx: ProbeCtx,
+    od: f64,
+}
+
+/// A [`MarketPredictorSet`] with a `(market, t)`-keyed [`ProbeCtx`] memo:
+/// same probabilities bit for bit, one sample assembly per distinct probe
+/// site instead of one per probe.
+pub struct ProbeCachedPredictors {
+    inner: Arc<MarketPredictorSet>,
+    /// Market names in pool order; a name's position is its cache key.
+    markets: Vec<String>,
+    cache: Mutex<BTreeMap<(usize, u64), Arc<ProbeEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl fmt::Debug for ProbeCachedPredictors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProbeCachedPredictors")
+            .field("inner", &self.inner)
+            .field("entries", &self.cache.lock().map(|c| c.len()).unwrap_or(0))
+            .finish()
+    }
+}
+
+impl ProbeCachedPredictors {
+    /// Wraps a trained predictor set.
+    pub fn new(inner: Arc<MarketPredictorSet>) -> Self {
+        let markets =
+            inner.pool().iter().map(|m| m.instance().name().to_string()).collect();
+        ProbeCachedPredictors {
+            inner,
+            markets,
+            cache: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped set.
+    pub fn inner(&self) -> &Arc<MarketPredictorSet> {
+        &self.inner
+    }
+
+    /// `(hits, misses)` of the probe-context memo.
+    pub fn probe_stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+impl RevocationEstimator for ProbeCachedPredictors {
+    fn revocation_probability(&self, instance_name: &str, t: SimTime, max_price: f64) -> f64 {
+        let (Some(model), Some(idx)) = (
+            self.inner.model(instance_name),
+            self.markets.iter().position(|n| n == instance_name),
+        ) else {
+            return 0.5; // unknown market: no information (as the plain set)
+        };
+        let key = (idx, t.as_secs());
+        let entry = {
+            let mut cache = self.cache.lock().expect("probe cache poisoned");
+            if let Some(entry) = cache.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(entry)
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let market = self
+                    .inner
+                    .pool()
+                    .market(instance_name)
+                    .expect("market listed at construction");
+                let od = market.instance().on_demand_price();
+                // The context is built from a sample carrying *this* probe's
+                // bid, but every cached part of it is bid-independent, so
+                // later probes at other bids replay correctly.
+                let ctx = model.probe_ctx(&build_input(market, t, max_price));
+                let entry = Arc::new(ProbeEntry { ctx, od });
+                cache.insert(key, Arc::clone(&entry));
+                entry
+            }
+        };
+        model.predict_probe(&entry.ctx, max_price / entry.od)
+    }
+
+    fn name(&self) -> &str {
+        RevocationEstimator::name(self.inner.as_ref())
+    }
+}
+
+/// Builds a 1-row present-record matrix with the bid slot replaced —
+/// the probe-path twin of `batch_present(&[sample])` for a re-bid sample.
+pub(crate) fn rebid_present(sample: &Sample, bid_feature: f64) -> Matrix {
+    let mut present = sample.present;
+    present[RECORD_FEATURES] = bid_feature;
+    Matrix::from_fn(1, PRESENT_FEATURES, |_, c| present[c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{train_for_pool, PredictorKind};
+    use spottune_market::prelude::*;
+
+    fn pool() -> MarketPool {
+        MarketPool::standard(SimDur::from_days(2), 7)
+    }
+
+    fn probe_grid(pool: &MarketPool) -> Vec<(String, SimTime, f64)> {
+        let mut probes = Vec::new();
+        for market in pool.iter() {
+            let name = market.instance().name().to_string();
+            for h in [0u64, 5, 17, 30, 41] {
+                let t = SimTime::from_hours(h) + SimDur::from_secs(10);
+                let price = market.price_at(t);
+                for delta in [0.0005, 0.01, 0.05, 0.19] {
+                    probes.push((name.clone(), t, price + delta));
+                }
+            }
+        }
+        probes
+    }
+
+    #[test]
+    fn cached_probes_are_bit_identical_for_every_kind() {
+        let pool = pool();
+        for kind in [PredictorKind::Logistic, PredictorKind::RevPred, PredictorKind::Tributary] {
+            let set = Arc::new(train_for_pool(kind, &pool, 11));
+            let cached = ProbeCachedPredictors::new(Arc::clone(&set));
+            for (name, t, bid) in probe_grid(&pool) {
+                let want = set.revocation_probability(&name, t, bid);
+                let got = cached.revocation_probability(&name, t, bid);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{kind:?} {name} t={t:?} bid={bid}: cached probe must match"
+                );
+            }
+            let (hits, misses) = cached.probe_stats();
+            assert!(hits > 0, "{kind:?}: repeated (market, t) probes must hit");
+            assert!(misses > 0);
+            assert_eq!(cached.name(), set.name());
+        }
+    }
+
+    #[test]
+    fn unknown_markets_keep_the_uninformative_prior() {
+        let pool = pool();
+        let set = Arc::new(train_for_pool(PredictorKind::Logistic, &pool, 3));
+        let cached = ProbeCachedPredictors::new(set);
+        assert_eq!(cached.revocation_probability("bogus", SimTime::from_hours(1), 1.0), 0.5);
+    }
+}

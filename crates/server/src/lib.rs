@@ -100,6 +100,16 @@ pub struct ServerConfig {
     /// Bit-identity between the two is locked by the core
     /// `batch_equivalence` suite.
     pub batch: bool,
+    /// Whether batched group items run through the SoA cohort path:
+    /// campaigns staged in [`spottune_core::COHORT_WIDTH`] cohorts, final-
+    /// metric extrapolations batched through the cross-campaign lane
+    /// kernel, learned estimators behind the probe-context memo. Default
+    /// `true`; `false` restores the one-campaign-at-a-time group loop
+    /// (the `--no-soa` A/B reference). Bit-identity between the two is
+    /// locked by the core `batch_equivalence` suite and the
+    /// `soa_worker_path` server test. Ignored when
+    /// [`batch`](ServerConfig::batch) is off.
+    pub soa: bool,
     /// Worker-pool size; `0` (the default) means one worker per available
     /// core. Campaigns are single-threaded and CPU-bound, so more workers
     /// than cores only adds contention on the shared tiers.
@@ -129,6 +139,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             batch: true,
+            soa: true,
             workers: 0,
             curve_capacity: 0,
             predictor_capacity: 0,
@@ -147,6 +158,13 @@ impl ServerConfig {
     /// is the serial A/B reference path).
     pub fn with_batch(mut self, batch: bool) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Builder-style SoA cohort-path toggle (`true` is the default;
+    /// `false` is the scalar A/B reference within the batched path).
+    pub fn with_soa(mut self, soa: bool) -> Self {
+        self.soa = soa;
         self
     }
 
@@ -209,6 +227,15 @@ pub struct ServerStats {
     pub spine_queries: u64,
     /// Scenario-group sessions opened by the batched sweep path.
     pub batched_groups: u64,
+    /// Cross-campaign lane-kernel passes executed by the SoA cohort path
+    /// (zero when [`ServerConfig::soa`] is off or no transient campaign
+    /// extrapolated).
+    pub kernel_invocations: u64,
+    /// Kernel lane slots processed, including padding up to the 8-wide
+    /// chunk boundary; `lane_jobs / lane_slots` is the lane occupancy.
+    pub lane_slots: u64,
+    /// Jobs whose final-metric extrapolation ran through kernel lanes.
+    pub lane_jobs: u64,
     /// Spot revocations absorbed across every completed campaign — the
     /// server-level view of how hostile the swept markets were.
     pub revocations: u64,
@@ -417,12 +444,14 @@ impl CampaignServer {
             channel::unbounded::<WorkItem>()
         };
         let spines = SpineCache::new();
-        let runner = BatchRunner::new().with_tiers(
-            pools.clone(),
-            spines.clone(),
-            curves.clone(),
-            predictors.clone(),
-        );
+        let runner = BatchRunner::new()
+            .with_soa(config.soa)
+            .with_tiers(
+                pools.clone(),
+                spines.clone(),
+                curves.clone(),
+                predictors.clone(),
+            );
         let completed = Arc::new(AtomicU64::new(0));
         let degradation = Arc::new(DegradationCounters::default());
         let queue = Arc::new(QueueCounters::default());
@@ -736,6 +765,9 @@ impl CampaignServer {
             resident_spines: self.spines.len(),
             spine_queries: self.spines.resident_queries(),
             batched_groups: self.runner.stats().groups,
+            kernel_invocations: self.runner.stats().kernel_invocations,
+            lane_slots: self.runner.stats().lane_slots,
+            lane_jobs: self.runner.stats().lane_jobs,
             revocations: self.degradation.revocations.load(Ordering::Relaxed),
             lost_steps: self.degradation.lost_steps.load(Ordering::Relaxed),
             migrations: self.degradation.migrations.load(Ordering::Relaxed),
@@ -850,14 +882,60 @@ fn worker_loop(rx: &Receiver<WorkItem>, shared: &WorkerShared) {
                 // resolved once, estimators and SPE tables memoized,
                 // engine scratch reused across every campaign.
                 let mut session = runner.session(first.scenario);
-                for request in &requests {
-                    // Panics stay confined to one campaign: the session's
-                    // scratch is fully re-prepared on the next run, so a
-                    // poisoned request never taints its chunk-mates.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || session.run_one(request),
-                    ));
-                    settle_outcome(request.id, outcome, &reply, completed, degradation, queue);
+                if runner.soa() {
+                    // SoA hot path: the chunk runs in lane cohorts. A
+                    // panicking campaign aborts its whole cohort mid-
+                    // barrier, so the cohort falls back to the scalar
+                    // per-campaign loop — panics re-confine to the one
+                    // poisoned request, its cohort-mates still report.
+                    for cohort in requests.chunks(spottune_core::COHORT_WIDTH) {
+                        let refs: Vec<&CampaignRequest> = cohort.iter().collect();
+                        let outcome = std::panic::catch_unwind(
+                            std::panic::AssertUnwindSafe(|| session.run_cohort(&refs)),
+                        );
+                        match outcome {
+                            Ok(reports) => {
+                                for (request, report) in cohort.iter().zip(reports) {
+                                    settle_outcome(
+                                        request.id,
+                                        Ok(report),
+                                        &reply,
+                                        completed,
+                                        degradation,
+                                        queue,
+                                    );
+                                }
+                            }
+                            Err(_) => {
+                                for request in cohort {
+                                    let outcome = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            session.run_one(request)
+                                        }),
+                                    );
+                                    settle_outcome(
+                                        request.id,
+                                        outcome,
+                                        &reply,
+                                        completed,
+                                        degradation,
+                                        queue,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    for request in &requests {
+                        // Panics stay confined to one campaign: the
+                        // session's scratch is fully re-prepared on the
+                        // next run, so a poisoned request never taints
+                        // its chunk-mates.
+                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || session.run_one(request),
+                        ));
+                        settle_outcome(request.id, outcome, &reply, completed, degradation, queue);
+                    }
                 }
             }
         }

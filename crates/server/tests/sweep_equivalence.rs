@@ -78,6 +78,24 @@ fn sweep_1000_is_bit_identical_to_serial_with_memo_hits() {
         stats.curve_cache
     );
 
+    // The default server stages batched chunks through the SoA cohort
+    // path; the sweep's transient campaigns must actually cross the lane
+    // kernel.
+    assert!(stats.kernel_invocations > 0, "default config must take the SoA path");
+    assert!(stats.lane_jobs > 0 && stats.lane_slots >= stats.lane_jobs);
+
+    // A/B: the batched-but-scalar server (`--no-soa`) runs chunks one
+    // campaign at a time, skips the kernel, and must agree bit-for-bit.
+    let scalar_server = CampaignServer::start(ServerConfig::default().with_soa(false));
+    let scalar_responses = scalar_server.run_sweep(requests.clone());
+    let scalar_stats = scalar_server.stats();
+    scalar_server.shutdown();
+    assert!(scalar_stats.batched_groups > 0, "no-soa keeps the batched path");
+    assert_eq!(scalar_stats.kernel_invocations, 0, "no-soa must not touch the kernel");
+    for (soa, scalar) in responses.iter().zip(&scalar_responses) {
+        assert_eq!(soa, scalar, "SoA and scalar worker paths must agree");
+    }
+
     // A/B: the non-batched server runs the same sweep one request per
     // work item (one pool lookup per campaign) and must agree bit-for-bit.
     let serial_server = CampaignServer::start(ServerConfig::default().with_batch(false));

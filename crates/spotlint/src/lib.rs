@@ -11,7 +11,10 @@
 //!    mean anything if these hold.
 //! 2. **Coverage** — the panic-free request path (P1) and the
 //!    registry/CI/test-suite cross-check (R1): every registered policy and
-//!    estimator stays in the CI matrix and the equivalence/storm suites.
+//!    estimator stays in the CI matrix and the equivalence/storm suites,
+//!    including the batch suite's SoA lane-path tests.
+//! 3. **Confinement** — `unsafe` stays inside the audited kernel modules
+//!    (U1); everywhere else it needs a `spotlint.allow` audit.
 //!
 //! Built on a hand-rolled Rust lexer ([`lexer`]) and token-pattern rules
 //! ([`rules`]) because the vendored dependency set has no `syn`. Audited
@@ -24,7 +27,7 @@ pub mod registry;
 pub mod rules;
 
 use registry::{RegistryInputs, CI_PATH, ESTIMATOR_REGISTRY_PATH, POLICY_REGISTRY_PATH, SUITE_PATHS};
-use rules::{check_d1, check_d2, check_d3, check_p1, FileCtx, Finding};
+use rules::{check_d1, check_d2, check_d3, check_p1, check_u1, FileCtx, Finding};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -39,6 +42,22 @@ pub const DETERMINISM_CRATES: &[&str] = &[
 
 /// Crates additionally checked for exact float equality (D3).
 pub const FLOAT_EQ_CRATES: &[&str] = &["crates/core", "crates/earlycurve"];
+
+/// Crates whose `src/` trees must keep `unsafe` confined to the kernel
+/// modules (U1): every library crate. Only `crates/bench` (measurement
+/// binaries, never linked into the sim) and spotlint itself are outside
+/// the scope.
+pub const UNSAFE_SCOPE_CRATES: &[&str] = &[
+    "crates/core",
+    "crates/cloud",
+    "crates/market",
+    "crates/revpred",
+    "crates/earlycurve",
+    "crates/mlsim",
+    "crates/nn",
+    "crates/server",
+    "crates/client",
+];
 
 /// Files forming the untrusted-input path (P1): wire decode, the server
 /// request handling (core pool and TCP front-end), and the client's
@@ -87,18 +106,24 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     let mut findings = Vec::new();
     let mut files_scanned = 0usize;
 
-    // Token rules over the determinism-critical crates.
-    for krate in DETERMINISM_CRATES {
+    // Token rules over the library crates: U1 everywhere in scope, the
+    // determinism rules (D1/D2, D3 where floats gate decisions) over
+    // their tighter crate lists.
+    for krate in UNSAFE_SCOPE_CRATES {
+        let determinism = DETERMINISM_CRATES.contains(krate);
         let src_dir = root.join(krate).join("src");
         for file in rust_files(&src_dir)? {
             let rel = rel_path(root, &file);
             let text = read(&file)?;
             let ctx = FileCtx::new(&rel, &text);
-            findings.extend(check_d1(&ctx));
-            findings.extend(check_d2(&ctx));
-            if FLOAT_EQ_CRATES.iter().any(|c| rel.starts_with(c)) {
-                findings.extend(check_d3(&ctx));
+            if determinism {
+                findings.extend(check_d1(&ctx));
+                findings.extend(check_d2(&ctx));
+                if FLOAT_EQ_CRATES.iter().any(|c| rel.starts_with(c)) {
+                    findings.extend(check_d3(&ctx));
+                }
             }
+            findings.extend(check_u1(&ctx));
             files_scanned += 1;
         }
     }

@@ -1,14 +1,15 @@
 //! The token-pattern rules: D1 (wall-clock/entropy), D2 (hash-order
-//! iteration), D3 (float equality), P1 (panic paths). Each rule has a
-//! stable ID, a one-line summary for listings, and a long `--explain`
-//! text documenting why the pattern is banned and what to do instead.
+//! iteration), D3 (float equality), P1 (panic paths), U1 (`unsafe`
+//! confinement). Each rule has a stable ID, a one-line summary for
+//! listings, and a long `--explain` text documenting why the pattern is
+//! banned and what to do instead.
 
 use crate::lexer::{lex, test_regions, Spanned, Tok};
 
 /// One lint finding, machine-readable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Stable rule ID (`D1`, `D2`, `D3`, `P1`, `R1`).
+    /// Stable rule ID (`D1`, `D2`, `D3`, `P1`, `R1`, `U1`).
     pub rule: &'static str,
     /// Workspace-relative path, forward slashes.
     pub file: String,
@@ -134,7 +135,17 @@ from source and cross-checks:
      suites — a suite that iterates `registered_policies()` /
      `registered_estimators()` covers the whole registry by construction,
      which is the preferred pattern;
-  5. every wire error-frame kind (`registered_error_kinds()` in
+  5. every registered policy is locked batched≡serial by the
+     batch-equivalence suite (`crates/core/tests/batch_equivalence.rs`),
+     so the server's batched default can never ship a policy whose
+     batched path was not proven bit-identical;
+  6. the batch-equivalence suite has a *lane-path* test — one whose body
+     exercises the SoA cohort staging (`with_soa`, the lane kernel
+     counters) — and every registered policy is exercised by those lane
+     tests specifically. The SoA lane kernel is the default transient
+     path; a policy covered only by the scalar fallback is unlocked where
+     it actually runs;
+  7. every wire error-frame kind (`registered_error_kinds()` in
      `crates/core/src/wire.rs`) is provoked by a TCP suite
      (`tcp_chaos.rs` / `tcp_soak.rs`) — a frame kind nothing can trigger
      over a real socket is a frame kind clients cannot trust.
@@ -142,6 +153,30 @@ from source and cross-checks:
 Registering a new policy, estimator, or error-frame kind without
 extending the CI matrix and the suites fails the lint, so coverage can
 never silently rot.",
+    },
+    RuleInfo {
+        id: "U1",
+        summary: "`unsafe` outside the audited kernel modules",
+        explain: "\
+U1 — `unsafe` stays confined to the kernel modules.
+
+The lane kernels (`crates/earlycurve/src/kernel.rs`, staged through
+`crates/core/src/soa.rs`) are the one place this workspace tolerates
+`unsafe`: a hot loop may eventually need `get_unchecked` or explicit SIMD
+intrinsics, and those files are small, heavily tested (bit-identity
+proptests against the scalar reference, the batch-equivalence matrix) and
+reviewed as a unit. Everywhere else, `unsafe` undermines the guarantees
+the equivalence suites lean on — a stray out-of-bounds read is
+nondeterminism D1 can't see.
+
+As of this rule's introduction the kernels need **zero** unsafe — they
+reach the vectorizer through chunked `[f64; LANE_WIDTH]` arrays — so any
+new `unsafe` is a deliberate decision. Inside a kernel module it passes
+the lint but still needs the usual review; outside, either move the code
+into a kernel module or allowlist the audited line in `spotlint.allow`
+with a rationale comment (why it is sound, why safe code can't do it).
+
+Test code is exempt, like every token rule.",
     },
 ];
 
@@ -357,6 +392,38 @@ pub fn check_p1(ctx: &FileCtx) -> Vec<Finding> {
     out
 }
 
+/// The audited homes of `unsafe` (U1): the lane kernel and its SoA
+/// staging layer. Workspace-relative paths, forward slashes.
+pub const KERNEL_MODULES: &[&str] =
+    &["crates/earlycurve/src/kernel.rs", "crates/core/src/soa.rs"];
+
+/// U1: the `unsafe` keyword anywhere outside [`KERNEL_MODULES`].
+///
+/// One finding per `unsafe` token — block, fn, impl or trait position all
+/// count; holding an unsafe obligation is the reviewable event, not the
+/// particular syntax carrying it.
+pub fn check_u1(ctx: &FileCtx) -> Vec<Finding> {
+    if KERNEL_MODULES.contains(&ctx.path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if t.tok.is_ident("unsafe") {
+            out.push(ctx.finding(
+                "U1",
+                t.line,
+                "`unsafe` outside the kernel modules; move it into a kernel module or \
+                 allowlist the audited line"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +505,41 @@ mod tests {
         assert!(check_p1(&c).is_empty());
         assert!(check_d2(&c).is_empty());
         assert!(check_d3(&c).is_empty());
+    }
+
+    #[test]
+    fn u1_flags_unsafe_in_every_position_outside_kernels() {
+        let src = r#"
+            unsafe fn raw(p: *const f64) -> f64 { *p }
+            fn f(v: &[f64]) -> f64 {
+                unsafe { *v.get_unchecked(0) }
+            }
+            unsafe impl Send for Wrapper {}
+        "#;
+        let f = check_u1(&ctx("crates/core/src/engine.rs", src));
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "U1"));
+    }
+
+    #[test]
+    fn u1_exempts_kernel_modules_and_test_code() {
+        let src = "fn f(v: &[f64]) -> f64 { unsafe { *v.get_unchecked(0) } }";
+        for path in KERNEL_MODULES {
+            assert!(check_u1(&ctx(path, src)).is_empty(), "{path} is the audited home");
+        }
+        assert!(check_u1(&ctx("crates/core/tests/equiv.rs", src)).is_empty());
+        let gated = "#[cfg(test)] mod tests { fn t() { unsafe { core::hint::unreachable_unchecked() } } }";
+        assert!(check_u1(&ctx("crates/core/src/x.rs", gated)).is_empty());
+    }
+
+    #[test]
+    fn u1_ignores_near_miss_identifiers_and_strings() {
+        let src = r#"
+            // unsafe in a comment is not code
+            fn unsafe_free_len(s: &str) -> usize { s.len() }
+            fn describe() -> &'static str { "unsafe spelled in a string" }
+        "#;
+        assert!(check_u1(&ctx("crates/core/src/x.rs", src)).is_empty());
     }
 
     #[test]

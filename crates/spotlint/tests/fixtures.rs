@@ -5,7 +5,9 @@
 //! Fixtures are data, not compiled test code; they are lexed under a fake
 //! in-scope path because real `tests/` paths are exempt by design.
 
-use spotlint::rules::{check_d1, check_d2, check_d3, check_p1, FileCtx, Finding};
+use spotlint::rules::{
+    check_d1, check_d2, check_d3, check_p1, check_u1, FileCtx, Finding, KERNEL_MODULES,
+};
 
 /// Lexes a fixture as if it lived in a determinism-critical crate.
 fn ctx(src: &str) -> FileCtx<'_> {
@@ -69,6 +71,29 @@ fn p1_fixture_is_flagged_for_every_escape_hatch() {
 }
 
 #[test]
+fn u1_fixture_is_flagged_in_every_unsafe_position() {
+    let src = include_str!("fixtures/u1_violation.rs");
+    let findings = check_u1(&ctx(src));
+    // Block, fn and impl positions each carry one `unsafe` token.
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    for f in &findings {
+        assert_eq!(f.rule, "U1");
+        assert!(f.line > 0 && f.snippet.contains("unsafe"), "{f:?}");
+    }
+}
+
+#[test]
+fn u1_fixture_is_exempt_inside_a_kernel_module() {
+    // The same violating source lexed at a kernel-module path is the
+    // audited home of `unsafe` — nothing is flagged there.
+    let src = include_str!("fixtures/u1_violation.rs");
+    for path in KERNEL_MODULES {
+        let c = FileCtx::new(path, src);
+        assert!(check_u1(&c).is_empty(), "{path} must be exempt");
+    }
+}
+
+#[test]
 fn clean_fixture_produces_no_findings() {
     let src = include_str!("fixtures/clean.rs");
     let c = ctx(src);
@@ -76,6 +101,7 @@ fn clean_fixture_produces_no_findings() {
     findings.extend(check_d2(&c));
     findings.extend(check_d3(&c));
     findings.extend(check_p1(&c));
+    findings.extend(check_u1(&c));
     assert!(findings.is_empty(), "near-misses must not be flagged: {findings:#?}");
 }
 

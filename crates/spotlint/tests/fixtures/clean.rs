@@ -18,8 +18,15 @@ pub fn lookup(map: &BTreeMap<u64, f64>, key: u64) -> f64 {
 
 pub fn describe() -> &'static str {
     // Pattern words inside strings and comments are invisible to the
-    // lexer: HashMap, thread_rng, panic!, x.unwrap(), 1.0 == 2.0
+    // lexer: HashMap, thread_rng, panic!, x.unwrap(), 1.0 == 2.0,
+    // unsafe { }
     "SystemTime::now() spelled in a string is data, not code"
+}
+
+/// An identifier *containing* "unsafe" is not the keyword; safe wrappers
+/// advertising their safety must not trip U1.
+pub fn unsafe_free_sum(v: &[f64]) -> f64 {
+    v.iter().sum()
 }
 
 #[cfg(test)]

@@ -1,0 +1,26 @@
+// Fixture: deliberate U1 violations — `unsafe` in every syntactic
+// position, in a file that is not a kernel module. None of this is
+// compiled; it is lexed as data by tests/fixtures.rs.
+
+pub struct RawView {
+    ptr: *const f64,
+    len: usize,
+}
+
+/// Block position: the classic hot-loop "bounds checks are expensive"
+/// shortcut that belongs in a kernel module if it belongs anywhere.
+pub fn sum_unchecked(v: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..v.len() {
+        acc += unsafe { *v.get_unchecked(i) };
+    }
+    acc
+}
+
+/// Fn position: an unsafe API surface leaking out of the kernel layer.
+pub unsafe fn read_raw(view: &RawView, i: usize) -> f64 {
+    *view.ptr.add(i)
+}
+
+/// Impl position: hand-asserted thread-safety obligations.
+unsafe impl Send for RawView {}
